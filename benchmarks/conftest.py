@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark reproduces one figure (or ablation) of the paper: it runs
+the corresponding experiment from :mod:`repro.experiments`, prints the
+series the paper plots (MAPE versus training fraction), and writes the
+same table to ``benchmarks/results/<experiment>.txt`` so the numbers
+survive output capturing.
+
+The fidelity preset is controlled with the ``REPRO_BENCH_PRESET``
+environment variable: ``quick`` (smoke test), ``default``, or ``full``
+(closer to scikit-learn defaults, slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSettings, format_result
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _settings_from_env() -> ExperimentSettings:
+    preset = os.environ.get("REPRO_BENCH_PRESET", "default").lower()
+    if preset == "quick":
+        return ExperimentSettings.quick()
+    if preset == "full":
+        return ExperimentSettings.full()
+    return ExperimentSettings()
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Experiment settings selected by ``REPRO_BENCH_PRESET``."""
+    return _settings_from_env()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that prints an experiment result and persists it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(result) -> None:
+        text = format_result(result)
+        print()
+        print(text)
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,61 @@
+"""Microbenchmarks of the executable substrates.
+
+Not paper figures — these time the building blocks (stencil sweep, FMM
+evaluation, dataset generation, model fitting) so performance regressions
+in the substrates are visible with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytical import StencilAnalyticalModel
+from repro.core import HybridPerformanceModel
+from repro.datasets import blocked_small_grid_dataset
+from repro.fmm import Fmm, random_cube
+from repro.ml import ExtraTreesRegressor
+from repro.stencil import StencilConfig, StencilPerformanceSimulator, stencil7_sweep
+
+
+@pytest.mark.benchmark(group="engines")
+def test_stencil_sweep_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    src = rng.random((130, 130, 130))
+    dst = np.zeros_like(src)
+    points = benchmark(stencil7_sweep, src, dst, 0.4, 0.1)
+    assert points == 128 ** 3
+
+
+@pytest.mark.benchmark(group="engines")
+def test_fmm_evaluation_n2000(benchmark):
+    particles = random_cube(2000, random_state=0)
+    fmm = Fmm(order=4, max_per_leaf=64)
+    result = benchmark.pedantic(fmm.evaluate, args=(particles,), rounds=1, iterations=1)
+    assert result.n_particles == 2000
+
+
+@pytest.mark.benchmark(group="engines")
+def test_stencil_simulator_sweep_rate(benchmark):
+    sim = StencilPerformanceSimulator()
+    configs = [StencilConfig(I=1, J=j, K=k, bi=1, bj=8, bk=16)
+               for j in range(16, 129, 16) for k in range(16, 129, 16)]
+    times = benchmark(sim.times, configs)
+    assert len(times) == len(configs)
+
+
+@pytest.mark.benchmark(group="engines")
+def test_hybrid_fit_predict_cost(benchmark):
+    data = blocked_small_grid_dataset(max_configs=600, random_state=0)
+    train, test = data.train_test_indices(train_fraction=0.05, random_state=0)
+
+    def fit_and_predict():
+        model = HybridPerformanceModel(
+            analytical_model=StencilAnalyticalModel(),
+            feature_names=data.feature_names,
+            ml_model=ExtraTreesRegressor(n_estimators=20, random_state=0),
+            random_state=0,
+        )
+        model.fit(data.X[train], data.y[train])
+        return model.predict(data.X[test])
+
+    preds = benchmark.pedantic(fit_and_predict, rounds=1, iterations=1)
+    assert np.all(preds > 0)

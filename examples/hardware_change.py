@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Hardware and workload changes with small training sets.
+
+The paper's conclusion argues that the hybrid model "requires small
+training datasets ... thus making it suitable for hardware and workload
+changes".  This example quantifies that: the same stencil workload is
+"measured" on three different machines (Blue Waters XE6, a generic Xeon
+node, and a cache-starved embedded node); for each machine a fresh hybrid
+model — using that machine's analytical model — is trained on only 2% of
+the configurations and compared with a pure extra-trees model given the
+same tiny budget.
+
+Run:  python examples/hardware_change.py
+"""
+
+from repro.analytical import StencilAnalyticalModel
+from repro.core import HybridPerformanceModel
+from repro.datasets.stencil_datasets import stencil_dataset_from_space
+from repro.machine import blue_waters_xe6, generic_xeon_node, small_embedded_node
+from repro.ml import ExtraTreesRegressor, Pipeline, StandardScaler
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.stencil import StencilConfigSpace, StencilPerformanceSimulator
+
+SEED = 0
+TRAIN_FRACTION = 0.02
+
+MACHINES = {
+    "Blue Waters XE6": blue_waters_xe6(),
+    "Generic Xeon node": generic_xeon_node(),
+    "Small embedded node": small_embedded_node(),
+}
+
+
+def main() -> None:
+    space = StencilConfigSpace.small_grids_with_blocking()
+    print(f"workload: blocked 7-point stencil, {len(space.configs())} configurations")
+    print(f"training budget per machine: {TRAIN_FRACTION:.0%}\n")
+
+    print(f"{'machine':<22} {'AM MAPE':>9} {'extra trees':>12} {'hybrid':>9}")
+    print("-" * 56)
+    for name, machine in MACHINES.items():
+        simulator = StencilPerformanceSimulator(machine=machine)
+        data = stencil_dataset_from_space(space, name=f"stencil@{name}",
+                                          simulator=simulator)
+        analytical = StencilAnalyticalModel(machine=machine)
+        train_idx, test_idx = data.train_test_indices(
+            train_fraction=TRAIN_FRACTION, random_state=SEED)
+
+        am_mape = mean_absolute_percentage_error(
+            data.y[test_idx], analytical.predict(data.X[test_idx], data.feature_names))
+
+        ml = Pipeline(steps=[
+            ("scale", StandardScaler()),
+            ("et", ExtraTreesRegressor(n_estimators=30, random_state=SEED)),
+        ])
+        ml.fit(data.X[train_idx], data.y[train_idx])
+        ml_mape = mean_absolute_percentage_error(
+            data.y[test_idx], ml.predict(data.X[test_idx]))
+
+        hybrid = HybridPerformanceModel(
+            analytical_model=analytical,
+            feature_names=data.feature_names,
+            ml_model=ExtraTreesRegressor(n_estimators=30, random_state=SEED),
+            random_state=SEED,
+        )
+        hybrid.fit(data.X[train_idx], data.y[train_idx])
+        hybrid_mape = mean_absolute_percentage_error(
+            data.y[test_idx], hybrid.predict(data.X[test_idx]))
+
+        print(f"{name:<22} {am_mape:>8.1f}% {ml_mape:>11.1f}% {hybrid_mape:>8.1f}%")
+
+    print("\nThe hybrid model reaches usable accuracy on every machine with the")
+    print("same 2% training budget, because the machine-specific analytical model")
+    print("carries the hardware knowledge and the ML layer only learns the")
+    print("residual; the pure ML model has to relearn each machine from scratch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The target environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  This shim lets ``python setup.py develop`` (or a plain
+``pip install .``) work offline; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

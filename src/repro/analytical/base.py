@@ -1,0 +1,59 @@
+"""Analytical-model interface and the roofline combination rule.
+
+Equation 2 of the paper: assuming arithmetic and memory operations can be
+overlapped, ``T = max(T_flops, T_mem)``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["roofline_time", "AnalyticalModel"]
+
+
+def roofline_time(t_flops: float, t_mem: float) -> float:
+    """Combine flop time and memory time assuming perfect overlap (Eq. 2)."""
+    if t_flops < 0 or t_mem < 0:
+        raise ValueError("times must be non-negative")
+    return max(t_flops, t_mem)
+
+
+class AnalyticalModel(abc.ABC):
+    """Interface every analytical model exposes to the hybrid framework.
+
+    An analytical model is a *prediction-only* component: it has no
+    ``fit`` step (that is the point of the hybrid approach — the paper's
+    Section VI trains only the ML component).  Implementations convert
+    application configurations into predicted execution times.
+    """
+
+    @abc.abstractmethod
+    def predict_config(self, config) -> float:
+        """Predicted execution time in seconds for one configuration object."""
+
+    def predict_configs(self, configs) -> np.ndarray:
+        """Predicted execution times for a sequence of configurations."""
+        return np.array([self.predict_config(cfg) for cfg in configs], dtype=np.float64)
+
+    def predict(self, X: np.ndarray, feature_names) -> np.ndarray:
+        """Predicted times for a numeric feature matrix.
+
+        Parameters
+        ----------
+        X:
+            ``(n_samples, n_features)`` matrix.
+        feature_names:
+            Names of the columns of *X*, used to rebuild configuration
+            objects (subclasses define which names they understand).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.array(
+            [self.predict_config(self.config_from_features(row, feature_names)) for row in X],
+            dtype=np.float64,
+        )
+
+    @abc.abstractmethod
+    def config_from_features(self, row: np.ndarray, feature_names):
+        """Rebuild a configuration object from one numeric feature row."""

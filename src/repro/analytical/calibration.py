@@ -1,0 +1,72 @@
+"""Optional calibration of analytical models against measurements.
+
+Section VII of the paper stresses that the analytical models are *not*
+tuned before being used in the hybrid framework ("we do not tune the
+analytical models as our goal here is to study the effect of using
+inaccurate analytical models").  Calibration is nevertheless useful for
+the ablation benchmarks — it quantifies how much of the hybrid model's
+advantage survives when the analytical model is made as accurate as a
+simple scaling allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytical.base import AnalyticalModel
+
+__all__ = ["calibrate_scale", "CalibratedModel"]
+
+
+def calibrate_scale(predictions: np.ndarray, measurements: np.ndarray) -> float:
+    """Least-squares multiplicative factor aligning predictions to measurements.
+
+    Minimizes ``sum (s * p_i - m_i)^2`` over the scalar ``s``; with
+    strictly positive predictions this is ``<p, m> / <p, p>``.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    measurements = np.asarray(measurements, dtype=np.float64).ravel()
+    if predictions.shape != measurements.shape:
+        raise ValueError("predictions and measurements must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("cannot calibrate on an empty sample")
+    denom = float(predictions @ predictions)
+    if denom == 0.0:
+        raise ValueError("predictions are identically zero; cannot calibrate")
+    return float(predictions @ measurements / denom)
+
+
+@dataclass
+class CalibratedModel(AnalyticalModel):
+    """An analytical model multiplied by a fitted scale factor.
+
+    Parameters
+    ----------
+    base:
+        The analytical model to wrap.
+    scale:
+        Multiplicative correction (from :func:`calibrate_scale`).
+    """
+
+    base: AnalyticalModel
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be > 0, got {self.scale}")
+
+    def predict_config(self, config) -> float:
+        """Scaled prediction of the wrapped model."""
+        return self.scale * self.base.predict_config(config)
+
+    def config_from_features(self, row, feature_names):
+        """Delegate feature decoding to the wrapped model."""
+        return self.base.config_from_features(row, feature_names)
+
+    @classmethod
+    def fit(cls, base: AnalyticalModel, configs, measurements) -> "CalibratedModel":
+        """Calibrate *base* on ``(configs, measurements)`` and return the wrapper."""
+        preds = base.predict_configs(configs)
+        return cls(base=base, scale=calibrate_scale(preds, np.asarray(measurements)))

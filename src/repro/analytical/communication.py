@@ -1,0 +1,154 @@
+"""Distributed-memory communication models (extension beyond the paper).
+
+The paper's applications are run with hybrid MPI/OpenMP parallelism, but
+its analytical models cover only single-node computation and memory.  The
+same research group's companion work (Ibeid et al., "A performance model
+for the communication in fast multipole methods", IJHPCA 2016 — reference
+[20] of the paper) models the inter-node communication; this module
+provides compact alpha-beta (latency-bandwidth) versions of those models
+so the hybrid framework can also be exercised on multi-node feature
+vectors:
+
+* :func:`stencil_halo_exchange_time` — nearest-neighbour halo exchange of a
+  3-D domain decomposition,
+* :func:`fmm_communication_time` — the local-essential-tree exchange of a
+  distributed FMM (P2P ghost particles + M2L ghost multipoles),
+* :class:`AlphaBetaNetwork` — the network parameters shared by both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AlphaBetaNetwork", "stencil_halo_exchange_time", "fmm_communication_time"]
+
+
+@dataclass(frozen=True)
+class AlphaBetaNetwork:
+    """Latency-bandwidth (alpha-beta) network description.
+
+    Parameters
+    ----------
+    latency_s:
+        Per-message latency ``alpha`` in seconds.
+    bandwidth_bytes_per_s:
+        Per-link bandwidth; ``beta`` is its inverse per byte.
+    word_bytes:
+        Bytes per transferred element.
+    """
+
+    latency_s: float = 1.5e-6
+    bandwidth_bytes_per_s: float = 6e9
+    word_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth_bytes_per_s must be > 0")
+        if self.word_bytes <= 0:
+            raise ValueError("word_bytes must be > 0")
+
+    def message_time(self, n_elements: float) -> float:
+        """Time to send one message of ``n_elements`` elements."""
+        if n_elements < 0:
+            raise ValueError("n_elements must be >= 0")
+        return self.latency_s + n_elements * self.word_bytes / self.bandwidth_bytes_per_s
+
+
+def stencil_halo_exchange_time(shape: tuple[int, int, int], ranks: int,
+                               network: AlphaBetaNetwork | None = None, *,
+                               order: int = 1, timesteps: int = 1) -> float:
+    """Halo-exchange time per rank for a 3-D block decomposition.
+
+    The global ``I x J x K`` grid is split into ``ranks`` near-cubic
+    blocks; every timestep each rank exchanges ``order`` ghost planes with
+    up to six face neighbours.  Returns the per-timestep-summed time for
+    the critical (interior) rank.
+    """
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    if timesteps < 1:
+        raise ValueError("timesteps must be >= 1")
+    network = network or AlphaBetaNetwork()
+    if ranks == 1:
+        return 0.0
+    dims = _balanced_3d_factorization(ranks)
+    local = [max(1, int(np.ceil(extent / d))) for extent, d in zip(shape, dims)]
+    faces = [
+        local[1] * local[2],
+        local[0] * local[2],
+        local[0] * local[1],
+    ]
+    total = 0.0
+    for face, d in zip(faces, dims):
+        if d == 1:
+            continue  # no neighbour in this direction
+        # Send + receive one ghost slab (order planes) to each of 2 neighbours.
+        total += 2 * network.message_time(order * face)
+    return total * timesteps
+
+
+def fmm_communication_time(n_particles: int, ranks: int, *,
+                           particles_per_leaf: int = 64, order: int = 4,
+                           network: AlphaBetaNetwork | None = None) -> float:
+    """Communication time per rank of a distributed FMM evaluation.
+
+    Follows the structure of the local-essential-tree (LET) exchange: each
+    rank owns ``N / p`` particles and must receive (i) the ghost particles
+    of the neighbouring leaf shell for P2P and (ii) the multipole
+    expansions of the well-separated cells of coarser levels for M2L.  The
+    surface-to-volume argument gives ``O((N/p)^(2/3) q^(1/3))`` ghost
+    particles and ``O(log8(N / (q p)) + p^(1/3))`` ghost multipoles of
+    ``order^3``-ish coefficients each (see the paper's reference [20]).
+    """
+    if n_particles < 1 or ranks < 1:
+        raise ValueError("n_particles and ranks must be >= 1")
+    if particles_per_leaf < 1 or order < 1:
+        raise ValueError("particles_per_leaf and order must be >= 1")
+    network = network or AlphaBetaNetwork()
+    if ranks == 1:
+        return 0.0
+    local_particles = n_particles / ranks
+    local_leaves = max(1.0, local_particles / particles_per_leaf)
+    # (i) ghost particle shell: the outer layer of leaf cells (4 values each).
+    shell_leaves = max(0.0, local_leaves - max(0.0, (local_leaves ** (1.0 / 3.0) - 2.0)) ** 3)
+    ghost_particles = shell_leaves * particles_per_leaf
+    particle_elements = 4.0 * ghost_particles
+    # (ii) ghost multipoles: levels of the local tree plus one coarse cell
+    # per remote rank, each carrying ~order^3/6 coefficients.
+    coeffs = order * (order + 1) * (order + 2) / 6.0
+    levels = max(1.0, np.log(max(local_leaves, 8.0)) / np.log(8.0))
+    ghost_cells = 189.0 * levels + ranks ** (1.0 / 3.0) * 8.0
+    multipole_elements = ghost_cells * coeffs
+    # Messages: one per neighbouring rank for particles (26 in a 3-D
+    # decomposition, fewer for small rank counts) plus a tree-collective of
+    # log2(p) messages for the multipoles.
+    neighbour_ranks = min(26, ranks - 1)
+    time_particles = neighbour_ranks * network.latency_s + network.message_time(
+        particle_elements) - network.latency_s
+    time_multipoles = np.ceil(np.log2(ranks)) * network.latency_s + network.message_time(
+        multipole_elements) - network.latency_s
+    return float(time_particles + time_multipoles)
+
+
+def _balanced_3d_factorization(ranks: int) -> tuple[int, int, int]:
+    """Split ``ranks`` into three factors as close to each other as possible."""
+    best = (ranks, 1, 1)
+    best_score = float("inf")
+    for a in range(1, int(round(ranks ** (1.0 / 3.0))) + 2):
+        if ranks % a:
+            continue
+        rest = ranks // a
+        for b in range(a, int(np.sqrt(rest)) + 2):
+            if rest % b:
+                continue
+            c = rest // b
+            dims = tuple(sorted((a, b, c)))
+            score = max(dims) / min(dims)
+            if score < best_score:
+                best_score = score
+                best = dims
+    return best  # type: ignore[return-value]

@@ -1,0 +1,168 @@
+"""Analytical model for 3-D stencil computations (Section IV-A).
+
+The model follows de la Cruz & Araya-Polo's multi-level cache model as
+presented in the paper:
+
+* stencils are memory bound, so the flop cost is assumed to be hidden by
+  memory transfers (Section IV-A, first paragraph);
+* the time is the sum over cache levels plus main memory of
+  ``T_Li = T_data_Li * Hits_Li`` (Eq. 5–6), where
+  ``Hits_Li = Misses_L(i-1) - Misses_Li``;
+* misses per level follow ``Misses_Li = ceil(II/W) * JJ * KK * nplanes_Li``
+  (Eq. 7) with the ``nplanes`` case analysis driven by conditions R1–R4,
+  smoothed by linear interpolation between the case boundaries;
+* loop blocking (Section VII-A) is incorporated by re-mapping
+  ``I, J, K -> TI, TJ, TK`` (and the extended dimensions) and multiplying
+  by the number of tiles ``NB`` (Eq. 15).
+
+The model is intentionally a *single-core* model: it does not see the
+``threads`` feature at all, which is what the paper exploits in the
+Figure 7 experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytical.base import AnalyticalModel
+from repro.machine import MachineSpec, blue_waters_xe6
+from repro.stencil.blocking import block_counts
+from repro.stencil.config import StencilConfig
+
+__all__ = ["StencilAnalyticalModel"]
+
+
+@dataclass
+class StencilAnalyticalModel(AnalyticalModel):
+    """Multi-level cache analytical model of the 7-point 3-D stencil.
+
+    Parameters
+    ----------
+    machine:
+        Node description providing cache sizes, line length and per-level
+        inverse bandwidths; defaults to the Blue Waters XE6 node.
+    timesteps:
+        Number of sweeps represented by one prediction (must match the
+        convention of the measurements being modeled).
+    write_allocate:
+        Whether stores allocate cache lines (Eq. 3) or not (Eq. 4).
+    """
+
+    machine: MachineSpec = None
+    timesteps: int = 1
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.machine is None:
+            self.machine = blue_waters_xe6()
+        if self.timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    # AnalyticalModel interface
+    # ------------------------------------------------------------------ #
+    def predict_config(self, config: StencilConfig) -> float:
+        """Predicted execution time (seconds) of one configuration."""
+        ti, tj, tk = config.blocks
+        l = config.order
+        W = self.machine.line_elements
+
+        # Blocking re-map of Section VII-A: the per-tile dimensions replace
+        # I, J, K, and their extended (ghost-including) counterparts.
+        I_eff = math.ceil(ti / W) * W
+        II = math.ceil((ti + 2 * l) / W) * W
+        J_eff = tj
+        JJ = tj + 2 * l
+        K_eff = tk
+        KK = tk + 2 * l
+        nb = int(np.prod(block_counts(config.shape, (ti, tj, tk))))
+
+        pread = 2 * l + 1
+        sread = II * JJ
+        swrite = I_eff * J_eff
+        if self.write_allocate:
+            stotal = pread * sread + 1 * swrite          # Eq. 3
+        else:
+            stotal = pread * sread                        # Eq. 4
+
+        # Misses per level (Eq. 7 x Eq. 15), from L1 outwards; the "misses"
+        # of the register level are all accesses.
+        lines_per_plane = math.ceil(II / W)
+        accesses = lines_per_plane * JJ * KK * (2 * pread - 1) * nb
+        misses_prev = accesses
+        total_time = 0.0
+        for level in self.machine.hierarchy.levels:
+            nplanes = self._nplanes(level.size_elements(self.machine.word_bytes),
+                                    W, pread, sread, stotal, II)
+            misses = lines_per_plane * JJ * KK * nplanes * nb
+            hits = max(0.0, misses_prev - misses)
+            t_data = W * level.beta(self.machine.word_bytes)  # per cacheline
+            total_time += t_data * hits
+            misses_prev = misses
+
+        # Main memory services the last level's misses.
+        t_data_mem = W * self.machine.beta_mem
+        total_time += t_data_mem * misses_prev
+
+        return float(total_time * self.timesteps)
+
+    def config_from_features(self, row: np.ndarray, feature_names) -> StencilConfig:
+        """Build a :class:`StencilConfig` from a numeric feature row."""
+        values = {name: float(v) for name, v in zip(feature_names, row)}
+        return StencilConfig(
+            I=int(round(values.get("I", 1))),
+            J=int(round(values.get("J", 1))),
+            K=int(round(values.get("K", 1))),
+            bi=int(round(values.get("bi", 0))),
+            bj=int(round(values.get("bj", 0))),
+            bk=int(round(values.get("bk", 0))),
+            unroll=int(round(values.get("unroll", 0))),
+            threads=int(round(values.get("threads", 1))),
+        )
+
+    # ------------------------------------------------------------------ #
+    # nplanes case analysis (Section IV-A)
+    # ------------------------------------------------------------------ #
+    def _nplanes(self, cache_elements: int, W: int, pread: int,
+                 sread: float, stotal: float, II: float) -> float:
+        """Planes read from the next level per k-iteration.
+
+        The paper gives five cases guarded by conditions R1–R4 and smooths
+        the transitions with linear interpolation; we interpolate on the
+        ratio of cache capacity to the working-set quantity that defines
+        each boundary.
+        """
+        rcol = pread / (2.0 * pread - 1.0)
+        cap = cache_elements / W        # capacity measured in "new lines" worth
+
+        r1 = cap * rcol >= stotal        # whole working set fits (with column reuse)
+        r2 = cap > stotal                # working set fits without column reuse
+        r3 = cap * rcol > sread          # one read plane fits
+        r4 = cap * rcol < pread * II     # not even pread rows fit
+
+        if r1:
+            return 1.0
+        if r2:
+            # Between 1 and pread - 1: interpolate on how far capacity is
+            # below the R1 boundary.
+            frac = self._fraction(cap * rcol, stotal, stotal * rcol)
+            return 1.0 + (pread - 2.0) * frac
+        if r3:
+            # Between pread - 1 and pread.
+            frac = self._fraction(cap, stotal, sread / rcol)
+            return (pread - 1.0) + 1.0 * frac
+        if not r4:
+            # Between pread and 2*pread - 1.
+            frac = self._fraction(cap * rcol, sread, pread * II)
+            return pread + (pread - 1.0) * frac
+        return 2.0 * pread - 1.0
+
+    @staticmethod
+    def _fraction(value: float, upper: float, lower: float) -> float:
+        """Linear position of *value* between *upper* (-> 0) and *lower* (-> 1)."""
+        if upper <= lower:
+            return 1.0
+        return float(np.clip((upper - value) / (upper - lower), 0.0, 1.0))

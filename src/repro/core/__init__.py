@@ -1,0 +1,45 @@
+"""The paper's primary contribution: the hybrid performance model.
+
+Section VI: the hybrid model consists of an analytical model of the
+application, two ensemble methods (stacking and bagging), a training
+algorithm and a prediction algorithm.  The analytical model's prediction
+is fed to the machine-learning model as an additional feature (stacking);
+optionally the analytical and stacked predictions are aggregated
+(bagging-style) into the final prediction.
+
+Public API
+----------
+* :class:`~repro.core.features.PerformanceDataset` — a named
+  (configurations, features, execution times) bundle,
+* :class:`~repro.core.hybrid.HybridPerformanceModel` — the hybrid
+  estimator (scikit-learn style ``fit``/``predict``),
+* :func:`~repro.core.training.train_hybrid_model` — the paper's training
+  algorithm (uniform sampling of a training fraction + offline model
+  construction),
+* :func:`~repro.core.evaluation.evaluate_learning_curve` /
+  :func:`~repro.core.evaluation.compare_models` — the evaluation protocol
+  behind every figure (MAPE on the held-out remainder versus training
+  fraction, repeated over sampling seeds).
+"""
+
+from repro.core.features import PerformanceDataset
+from repro.core.hybrid import HybridPerformanceModel
+from repro.core.training import TrainedModel, train_hybrid_model, train_ml_model
+from repro.core.evaluation import (
+    LearningCurvePoint,
+    LearningCurve,
+    evaluate_learning_curve,
+    compare_models,
+)
+
+__all__ = [
+    "PerformanceDataset",
+    "HybridPerformanceModel",
+    "TrainedModel",
+    "train_hybrid_model",
+    "train_ml_model",
+    "LearningCurvePoint",
+    "LearningCurve",
+    "evaluate_learning_curve",
+    "compare_models",
+]

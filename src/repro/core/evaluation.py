@@ -1,0 +1,179 @@
+"""Learning-curve evaluation protocol.
+
+Every figure in the paper's evaluation reports MAPE on a held-out set as a
+function of the training-set size (a percentage of the full dataset), as a
+distribution over repeated uniform random samplings.  This module
+implements that protocol once, for any model factory, so every
+experiment and benchmark shares the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.features import PerformanceDataset
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.utils.rng import check_random_state, spawn_seeds
+
+__all__ = ["LearningCurvePoint", "LearningCurve", "evaluate_learning_curve", "compare_models"]
+
+
+@dataclass
+class LearningCurvePoint:
+    """MAPE distribution for one training fraction."""
+
+    fraction: float
+    n_train: int
+    mapes: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        """Mean MAPE across sampling repetitions."""
+        return float(np.mean(self.mapes))
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of MAPE across repetitions."""
+        return float(np.std(self.mapes))
+
+    @property
+    def min(self) -> float:
+        """Best (lowest) MAPE observed."""
+        return float(np.min(self.mapes))
+
+    @property
+    def max(self) -> float:
+        """Worst (highest) MAPE observed."""
+        return float(np.max(self.mapes))
+
+
+@dataclass
+class LearningCurve:
+    """A labelled series of learning-curve points (one line of a figure)."""
+
+    label: str
+    points: list[LearningCurvePoint] = field(default_factory=list)
+
+    def mape_at(self, fraction: float) -> float:
+        """Mean MAPE at a given training fraction."""
+        for point in self.points:
+            if abs(point.fraction - fraction) < 1e-12:
+                return point.mean
+        raise KeyError(f"no point at fraction {fraction} in curve {self.label!r}")
+
+    @property
+    def fractions(self) -> list[float]:
+        """Training fractions present in the curve."""
+        return [p.fraction for p in self.points]
+
+    @property
+    def means(self) -> list[float]:
+        """Mean MAPE at each fraction."""
+        return [p.mean for p in self.points]
+
+    def as_rows(self) -> list[dict]:
+        """Flat row dictionaries, convenient for reporting."""
+        return [
+            {
+                "series": self.label,
+                "fraction": p.fraction,
+                "n_train": p.n_train,
+                "mape_mean": p.mean,
+                "mape_std": p.std,
+                "mape_min": p.min,
+                "mape_max": p.max,
+            }
+            for p in self.points
+        ]
+
+
+def evaluate_learning_curve(
+    model_factory: Callable[[int], object],
+    dataset: PerformanceDataset,
+    *,
+    fractions: Sequence[float],
+    n_repeats: int = 3,
+    min_train: int = 3,
+    label: str = "model",
+    random_state=0,
+) -> LearningCurve:
+    """MAPE-vs-training-fraction curve for one model family.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable ``factory(seed) -> estimator`` returning a *fresh*,
+        unfitted model; called once per (fraction, repeat).
+    dataset:
+        The performance dataset to learn.
+    fractions:
+        Training fractions (e.g. ``[0.01, 0.02, 0.04]``).
+    n_repeats:
+        Number of independent uniform random samplings per fraction.
+    min_train:
+        Lower bound on the number of training samples.
+    label:
+        Name of the resulting curve.
+    random_state:
+        Master seed; per-repeat seeds are spawned deterministically.
+    """
+    if not fractions:
+        raise ValueError("fractions must be non-empty")
+    if n_repeats < 1:
+        raise ValueError("n_repeats must be >= 1")
+    rng = check_random_state(random_state)
+    curve = LearningCurve(label=label)
+    for fraction in fractions:
+        seeds = spawn_seeds(rng, n_repeats)
+        point = LearningCurvePoint(fraction=float(fraction), n_train=0)
+        for seed in seeds:
+            train_idx, test_idx = dataset.train_test_indices(
+                train_fraction=float(fraction), min_train=min_train, random_state=seed
+            )
+            point.n_train = len(train_idx)
+            model = model_factory(seed)
+            model.fit(dataset.X[train_idx], dataset.y[train_idx])
+            predictions = model.predict(dataset.X[test_idx])
+            point.mapes.append(
+                mean_absolute_percentage_error(dataset.y[test_idx], predictions)
+            )
+        curve.points.append(point)
+    return curve
+
+
+def compare_models(
+    factories: dict[str, Callable[[int], object]],
+    dataset: PerformanceDataset,
+    *,
+    fractions_by_model: dict[str, Sequence[float]] | None = None,
+    fractions: Sequence[float] | None = None,
+    n_repeats: int = 3,
+    min_train: int = 3,
+    random_state=0,
+) -> dict[str, LearningCurve]:
+    """Learning curves for several model families on the same dataset.
+
+    Either a common ``fractions`` list or a per-model
+    ``fractions_by_model`` mapping must be provided (the paper's hybrid
+    experiments use different fractions for the pure-ML and hybrid
+    models, e.g. 10/15/20% vs 1/2/4% in Figure 5).
+    """
+    if fractions_by_model is None:
+        if fractions is None:
+            raise ValueError("provide fractions or fractions_by_model")
+        fractions_by_model = {name: fractions for name in factories}
+    curves: dict[str, LearningCurve] = {}
+    for name, factory in factories.items():
+        curves[name] = evaluate_learning_curve(
+            factory,
+            dataset,
+            fractions=fractions_by_model[name],
+            n_repeats=n_repeats,
+            min_train=min_train,
+            label=name,
+            random_state=random_state,
+        )
+    return curves

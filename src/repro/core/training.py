@@ -1,0 +1,95 @@
+"""Training algorithm and convenience constructors.
+
+The paper's training procedure (Sections V and VI): sample a training set
+uniformly at random from the configuration space (a given *fraction* of
+the full dataset), build the model once offline, then use it for any
+number of predictions.  :func:`train_hybrid_model` and
+:func:`train_ml_model` wrap that procedure for the two model families the
+evaluation compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytical.base import AnalyticalModel
+from repro.core.features import PerformanceDataset
+from repro.core.hybrid import HybridPerformanceModel
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.forest import ExtraTreesRegressor
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.ml.pipeline import Pipeline
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["TrainedModel", "train_hybrid_model", "train_ml_model"]
+
+
+@dataclass
+class TrainedModel:
+    """A fitted model together with its train/test split and test-set MAPE."""
+
+    model: object
+    dataset: PerformanceDataset
+    train_indices: np.ndarray
+    test_indices: np.ndarray
+    mape: float
+
+    @property
+    def n_train(self) -> int:
+        """Number of training samples used."""
+        return len(self.train_indices)
+
+
+def _fit_and_score(model, dataset: PerformanceDataset, train_fraction: float,
+                   min_train: int, random_state) -> TrainedModel:
+    train_idx, test_idx = dataset.train_test_indices(
+        train_fraction=train_fraction, min_train=min_train, random_state=random_state
+    )
+    model.fit(dataset.X[train_idx], dataset.y[train_idx])
+    predictions = model.predict(dataset.X[test_idx])
+    mape = mean_absolute_percentage_error(dataset.y[test_idx], predictions)
+    return TrainedModel(model=model, dataset=dataset, train_indices=train_idx,
+                        test_indices=test_idx, mape=mape)
+
+
+def train_hybrid_model(dataset: PerformanceDataset,
+                       analytical_model: AnalyticalModel, *,
+                       train_fraction: float = 0.02,
+                       ml_model: BaseEstimator | None = None,
+                       aggregate_analytical: bool = False,
+                       bagging_estimators: int = 0,
+                       min_train: int = 3,
+                       random_state=None) -> TrainedModel:
+    """Train a hybrid model on a uniform random fraction of *dataset*.
+
+    Returns the fitted :class:`~repro.core.hybrid.HybridPerformanceModel`
+    wrapped with its split and held-out MAPE.
+    """
+    hybrid = HybridPerformanceModel(
+        analytical_model=analytical_model,
+        feature_names=dataset.feature_names,
+        ml_model=ml_model,
+        aggregate_analytical=aggregate_analytical,
+        bagging_estimators=bagging_estimators,
+        random_state=random_state,
+    )
+    return _fit_and_score(hybrid, dataset, train_fraction, min_train, random_state)
+
+
+def train_ml_model(dataset: PerformanceDataset, *,
+                   train_fraction: float = 0.1,
+                   ml_model: BaseEstimator | None = None,
+                   min_train: int = 3,
+                   random_state=None) -> TrainedModel:
+    """Train a pure ML pipeline (standardization + regressor) on *dataset*.
+
+    This is the paper's baseline: the same regressor as the hybrid model,
+    without the analytical feature.
+    """
+    base = ml_model if ml_model is not None else ExtraTreesRegressor(
+        n_estimators=30, random_state=random_state
+    )
+    pipeline = Pipeline(steps=[("scale", StandardScaler()), ("model", clone(base))])
+    return _fit_and_score(pipeline, dataset, train_fraction, min_train, random_state)

@@ -1,0 +1,37 @@
+"""Dataset generators for every experiment in the paper's evaluation.
+
+Each generator enumerates the configuration space of one figure, obtains
+"measured" execution times from the corresponding performance simulator
+(the Blue Waters stand-in, see DESIGN.md) and packages the result as a
+:class:`~repro.core.features.PerformanceDataset`.
+
+| Generator                      | Paper figure(s) | Modeling vector              |
+|--------------------------------|-----------------|------------------------------|
+| ``blocked_small_grid_dataset`` | Fig. 3A, Fig. 6 | (I, J, K, bi, bj, bk)        |
+| ``grid_only_dataset``          | Fig. 5          | (I, J, K)                    |
+| ``threaded_dataset``           | Fig. 7          | (I, J, K, t)                 |
+| ``fmm_dataset``                | Fig. 3B, Fig. 8 | (t, N, q, k)                 |
+"""
+
+from repro.datasets.sampling import uniform_sample_indices, latin_hypercube_indices
+from repro.datasets.stencil_datasets import (
+    blocked_small_grid_dataset,
+    grid_only_dataset,
+    threaded_dataset,
+    stencil_dataset_from_space,
+)
+from repro.datasets.fmm_datasets import fmm_dataset, fmm_dataset_from_space
+from repro.datasets.registry import DATASET_REGISTRY, load_dataset
+
+__all__ = [
+    "uniform_sample_indices",
+    "latin_hypercube_indices",
+    "blocked_small_grid_dataset",
+    "grid_only_dataset",
+    "threaded_dataset",
+    "stencil_dataset_from_space",
+    "fmm_dataset",
+    "fmm_dataset_from_space",
+    "DATASET_REGISTRY",
+    "load_dataset",
+]

@@ -1,0 +1,59 @@
+"""Experiment definitions reproducing every figure of the paper's evaluation.
+
+Each ``figureX`` function builds the figure's dataset, trains the models
+the figure compares with the paper's training fractions, and returns an
+:class:`~repro.experiments.runner.ExperimentResult` whose rows are the
+series the paper plots (MAPE versus training-set size).  The companion
+benchmarks in ``benchmarks/`` simply invoke these functions and print the
+resulting tables.
+
+Use :func:`~repro.experiments.runner.run_experiment` /
+:func:`~repro.experiments.runner.run_all` (or
+``python -m repro.experiments``) to execute them directly.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSettings,
+    run_experiment,
+    run_all,
+    EXPERIMENTS,
+)
+from repro.experiments.figures import (
+    figure3_stencil,
+    figure3_fmm,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    analytical_accuracy,
+)
+from repro.experiments.ablations import (
+    ablation_aggregation,
+    ablation_analytical_quality,
+    ablation_sampling_strategy,
+    ablation_ml_backend,
+)
+from repro.experiments.reporting import format_curves, format_result, results_to_markdown
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSettings",
+    "run_experiment",
+    "run_all",
+    "EXPERIMENTS",
+    "figure3_stencil",
+    "figure3_fmm",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "analytical_accuracy",
+    "ablation_aggregation",
+    "ablation_analytical_quality",
+    "ablation_sampling_strategy",
+    "ablation_ml_backend",
+    "format_curves",
+    "format_result",
+    "results_to_markdown",
+]

@@ -1,0 +1,46 @@
+"""Command-line entry point: ``python -m repro.experiments [names...]``.
+
+Options
+-------
+``--quick``    use the cheap settings (small ensembles, subsampled datasets)
+``--full``     use the high-fidelity settings
+``names``      experiment names (default: all; see ``EXPERIMENTS``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.reporting import format_result
+from repro.experiments.runner import EXPERIMENTS, ExperimentSettings, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the figures of 'Learning with Analytical Models'",
+    )
+    parser.add_argument("names", nargs="*", default=list(EXPERIMENTS),
+                        help=f"experiments to run (default: all). Available: {', '.join(EXPERIMENTS)}")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--quick", action="store_true", help="cheap smoke-test settings")
+    group.add_argument("--full", action="store_true", help="high-fidelity settings")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        settings = ExperimentSettings.quick()
+    elif args.full:
+        settings = ExperimentSettings.full()
+    else:
+        settings = ExperimentSettings()
+
+    for name in args.names:
+        result = run_experiment(name, settings=settings)
+        print(format_result(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

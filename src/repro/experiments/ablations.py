@@ -1,0 +1,267 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+These go beyond the paper's figures and quantify how much each ingredient
+of the hybrid model contributes:
+
+* **aggregation** — stacking only vs stacking + analytical/stacked
+  aggregation (the paper's optional bagging stage) vs analytical only;
+* **analytical quality** — hybrid accuracy when the analytical model is
+  replaced by a calibrated version or by a deliberately degraded one
+  (predictions raised to a power, destroying scale information);
+* **sampling strategy** — uniform random vs Latin-hypercube-style
+  stratified training-set selection at small fractions;
+* **ML backend** — extra trees (the paper's choice) vs random forest,
+  bagged trees and k-NN as the stacked learner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.analytical import CalibratedModel, StencilAnalyticalModel
+from repro.analytical.base import AnalyticalModel
+from repro.core.evaluation import compare_models, evaluate_learning_curve
+from repro.core.hybrid import HybridPerformanceModel
+from repro.core.features import PerformanceDataset
+from repro.datasets import blocked_small_grid_dataset
+from repro.datasets.sampling import latin_hypercube_indices, uniform_sample_indices
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.ml import (
+    BaggingRegressor,
+    DecisionTreeRegressor,
+    ExtraTreesRegressor,
+    KNeighborsRegressor,
+    Pipeline,
+    RandomForestRegressor,
+    StandardScaler,
+)
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.utils.rng import spawn_seeds
+
+__all__ = [
+    "ablation_aggregation",
+    "ablation_analytical_quality",
+    "ablation_sampling_strategy",
+    "ablation_ml_backend",
+]
+
+_FRACTIONS = (0.01, 0.02, 0.04)
+
+
+class _BlockingBlindModel(AnalyticalModel):
+    """The stencil analytical model with the blocking information removed.
+
+    Every configuration is predicted as if it were un-blocked, so the model
+    keeps the grid-size dependence but loses the dimension that actually
+    dominates the Figure 6 dataset — a *structurally* degraded analytical
+    model (monotone transformations such as rescaling or powers would be
+    absorbed by the hybrid's log feature + standardization and change
+    nothing).
+    """
+
+    def __init__(self, base: AnalyticalModel) -> None:
+        self.base = base
+
+    def predict_config(self, config) -> float:
+        from repro.stencil.config import StencilConfig
+
+        stripped = StencilConfig(I=config.I, J=config.J, K=config.K,
+                                 unroll=config.unroll, threads=config.threads)
+        return self.base.predict_config(stripped)
+
+    def config_from_features(self, row, feature_names):
+        return self.base.config_from_features(row, feature_names)
+
+
+class _ConstantModel(AnalyticalModel):
+    """An analytical model with no information at all (constant prediction).
+
+    The hybrid built on it collapses to the pure ML model plus one useless
+    feature — the lower bound of the analytical-quality sweep.
+    """
+
+    def __init__(self, base: AnalyticalModel, value: float = 1e-3) -> None:
+        self.base = base
+        self.value = value
+
+    def predict_config(self, config) -> float:
+        return self.value
+
+    def config_from_features(self, row, feature_names):
+        return self.base.config_from_features(row, feature_names)
+
+
+def _hybrid_factory(analytical, dataset, settings, *, aggregate=False) -> Callable:
+    def factory(seed: int):
+        return HybridPerformanceModel(
+            analytical_model=analytical,
+            feature_names=dataset.feature_names,
+            ml_model=ExtraTreesRegressor(n_estimators=settings.n_estimators,
+                                         random_state=seed),
+            aggregate_analytical=aggregate,
+            random_state=seed,
+        )
+
+    return factory
+
+
+def ablation_aggregation(settings: ExperimentSettings | None = None,
+                         dataset: PerformanceDataset | None = None) -> ExperimentResult:
+    """Stacking-only vs aggregation vs analytical-only on the blocked stencil dataset."""
+    settings = settings or ExperimentSettings()
+    dataset = dataset if dataset is not None else blocked_small_grid_dataset(
+        max_configs=settings.max_configs)
+    analytical = StencilAnalyticalModel()
+    factories = {
+        "hybrid_stacked_only": _hybrid_factory(analytical, dataset, settings, aggregate=False),
+        "hybrid_aggregated": _hybrid_factory(analytical, dataset, settings, aggregate=True),
+    }
+    curves = compare_models(factories, dataset, fractions=_FRACTIONS,
+                            n_repeats=settings.n_repeats,
+                            random_state=settings.random_state)
+    am_mape = mean_absolute_percentage_error(
+        dataset.y, analytical.predict(dataset.X, dataset.feature_names))
+    return ExperimentResult(
+        experiment_id="ablation_aggregation",
+        description="Effect of the optional analytical/stacked aggregation stage",
+        dataset_name=dataset.name,
+        curves=curves,
+        extra={"analytical_only_mape": am_mape},
+    )
+
+
+def ablation_analytical_quality(settings: ExperimentSettings | None = None,
+                                dataset: PerformanceDataset | None = None) -> ExperimentResult:
+    """Hybrid accuracy as the *information content* of the analytical model varies.
+
+    Three analytical models feed the same hybrid pipeline: the paper's full
+    (untuned) model, a blocking-blind variant that only knows the grid
+    size, and a constant model carrying no information.  Note that merely
+    *rescaling* the analytical model (calibration) cannot change the hybrid:
+    the log-feature plus standardization make the stacked model invariant
+    to any monotone power-law transformation of the analytical prediction —
+    the standalone MAPEs of the untuned and calibrated models are reported
+    to quantify how much calibration would matter on its own.
+    """
+    settings = settings or ExperimentSettings()
+    dataset = dataset if dataset is not None else blocked_small_grid_dataset(
+        max_configs=settings.max_configs)
+    base = StencilAnalyticalModel()
+    calibrated = CalibratedModel.fit(base, dataset.configs, dataset.y)
+    blind = _BlockingBlindModel(base)
+    constant = _ConstantModel(base)
+    factories = {
+        "hybrid_full_am": _hybrid_factory(base, dataset, settings),
+        "hybrid_blocking_blind_am": _hybrid_factory(blind, dataset, settings),
+        "hybrid_constant_am": _hybrid_factory(constant, dataset, settings),
+    }
+    curves = compare_models(factories, dataset, fractions=_FRACTIONS,
+                            n_repeats=settings.n_repeats,
+                            random_state=settings.random_state)
+    extra = {
+        "untuned_am_mape": mean_absolute_percentage_error(
+            dataset.y, base.predict(dataset.X, dataset.feature_names)),
+        "calibrated_am_mape": mean_absolute_percentage_error(
+            dataset.y, calibrated.predict(dataset.X, dataset.feature_names)),
+        "calibration_scale": calibrated.scale,
+        "blocking_blind_am_mape": mean_absolute_percentage_error(
+            dataset.y, blind.predict(dataset.X, dataset.feature_names)),
+    }
+    return ExperimentResult(
+        experiment_id="ablation_analytical_quality",
+        description="Hybrid accuracy with full, blocking-blind and uninformative analytical models",
+        dataset_name=dataset.name,
+        curves=curves,
+        extra=extra,
+    )
+
+
+def ablation_sampling_strategy(settings: ExperimentSettings | None = None,
+                               dataset: PerformanceDataset | None = None) -> ExperimentResult:
+    """Uniform random vs stratified training-set selection at small fractions."""
+    settings = settings or ExperimentSettings()
+    dataset = dataset if dataset is not None else blocked_small_grid_dataset(
+        max_configs=settings.max_configs)
+    analytical = StencilAnalyticalModel()
+    extra: dict = {}
+    from repro.core.evaluation import LearningCurve, LearningCurvePoint
+
+    curves: dict[str, LearningCurve] = {}
+    for strategy_name, selector in (
+        ("uniform", lambda X, k, seed: uniform_sample_indices(X.shape[0], k, random_state=seed)),
+        ("stratified", lambda X, k, seed: latin_hypercube_indices(X, k, random_state=seed)),
+    ):
+        curve = LearningCurve(label=f"hybrid_{strategy_name}")
+        for fraction in _FRACTIONS:
+            n_train = max(3, int(round(fraction * dataset.n_samples)))
+            point = LearningCurvePoint(fraction=fraction, n_train=n_train)
+            for seed in spawn_seeds(settings.random_state + hash(strategy_name) % 1000,
+                                    settings.n_repeats):
+                train_idx = selector(dataset.X, n_train, seed)
+                mask = np.ones(dataset.n_samples, dtype=bool)
+                mask[train_idx] = False
+                model = HybridPerformanceModel(
+                    analytical_model=analytical,
+                    feature_names=dataset.feature_names,
+                    ml_model=ExtraTreesRegressor(n_estimators=settings.n_estimators,
+                                                 random_state=seed),
+                    random_state=seed,
+                )
+                model.fit(dataset.X[train_idx], dataset.y[train_idx])
+                point.mapes.append(mean_absolute_percentage_error(
+                    dataset.y[mask], model.predict(dataset.X[mask])))
+            curve.points.append(point)
+        curves[curve.label] = curve
+    return ExperimentResult(
+        experiment_id="ablation_sampling_strategy",
+        description="Uniform vs stratified training-set sampling for the hybrid model",
+        dataset_name=dataset.name,
+        curves=curves,
+        extra=extra,
+    )
+
+
+def ablation_ml_backend(settings: ExperimentSettings | None = None,
+                        dataset: PerformanceDataset | None = None) -> ExperimentResult:
+    """Different stacked learners inside the hybrid model."""
+    settings = settings or ExperimentSettings()
+    dataset = dataset if dataset is not None else blocked_small_grid_dataset(
+        max_configs=settings.max_configs)
+    analytical = StencilAnalyticalModel()
+
+    def hybrid_with(ml_factory) -> Callable:
+        def factory(seed: int):
+            return HybridPerformanceModel(
+                analytical_model=analytical,
+                feature_names=dataset.feature_names,
+                ml_model=ml_factory(seed),
+                random_state=seed,
+            )
+
+        return factory
+
+    factories = {
+        "hybrid_extra_trees": hybrid_with(
+            lambda seed: ExtraTreesRegressor(n_estimators=settings.n_estimators,
+                                             random_state=seed)),
+        "hybrid_random_forest": hybrid_with(
+            lambda seed: RandomForestRegressor(n_estimators=settings.n_estimators,
+                                               random_state=seed)),
+        "hybrid_bagged_tree": hybrid_with(
+            lambda seed: BaggingRegressor(estimator=DecisionTreeRegressor(),
+                                          n_estimators=max(5, settings.n_estimators // 2),
+                                          random_state=seed)),
+        "hybrid_knn": hybrid_with(lambda seed: KNeighborsRegressor(n_neighbors=5,
+                                                                   weights="distance")),
+    }
+    curves = compare_models(factories, dataset, fractions=_FRACTIONS,
+                            n_repeats=settings.n_repeats,
+                            random_state=settings.random_state)
+    return ExperimentResult(
+        experiment_id="ablation_ml_backend",
+        description="Hybrid model with different stacked ML learners",
+        dataset_name=dataset.name,
+        curves=curves,
+    )

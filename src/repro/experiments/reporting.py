@@ -1,0 +1,64 @@
+"""Text reporting of experiment results.
+
+The benchmarks print these tables so their captured output is directly
+comparable with the paper's figures (same series, same training
+fractions, MAPE on the y-axis).
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import LearningCurve
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["format_curves", "format_result", "results_to_markdown"]
+
+
+def format_curves(curves: dict[str, LearningCurve]) -> str:
+    """Fixed-width table of MAPE statistics for a set of learning curves."""
+    header = (f"{'series':<24} {'train %':>8} {'n_train':>8} "
+              f"{'MAPE mean':>10} {'MAPE std':>9} {'min':>7} {'max':>7}")
+    lines = [header, "-" * len(header)]
+    for curve in curves.values():
+        for point in curve.points:
+            lines.append(
+                f"{curve.label:<24} {100 * point.fraction:>7.1f}% {point.n_train:>8d} "
+                f"{point.mean:>9.1f}% {point.std:>8.1f}% {point.min:>6.1f}% {point.max:>6.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Multi-line report of one experiment (description, extras, curve table)."""
+    lines = [
+        f"== {result.experiment_id}: {result.description}",
+        f"   dataset: {result.dataset_name}",
+    ]
+    for key, value in result.extra.items():
+        if isinstance(value, dict):
+            detail = ", ".join(f"{k}={_fmt(v)}" for k, v in value.items())
+            lines.append(f"   {key}: {detail}")
+        else:
+            lines.append(f"   {key}: {_fmt(value)}")
+    if result.curves:
+        lines.append(format_curves(result.curves))
+    return "\n".join(lines)
+
+
+def results_to_markdown(results: dict[str, ExperimentResult]) -> str:
+    """Markdown summary of several experiments (used to draft EXPERIMENTS.md)."""
+    lines = ["| experiment | series | train % | MAPE mean | MAPE std |",
+             "|---|---|---|---|---|"]
+    for name, result in results.items():
+        for row in result.rows():
+            lines.append(
+                f"| {result.experiment_id} | {row['series']} | "
+                f"{100 * row['fraction']:.1f}% | {row['mape_mean']:.1f}% | "
+                f"{row['mape_std']:.1f}% |"
+            )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,116 @@
+"""Experiment settings, results container and the top-level runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.evaluation import LearningCurve
+
+__all__ = ["ExperimentSettings", "ExperimentResult", "run_experiment", "run_all", "EXPERIMENTS"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Quality/cost knobs shared by all experiments.
+
+    Parameters
+    ----------
+    n_estimators:
+        Trees per ensemble (the paper uses scikit-learn defaults; smaller
+        values keep the full reproduction suite fast without changing the
+        qualitative outcome).
+    n_repeats:
+        Independent uniform samplings per training fraction (the spread of
+        the paper's box plots).
+    max_configs:
+        Optional cap on dataset size (uniform subsample); ``None`` uses the
+        full configuration space of the figure.
+    random_state:
+        Master seed.
+    """
+
+    n_estimators: int = 20
+    n_repeats: int = 3
+    max_configs: int | None = None
+    random_state: int = 0
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """Cheap settings for tests and smoke runs."""
+        return cls(n_estimators=8, n_repeats=2, max_configs=400, random_state=0)
+
+    @classmethod
+    def full(cls) -> "ExperimentSettings":
+        """Higher-fidelity settings (closer to scikit-learn defaults)."""
+        return cls(n_estimators=60, n_repeats=5, max_configs=None, random_state=0)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: the series the corresponding figure plots."""
+
+    experiment_id: str
+    description: str
+    dataset_name: str
+    curves: dict[str, LearningCurve] = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def rows(self) -> list[dict]:
+        """Flat rows (series, fraction, MAPE statistics) across all curves."""
+        rows: list[dict] = []
+        for curve in self.curves.values():
+            rows.extend(curve.as_rows())
+        return rows
+
+    def best_mape(self, series: str) -> float:
+        """Lowest mean MAPE achieved by a series across its fractions."""
+        return float(np.min(self.curves[series].means))
+
+    def summary(self) -> str:
+        """Formatted text table of the result (delegates to reporting)."""
+        from repro.experiments.reporting import format_result
+
+        return format_result(self)
+
+
+def _experiment_registry() -> dict:
+    from repro.experiments import ablations, figures
+
+    return {
+        "figure3_stencil": figures.figure3_stencil,
+        "figure3_fmm": figures.figure3_fmm,
+        "figure5": figures.figure5,
+        "figure6": figures.figure6,
+        "figure7": figures.figure7,
+        "figure8": figures.figure8,
+        "analytical_accuracy": figures.analytical_accuracy,
+        "ablation_aggregation": ablations.ablation_aggregation,
+        "ablation_analytical_quality": ablations.ablation_analytical_quality,
+        "ablation_sampling_strategy": ablations.ablation_sampling_strategy,
+        "ablation_ml_backend": ablations.ablation_ml_backend,
+    }
+
+
+#: Names of all available experiments (figures first, then ablations).
+EXPERIMENTS = tuple(_experiment_registry().keys())
+
+
+def run_experiment(name: str, settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Run one experiment by name."""
+    registry = _experiment_registry()
+    try:
+        func = registry[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(registry)}") from None
+    return func(settings=settings or ExperimentSettings())
+
+
+def run_all(settings: ExperimentSettings | None = None,
+            names: tuple[str, ...] | None = None) -> dict[str, ExperimentResult]:
+    """Run several (default: all) experiments and return their results by name."""
+    results: dict[str, ExperimentResult] = {}
+    for name in (names or EXPERIMENTS):
+        results[name] = run_experiment(name, settings=settings)
+    return results

@@ -1,0 +1,293 @@
+"""Cartesian Taylor expansion machinery for the Laplace kernel.
+
+ExaFMM's Laplace kernels used in the paper are based on Cartesian series
+expansions (Section IV-B: "ExaFMM uses Cartesian series expansion which
+has operations count of 189 k^6").  This module provides the pieces the
+FMM kernels are built from:
+
+* :class:`MultiIndexSet` — enumeration of multi-indices
+  ``n = (nx, ny, nz)`` with ``|n| <= p``, factorials and index lookup;
+* monomial evaluation ``dx^n`` for batches of points;
+* the Taylor coefficients ``T_n(R)`` of ``1 / |R + t|`` about ``t = 0``
+  computed with the classical treecode recurrence (Duan & Krasny style),
+  vectorized over many expansion centers ``R`` simultaneously;
+* shift (translation) matrices used by the M2M and L2L operators.
+
+The convention used throughout:
+
+* **Multipole expansion** of a source cell with center ``zc``:
+  ``M_n = sum_i w_i (x_i - zc)^n / n!``.
+* The potential induced far away is
+  ``phi(y) = sum_n M_n n! (-1)^{|n|} T_n(y - zc)`` — equivalently
+  ``sum_n M_n D^n (1/r)`` evaluated at ``r = y - zc``.
+* **Local expansion** of a target cell with center ``zt``:
+  ``phi(zt + dy) = sum_m L_m dy^m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+
+import numpy as np
+
+__all__ = ["MultiIndexSet", "CartesianExpansion", "taylor_coefficients"]
+
+
+class MultiIndexSet:
+    """All multi-indices ``(nx, ny, nz)`` with total degree ``<= order``.
+
+    Indices are sorted by total degree (then lexicographically), so the
+    recurrences that build coefficients degree by degree can simply walk
+    the array once.
+    """
+
+    def __init__(self, order: int) -> None:
+        if order < 0:
+            raise ValueError(f"order must be >= 0, got {order}")
+        self.order = order
+        indices = []
+        for total in range(order + 1):
+            for nx in range(total, -1, -1):
+                for ny in range(total - nx, -1, -1):
+                    nz = total - nx - ny
+                    indices.append((nx, ny, nz))
+        self.indices = np.array(indices, dtype=np.int64)
+        self.degrees = self.indices.sum(axis=1)
+        self.factorials = np.array(
+            [factorial(nx) * factorial(ny) * factorial(nz) for nx, ny, nz in indices],
+            dtype=np.float64,
+        )
+        self._lookup = {tuple(idx): i for i, idx in enumerate(indices)}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_terms(self) -> int:
+        """Number of multi-indices (``C(order + 3, 3)``)."""
+        return len(self.indices)
+
+    def index_of(self, multi: tuple[int, int, int]) -> int:
+        """Position of a multi-index in the set (-1 if absent)."""
+        return self._lookup.get(tuple(int(v) for v in multi), -1)
+
+    def monomials(self, dx: np.ndarray) -> np.ndarray:
+        """Evaluate ``dx^n`` for every point and multi-index.
+
+        Parameters
+        ----------
+        dx:
+            ``(npoints, 3)`` displacements.
+
+        Returns
+        -------
+        ndarray of shape ``(npoints, n_terms)``.
+        """
+        dx = np.atleast_2d(np.asarray(dx, dtype=np.float64))
+        if dx.shape[1] != 3:
+            raise ValueError(f"dx must have shape (npoints, 3), got {dx.shape}")
+        # Precompute powers of each coordinate up to `order`.
+        npoints = dx.shape[0]
+        pows = np.ones((3, self.order + 1, npoints))
+        for axis in range(3):
+            for d in range(1, self.order + 1):
+                pows[axis, d] = pows[axis, d - 1] * dx[:, axis]
+        nx, ny, nz = self.indices[:, 0], self.indices[:, 1], self.indices[:, 2]
+        return (pows[0, nx] * pows[1, ny] * pows[2, nz]).T
+
+    def shift_matrix(self, shift: np.ndarray, *, weighted: bool = True) -> np.ndarray:
+        """Matrix ``S`` with ``S[m, n] = shift^(m-n) / (m-n)!`` for ``n <= m``.
+
+        With ``weighted=True`` this is exactly the multipole-to-multipole
+        (M2M) translation matrix in the ``M_n = sum w dx^n / n!`` convention:
+        ``M'_m = sum_n S[m, n] M_n``.  With ``weighted=False`` the entries
+        are multinomial-free monomials ``shift^(m-n)`` scaled by the
+        binomial ``C(m, n)``, which is the local-to-local (L2L) matrix for
+        unweighted local coefficients.
+        """
+        shift = np.asarray(shift, dtype=np.float64).reshape(3)
+        n_terms = self.n_terms
+        S = np.zeros((n_terms, n_terms))
+        for mi, m in enumerate(self.indices):
+            for ni, n in enumerate(self.indices):
+                d = m - n
+                if np.any(d < 0):
+                    continue
+                mono = shift[0] ** d[0] * shift[1] ** d[1] * shift[2] ** d[2]
+                if weighted:
+                    S[mi, ni] = mono / (factorial(d[0]) * factorial(d[1]) * factorial(d[2]))
+                else:
+                    binom = (
+                        _binom(m[0], n[0]) * _binom(m[1], n[1]) * _binom(m[2], n[2])
+                    )
+                    S[mi, ni] = mono * binom
+        return S
+
+
+def _binom(a: int, b: int) -> float:
+    if b < 0 or b > a:
+        return 0.0
+    return factorial(a) / (factorial(b) * factorial(a - b))
+
+
+def taylor_coefficients(mset: MultiIndexSet, R: np.ndarray) -> np.ndarray:
+    """Taylor coefficients ``T_n`` of ``1 / |R + t|`` about ``t = 0``.
+
+    Uses the classical recurrence (obtained from the Legendre three-term
+    recurrence through the Gegenbauer generating function)::
+
+        |n| |R|^2 T_n + (2|n| - 1) sum_i R_i T_{n - e_i}
+                      + (|n| - 1) sum_i T_{n - 2 e_i} = 0,    T_0 = 1 / |R|
+
+    vectorized over a batch of expansion centers.
+
+    Parameters
+    ----------
+    mset:
+        Multi-index set defining which coefficients to compute.
+    R:
+        ``(nbatch, 3)`` (or ``(3,)``) array of centers; ``|R|`` must be
+        non-zero.
+
+    Returns
+    -------
+    ndarray of shape ``(n_terms, nbatch)``.
+    """
+    R = np.atleast_2d(np.asarray(R, dtype=np.float64))
+    if R.shape[1] != 3:
+        raise ValueError(f"R must have shape (nbatch, 3), got {R.shape}")
+    r2 = np.einsum("ij,ij->i", R, R)
+    if np.any(r2 <= 0):
+        raise ValueError("taylor_coefficients requires non-zero separation |R| > 0")
+    nbatch = R.shape[0]
+    n_terms = mset.n_terms
+    T = np.zeros((n_terms, nbatch))
+    T[0] = 1.0 / np.sqrt(r2)
+    e = np.eye(3, dtype=np.int64)
+    for idx in range(1, n_terms):
+        n = mset.indices[idx]
+        total = int(mset.degrees[idx])
+        acc = np.zeros(nbatch)
+        for axis in range(3):
+            if n[axis] >= 1:
+                j = mset.index_of(tuple(n - e[axis]))
+                acc += (2 * total - 1) * R[:, axis] * T[j]
+            if n[axis] >= 2:
+                j = mset.index_of(tuple(n - 2 * e[axis]))
+                acc += (total - 1) * T[j]
+        T[idx] = -acc / (total * r2)
+    return T
+
+
+@dataclass
+class CartesianExpansion:
+    """Bundle of multi-index sets used by an order-``p`` Cartesian FMM.
+
+    Attributes
+    ----------
+    order:
+        Expansion order ``p`` (the paper's ``k``): multipole and local
+        expansions keep all terms of total degree ``< p`` (``p`` terms per
+        dimension counting from degree 0), matching the usual "order k"
+        accuracy convention ``O((d/r)^k)``.
+    mset:
+        Multi-index set of degree ``p - 1`` for multipole/local expansions.
+    mset_ext:
+        Extended set of degree ``2 (p - 1)`` needed by the M2L operator.
+    """
+
+    order: int
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError(f"order must be >= 1, got {self.order}")
+        self.mset = MultiIndexSet(self.order - 1)
+        self.mset_ext = MultiIndexSet(2 * (self.order - 1))
+        # Map (multipole index n, local index m) -> position of n+m in mset_ext,
+        # plus the combinatorial factor (n+m)! / m! and the (-1)^|n| sign.
+        n_terms = self.mset.n_terms
+        self._shift_cache: dict = {}
+        self._nm_index = np.empty((n_terms, n_terms), dtype=np.int64)
+        self._nm_factor = np.empty((n_terms, n_terms), dtype=np.float64)
+        for ni, n in enumerate(self.mset.indices):
+            sign = -1.0 if (self.mset.degrees[ni] % 2) else 1.0
+            for mi, m in enumerate(self.mset.indices):
+                s = n + m
+                self._nm_index[mi, ni] = self.mset_ext.index_of(tuple(s))
+                fact_nm = (factorial(s[0]) * factorial(s[1]) * factorial(s[2]))
+                self._nm_factor[mi, ni] = sign * fact_nm / self.mset.factorials[mi]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_terms(self) -> int:
+        """Terms per multipole/local expansion."""
+        return self.mset.n_terms
+
+    def monomials(self, dx: np.ndarray) -> np.ndarray:
+        """``dx^n`` for the expansion's multi-index set; shape ``(npoints, n_terms)``."""
+        return self.mset.monomials(dx)
+
+    def kernel_derivative_table(self, R: np.ndarray) -> np.ndarray:
+        """Extended Taylor coefficient table ``T_s(R)``; shape ``(n_terms_ext, nbatch)``."""
+        return taylor_coefficients(self.mset_ext, R)
+
+    def m2l_apply(self, M: np.ndarray, T: np.ndarray) -> np.ndarray:
+        """Convert multipole coefficients to local coefficients.
+
+        Parameters
+        ----------
+        M:
+            ``(n_terms, nbatch)`` multipole coefficients of the *source*
+            cell of each interaction.
+        T:
+            ``(n_terms_ext, nbatch)`` Taylor table of ``R = zt - zc`` for
+            each interaction (from :meth:`kernel_derivative_table`).
+
+        Returns
+        -------
+        ndarray ``(n_terms, nbatch)`` — local coefficient *contributions*
+        for the target cell of each interaction (caller accumulates).
+        """
+        if M.shape[0] != self.n_terms:
+            raise ValueError(
+                f"M has {M.shape[0]} terms, expected {self.n_terms}"
+            )
+        nbatch = M.shape[1]
+        L = np.zeros((self.n_terms, nbatch))
+        # Loop over multipole terms (order p^3 / 6 iterations), vectorized over
+        # local terms and interactions.
+        for ni in range(self.n_terms):
+            L += self._nm_factor[:, ni][:, None] * T[self._nm_index[:, ni], :] * M[ni][None, :]
+        return L
+
+    def m2m_matrix(self, shift: np.ndarray) -> np.ndarray:
+        """M2M translation matrix for moving a multipole center by ``shift``.
+
+        ``shift = child_center - parent_center`` (the new expansion is
+        about the parent).  Matrices are cached by the (rounded) shift
+        vector: in an octree the parent-child shifts take only eight
+        distinct values per level, so the cache turns the upward/downward
+        passes from O(cells * terms^2) matrix rebuilds into dictionary
+        lookups.
+        """
+        return self._cached_shift_matrix(shift, weighted=True)
+
+    def l2l_matrix(self, shift: np.ndarray) -> np.ndarray:
+        """L2L translation matrix for moving a local center by ``shift``.
+
+        ``shift = child_center - parent_center``; the new expansion is
+        about the child.  In the unweighted ``phi = sum L_m dy^m``
+        convention the matrix entries are ``C(m, j) shift^(m - j)`` and the
+        translation is ``L'_j = sum_m L_m C(m, j) shift^(m-j)``, i.e. the
+        *transpose* pattern of :meth:`m2m_matrix`; this method returns the
+        matrix already oriented so that ``L' = matrix @ L``.
+        """
+        return self._cached_shift_matrix(shift, weighted=False).T
+
+    def _cached_shift_matrix(self, shift: np.ndarray, *, weighted: bool) -> np.ndarray:
+        shift = np.asarray(shift, dtype=np.float64).reshape(3)
+        key = (bool(weighted), tuple(np.round(shift, 12)))
+        cached = self._shift_cache.get(key)
+        if cached is None:
+            cached = self.mset.shift_matrix(shift, weighted=weighted)
+            self._shift_cache[key] = cached
+        return cached

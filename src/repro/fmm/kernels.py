@@ -1,0 +1,125 @@
+"""FMM kernels: P2P, P2M, M2M, M2L, L2L, L2P.
+
+These are the six translation/evaluation operators of Figure 2 in the
+paper.  All operate on NumPy arrays; the expensive ones (P2P and M2L, the
+paper's dominant phases) are vectorized over particles respectively over
+batches of interacting cell pairs.
+
+Conventions (see :mod:`repro.fmm.expansions`):
+
+* multipole coefficients ``M_n = sum_i w_i (x_i - zc)^n / n!``;
+* local expansion ``phi(zt + dy) = sum_m L_m dy^m``;
+* the Laplace kernel is ``K(y, x) = 1 / |y - x|`` with the self term
+  excluded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fmm.expansions import CartesianExpansion, taylor_coefficients
+
+__all__ = [
+    "laplace_potential",
+    "p2p",
+    "p2p_self",
+    "p2m",
+    "m2m",
+    "m2l",
+    "l2l",
+    "l2p",
+    "m2p",
+]
+
+
+def laplace_potential(targets: np.ndarray, sources: np.ndarray,
+                      weights: np.ndarray) -> np.ndarray:
+    """Direct Laplace potential of *sources* evaluated at *targets*.
+
+    Coincident points (distance 0) contribute nothing, which both excludes
+    the self interaction when the two sets overlap and keeps the kernel
+    finite for duplicated points.
+    """
+    targets = np.atleast_2d(targets)
+    sources = np.atleast_2d(sources)
+    diff = targets[:, None, :] - sources[None, :, :]
+    r2 = np.einsum("ijk,ijk->ij", diff, diff)
+    with np.errstate(divide="ignore"):
+        inv_r = np.where(r2 > 0.0, 1.0 / np.sqrt(np.maximum(r2, 1e-300)), 0.0)
+    return inv_r @ weights
+
+
+def p2p(target_positions: np.ndarray, source_positions: np.ndarray,
+        source_weights: np.ndarray) -> np.ndarray:
+    """Particle-to-particle kernel: near-field direct sum."""
+    return laplace_potential(target_positions, source_positions, source_weights)
+
+
+def p2p_self(positions: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """P2P of a cell with itself (self interaction excluded)."""
+    return laplace_potential(positions, positions, weights)
+
+
+def p2m(expansion: CartesianExpansion, positions: np.ndarray,
+        weights: np.ndarray, center: np.ndarray) -> np.ndarray:
+    """Particle-to-multipole: moments of a leaf cell about its center."""
+    dx = np.atleast_2d(positions) - np.asarray(center).reshape(1, 3)
+    mono = expansion.monomials(dx)                       # (npart, n_terms)
+    return (mono.T @ np.asarray(weights)) / expansion.mset.factorials
+
+
+def m2m(expansion: CartesianExpansion, child_multipole: np.ndarray,
+        child_center: np.ndarray, parent_center: np.ndarray) -> np.ndarray:
+    """Multipole-to-multipole: shift a child expansion to the parent center."""
+    shift = np.asarray(child_center, dtype=float) - np.asarray(parent_center, dtype=float)
+    return expansion.m2m_matrix(shift) @ child_multipole
+
+
+def m2l(expansion: CartesianExpansion, source_multipoles: np.ndarray,
+        source_centers: np.ndarray, target_centers: np.ndarray) -> np.ndarray:
+    """Multipole-to-local for a batch of well-separated cell pairs.
+
+    Parameters
+    ----------
+    source_multipoles:
+        ``(n_terms, nbatch)`` multipole coefficients of each source cell.
+    source_centers, target_centers:
+        ``(nbatch, 3)`` centers of the source and target cell of each pair.
+
+    Returns
+    -------
+    ndarray ``(n_terms, nbatch)`` of local-coefficient contributions.
+    """
+    R = np.atleast_2d(target_centers) - np.atleast_2d(source_centers)
+    T = expansion.kernel_derivative_table(R)
+    return expansion.m2l_apply(np.atleast_2d(source_multipoles), T)
+
+
+def l2l(expansion: CartesianExpansion, parent_local: np.ndarray,
+        parent_center: np.ndarray, child_center: np.ndarray) -> np.ndarray:
+    """Local-to-local: shift a parent local expansion to a child center."""
+    shift = np.asarray(child_center, dtype=float) - np.asarray(parent_center, dtype=float)
+    return expansion.l2l_matrix(shift) @ parent_local
+
+
+def l2p(expansion: CartesianExpansion, local: np.ndarray,
+        center: np.ndarray, target_positions: np.ndarray) -> np.ndarray:
+    """Local-to-particle: evaluate a local expansion at target particles."""
+    dy = np.atleast_2d(target_positions) - np.asarray(center).reshape(1, 3)
+    mono = expansion.monomials(dy)                       # (npart, n_terms)
+    return mono @ local
+
+
+def m2p(expansion: CartesianExpansion, multipole: np.ndarray,
+        center: np.ndarray, target_positions: np.ndarray) -> np.ndarray:
+    """Multipole-to-particle (treecode-style far-field evaluation).
+
+    Not part of the standard FMM pipeline, but useful for validating the
+    multipole expansions independently of the M2L/L2L/L2P chain:
+    ``phi(y) = sum_n M_n n! (-1)^{|n|} T_n(y - center)``.
+    """
+    dy = np.atleast_2d(target_positions) - np.asarray(center).reshape(1, 3)
+    T = taylor_coefficients(expansion.mset, dy)          # (n_terms, npart)
+    signs = np.where(expansion.mset.degrees % 2 == 0, 1.0, -1.0)
+    coeff = multipole * expansion.mset.factorials * signs
+    return T.T @ coeff

@@ -1,0 +1,201 @@
+"""Adaptive octree construction.
+
+The FMM decomposes space by recursive subdivision into eight children
+until every leaf holds at most ``q`` particles (the paper's
+"particles per leaf cell").  For the uniform cube distribution used in the
+evaluation, the resulting tree is essentially a full octree, which is the
+assumption behind the analytical models of Section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fmm.particles import ParticleSet
+
+__all__ = ["Cell", "Octree"]
+
+#: Offsets of the eight octants relative to a parent center (unit half-width).
+_OCTANT_OFFSETS = np.array(
+    [[dx, dy, dz] for dx in (-0.5, 0.5) for dy in (-0.5, 0.5) for dz in (-0.5, 0.5)]
+)
+
+
+@dataclass
+class Cell:
+    """One octree cell.
+
+    Attributes
+    ----------
+    index:
+        Position of the cell in ``Octree.cells``.
+    parent:
+        Index of the parent cell (-1 for the root).
+    children:
+        Indices of the child cells (empty for leaves).
+    center, radius:
+        Geometric center and half-width of the cube.
+    level:
+        Tree depth (root = 0).
+    particle_indices:
+        Indices (into the particle set) of the particles contained in this
+        cell.  Populated for every cell, so P2M/P2P never have to gather
+        through the children.
+    """
+
+    index: int
+    parent: int
+    center: np.ndarray
+    radius: float
+    level: int
+    particle_indices: np.ndarray
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the cell has no children."""
+        return not self.children
+
+    @property
+    def n_particles(self) -> int:
+        """Number of particles contained in the cell."""
+        return len(self.particle_indices)
+
+
+class Octree:
+    """Adaptive octree over a :class:`~repro.fmm.particles.ParticleSet`.
+
+    Parameters
+    ----------
+    particles:
+        The particle set to partition.
+    max_per_leaf:
+        The paper's ``q``: a cell with more than this many particles is
+        subdivided (until ``max_level`` is reached).
+    max_level:
+        Hard depth cap to keep degenerate distributions bounded.
+    """
+
+    def __init__(self, particles: ParticleSet, *, max_per_leaf: int = 64,
+                 max_level: int = 21) -> None:
+        if max_per_leaf < 1:
+            raise ValueError(f"max_per_leaf must be >= 1, got {max_per_leaf}")
+        if max_level < 0:
+            raise ValueError(f"max_level must be >= 0, got {max_level}")
+        self.particles = particles
+        self.max_per_leaf = max_per_leaf
+        self.max_level = max_level
+        self.cells: list[Cell] = []
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        center, radius = self.particles.bounding_cube()
+        root = Cell(
+            index=0, parent=-1, center=center, radius=radius, level=0,
+            particle_indices=np.arange(self.particles.n),
+        )
+        self.cells.append(root)
+        stack = [0]
+        positions = self.particles.positions
+        while stack:
+            cell_index = stack.pop()
+            cell = self.cells[cell_index]
+            if cell.n_particles <= self.max_per_leaf or cell.level >= self.max_level:
+                continue
+            child_radius = cell.radius / 2.0
+            local = positions[cell.particle_indices]
+            octant = (
+                (local[:, 0] >= cell.center[0]).astype(np.int8) * 4
+                + (local[:, 1] >= cell.center[1]).astype(np.int8) * 2
+                + (local[:, 2] >= cell.center[2]).astype(np.int8)
+            )
+            for o in range(8):
+                mask = octant == o
+                if not np.any(mask):
+                    continue
+                child_center = cell.center + _OCTANT_OFFSETS[o] * cell.radius
+                child = Cell(
+                    index=len(self.cells),
+                    parent=cell.index,
+                    center=child_center,
+                    radius=child_radius,
+                    level=cell.level + 1,
+                    particle_indices=cell.particle_indices[mask],
+                )
+                self.cells.append(child)
+                cell.children.append(child.index)
+                stack.append(child.index)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Cell:
+        """The root cell."""
+        return self.cells[0]
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells."""
+        return len(self.cells)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels (root level counts as 1)."""
+        return 1 + max(cell.level for cell in self.cells)
+
+    @property
+    def leaves(self) -> list[Cell]:
+        """All leaf cells."""
+        return [cell for cell in self.cells if cell.is_leaf]
+
+    def cells_at_level(self, level: int) -> list[Cell]:
+        """All cells at a given depth."""
+        return [cell for cell in self.cells if cell.level == level]
+
+    def max_leaf_population(self) -> int:
+        """Largest number of particles in any leaf."""
+        return max(cell.n_particles for cell in self.leaves)
+
+    def mean_leaf_population(self) -> float:
+        """Average number of particles per leaf."""
+        leaves = self.leaves
+        return float(np.mean([cell.n_particles for cell in leaves]))
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on violation.
+
+        * every particle belongs to exactly one leaf,
+        * children partition their parent's particles,
+        * children are geometrically inside their parent,
+        * leaves respect ``max_per_leaf`` unless at ``max_level``.
+        """
+        seen = np.zeros(self.particles.n, dtype=np.int64)
+        for leaf in self.leaves:
+            seen[leaf.particle_indices] += 1
+        assert np.all(seen == 1), "particles must be covered exactly once by leaves"
+        for cell in self.cells:
+            if cell.is_leaf:
+                assert (cell.n_particles <= self.max_per_leaf
+                        or cell.level >= self.max_level), "oversized leaf"
+                continue
+            child_union = np.concatenate(
+                [self.cells[c].particle_indices for c in cell.children]
+            )
+            assert len(child_union) == cell.n_particles, "children must partition parent"
+            assert set(child_union.tolist()) == set(cell.particle_indices.tolist())
+            for c in cell.children:
+                child = self.cells[c]
+                assert child.level == cell.level + 1
+                assert np.all(
+                    np.abs(child.center - cell.center) <= cell.radius + 1e-12
+                ), "child center outside parent"
+
+    def __repr__(self) -> str:
+        return (f"Octree(n_particles={self.particles.n}, n_cells={self.n_cells}, "
+                f"levels={self.n_levels}, max_per_leaf={self.max_per_leaf})")

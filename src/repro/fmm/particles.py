@@ -1,0 +1,134 @@
+"""Particle sets and source distributions.
+
+The paper evaluates ExaFMM with "the Laplace kernel in three dimensions
+with random distribution of particles in a cube" (Section III-B); the
+analytical models additionally assume a nearly uniform distribution so the
+octree is essentially full.  :func:`random_cube` generates exactly that
+workload; :func:`random_sphere` and :func:`plummer` provide non-uniform
+distributions used by the adaptivity tests and the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+__all__ = ["ParticleSet", "random_cube", "random_sphere", "plummer"]
+
+
+@dataclass
+class ParticleSet:
+    """Positions and weights (charges/masses) of N particles.
+
+    Attributes
+    ----------
+    positions:
+        ``(N, 3)`` float array.
+    weights:
+        ``(N,)`` float array of source strengths ``w_i``.
+    """
+
+    positions: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = np.ascontiguousarray(self.positions, dtype=np.float64)
+        self.weights = np.ascontiguousarray(self.weights, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError(
+                f"positions must have shape (N, 3), got {self.positions.shape}"
+            )
+        if self.weights.shape != (self.positions.shape[0],):
+            raise ValueError(
+                f"weights must have shape (N,), got {self.weights.shape} "
+                f"for N={self.positions.shape[0]}"
+            )
+        if self.positions.shape[0] == 0:
+            raise ValueError("ParticleSet must contain at least one particle")
+        if not np.all(np.isfinite(self.positions)) or not np.all(np.isfinite(self.weights)):
+            raise ValueError("positions and weights must be finite")
+
+    @property
+    def n(self) -> int:
+        """Number of particles."""
+        return self.positions.shape[0]
+
+    def bounding_cube(self, pad: float = 1e-6) -> tuple[np.ndarray, float]:
+        """Center and half-width of the smallest axis-aligned cube containing all particles."""
+        lo = self.positions.min(axis=0)
+        hi = self.positions.max(axis=0)
+        center = 0.5 * (lo + hi)
+        radius = 0.5 * float(np.max(hi - lo))
+        return center, radius * (1.0 + pad) + pad
+
+    def subset(self, indices: np.ndarray) -> "ParticleSet":
+        """Particle subset (copies data)."""
+        return ParticleSet(self.positions[indices].copy(), self.weights[indices].copy())
+
+    def total_weight(self) -> float:
+        """Sum of all source strengths."""
+        return float(self.weights.sum())
+
+
+def random_cube(n: int, *, side: float = 1.0, random_state=None,
+                weights: str = "uniform") -> ParticleSet:
+    """Uniform random particles in a cube of side *side* centred at the origin.
+
+    ``weights`` is ``"uniform"`` (all 1/N, the ExaFMM default benchmark) or
+    ``"random"`` (uniform in [0, 1)).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = check_random_state(random_state)
+    pos = rng.uniform(-side / 2.0, side / 2.0, size=(n, 3))
+    w = _make_weights(n, weights, rng)
+    return ParticleSet(pos, w)
+
+
+def random_sphere(n: int, *, radius: float = 0.5, random_state=None,
+                  weights: str = "uniform") -> ParticleSet:
+    """Uniform random particles inside a ball (non-uniform octree occupancy)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = check_random_state(random_state)
+    # Rejection-free: direction * radius * cbrt(u).
+    direction = rng.normal(size=(n, 3))
+    direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+    r = radius * np.cbrt(rng.uniform(0.0, 1.0, size=n))
+    pos = direction * r[:, None]
+    w = _make_weights(n, weights, rng)
+    return ParticleSet(pos, w)
+
+
+def plummer(n: int, *, scale: float = 0.1, clip_radius: float = 2.0,
+            random_state=None, weights: str = "uniform") -> ParticleSet:
+    """Plummer-model distribution (strongly clustered, stresses adaptivity)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = check_random_state(random_state)
+    positions = np.empty((n, 3))
+    count = 0
+    while count < n:
+        m = rng.uniform(1e-6, 1.0 - 1e-6, size=n)
+        r = scale / np.sqrt(m ** (-2.0 / 3.0) - 1.0)
+        keep = r < clip_radius
+        r = r[keep]
+        direction = rng.normal(size=(len(r), 3))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        chunk = direction * r[:, None]
+        take = min(len(chunk), n - count)
+        positions[count:count + take] = chunk[:take]
+        count += take
+    w = _make_weights(n, weights, rng)
+    return ParticleSet(positions, w)
+
+
+def _make_weights(n: int, kind: str, rng: np.random.Generator) -> np.ndarray:
+    if kind == "uniform":
+        return np.full(n, 1.0 / n)
+    if kind == "random":
+        return rng.uniform(0.0, 1.0, size=n)
+    raise ValueError(f"weights must be 'uniform' or 'random', got {kind!r}")

@@ -1,0 +1,178 @@
+"""Tree traversal: interaction-list construction and dual tree traversal.
+
+Two equivalent ways to decide which cell pairs interact via M2L and which
+via P2P are provided:
+
+* :func:`build_interaction_lists` — the classic FMM *U/V list* scheme for
+  a single tree: the neighbor (U) list of each leaf feeds P2P, the
+  well-separated (V) list of every cell feeds M2L.  For a uniform
+  distribution the average list sizes are the paper's ``b_P2P = 26`` and
+  ``b_M2L = 189`` (Section IV-B).
+* :func:`dual_tree_traversal` — ExaFMM's strategy (Section III-B: "employs
+  dual tree traversal which is an efficient strategy for finding the list
+  of cell-cell interactions"): a simultaneous recursive descent of the
+  target and source trees governed by a multipole acceptance criterion
+  (MAC).
+
+Both return an :class:`Interactions` container holding P2P leaf pairs and
+M2L cell pairs; the solver accepts either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fmm.octree import Cell, Octree
+
+__all__ = ["Interactions", "build_interaction_lists", "dual_tree_traversal"]
+
+
+@dataclass
+class Interactions:
+    """Cell-pair interaction lists.
+
+    Attributes
+    ----------
+    p2p_pairs:
+        List of ``(target_cell_index, source_cell_index)`` pairs evaluated
+        directly.  A cell interacting with itself appears as ``(i, i)``.
+    m2l_pairs:
+        List of ``(target_cell_index, source_cell_index)`` pairs evaluated
+        through multipole-to-local translations.
+    """
+
+    p2p_pairs: list[tuple[int, int]] = field(default_factory=list)
+    m2l_pairs: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def n_p2p(self) -> int:
+        """Number of near-field pairs."""
+        return len(self.p2p_pairs)
+
+    @property
+    def n_m2l(self) -> int:
+        """Number of far-field (M2L) pairs."""
+        return len(self.m2l_pairs)
+
+    def average_p2p_neighbors(self, octree: Octree) -> float:
+        """Average number of source cells in a leaf's near-field list (excluding itself)."""
+        targets = {}
+        for t, s in self.p2p_pairs:
+            targets.setdefault(t, 0)
+            if s != t:
+                targets[t] += 1
+        if not targets:
+            return 0.0
+        return float(np.mean(list(targets.values())))
+
+    def average_m2l_sources(self) -> float:
+        """Average number of source cells in a target's well-separated list."""
+        targets = {}
+        for t, _ in self.m2l_pairs:
+            targets[t] = targets.get(t, 0) + 1
+        if not targets:
+            return 0.0
+        return float(np.mean(list(targets.values())))
+
+
+def _are_adjacent(a: Cell, b: Cell, *, tol: float = 1e-9) -> bool:
+    """Whether two cells touch or overlap (share a face, edge, corner or volume)."""
+    gap = np.abs(a.center - b.center) - (a.radius + b.radius)
+    return bool(np.all(gap <= tol))
+
+
+def _well_separated_mac(a: Cell, b: Cell, theta: float) -> bool:
+    """Multipole acceptance criterion: ``(r_a + r_b) / d < theta``."""
+    d = float(np.linalg.norm(a.center - b.center))
+    if d <= 0.0:
+        return False
+    return (a.radius + b.radius) / d < theta
+
+
+def build_interaction_lists(octree: Octree) -> Interactions:
+    """Adjacency-based interaction lists (classic U/V-list behaviour).
+
+    A simultaneous descent of the tree against itself where the acceptance
+    criterion is geometric *non-adjacency* rather than a multipole
+    acceptance criterion:
+
+    * a pair of non-touching cells interacts through M2L,
+    * a pair of touching leaves interacts through P2P,
+    * otherwise the larger cell of the pair is split and the children are
+      examined.
+
+    For a uniform full octree this reproduces exactly the classic lists —
+    M2L pairs are same-level children of a parent's neighbours that are not
+    themselves neighbours (the paper's ``b_M2L = 189`` interior count) and
+    P2P pairs are the ``b_P2P = 26`` touching leaves plus the cell itself —
+    while remaining an exact partition of all particle pairs for adaptive
+    trees as well.
+    """
+    interactions = Interactions()
+    cells = octree.cells
+    stack = [(0, 0)]
+    while stack:
+        ti, si = stack.pop()
+        target, source = cells[ti], cells[si]
+        if not _are_adjacent(target, source):
+            interactions.m2l_pairs.append((ti, si))
+            continue
+        if target.is_leaf and source.is_leaf:
+            interactions.p2p_pairs.append((ti, si))
+            continue
+        split_target = (not target.is_leaf) and (
+            source.is_leaf or target.radius >= source.radius
+        )
+        if split_target:
+            for child in target.children:
+                stack.append((child, si))
+        else:
+            for child in source.children:
+                stack.append((ti, child))
+    return interactions
+
+
+def dual_tree_traversal(octree: Octree, *, theta: float = 0.6,
+                        source_octree: Octree | None = None) -> Interactions:
+    """ExaFMM-style dual tree traversal with a multipole acceptance criterion.
+
+    Parameters
+    ----------
+    octree:
+        Target tree (and source tree unless ``source_octree`` is given).
+    theta:
+        Opening angle of the MAC; pairs with ``(r_t + r_s) / d < theta``
+        are accepted for M2L, smaller ``theta`` means more direct work and
+        higher accuracy.
+    source_octree:
+        Optional distinct source tree (for target != source evaluations).
+    """
+    if not 0.0 < theta <= 1.0:
+        raise ValueError(f"theta must be in (0, 1], got {theta}")
+    src_tree = source_octree if source_octree is not None else octree
+    interactions = Interactions()
+    t_cells, s_cells = octree.cells, src_tree.cells
+
+    stack = [(0, 0)]
+    while stack:
+        ti, si = stack.pop()
+        target, source = t_cells[ti], s_cells[si]
+        if _well_separated_mac(target, source, theta):
+            interactions.m2l_pairs.append((ti, si))
+            continue
+        if target.is_leaf and source.is_leaf:
+            interactions.p2p_pairs.append((ti, si))
+            continue
+        # Split the larger cell (ExaFMM heuristic); ties split the target.
+        split_target = (not target.is_leaf) and (
+            source.is_leaf or target.radius >= source.radius
+        )
+        if split_target:
+            for child in target.children:
+                stack.append((child, si))
+        else:
+            for child in source.children:
+                stack.append((ti, child))
+    return interactions

@@ -1,0 +1,34 @@
+"""Machine descriptions consumed by the analytical models and simulators.
+
+A :class:`~repro.machine.node.MachineSpec` captures the properties of a
+single compute node that the paper's analytical models (Section IV) need:
+the cache hierarchy (sizes, line length, bandwidths/latencies per level),
+main-memory bandwidth, the floating-point throughput per core, and the
+socket/core topology used by the thread-scaling models.
+
+The :mod:`repro.machine.presets` module provides the Blue Waters XE6 node
+(2x AMD Interlagos 6276) used throughout the paper, plus a couple of
+alternative machines useful for "hardware change" experiments.
+"""
+
+from repro.machine.cache import CacheLevel, MemoryLevel, CacheHierarchy
+from repro.machine.node import MachineSpec
+from repro.machine.presets import (
+    blue_waters_xe6,
+    generic_xeon_node,
+    small_embedded_node,
+    MACHINE_PRESETS,
+    get_machine,
+)
+
+__all__ = [
+    "CacheLevel",
+    "MemoryLevel",
+    "CacheHierarchy",
+    "MachineSpec",
+    "blue_waters_xe6",
+    "generic_xeon_node",
+    "small_embedded_node",
+    "MACHINE_PRESETS",
+    "get_machine",
+]

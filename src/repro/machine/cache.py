@@ -1,0 +1,167 @@
+"""Cache-hierarchy description.
+
+The analytical stencil model of Section IV-A walks the cache hierarchy
+level by level (Eq. 5--7): for each level it needs the capacity, the line
+length in elements, and the inverse bandwidth ``beta`` (seconds per element
+transferred from that level).  The FMM memory model (Eq. 10--14) needs the
+capacity ``Z`` and line length ``L`` of the cache closest to memory.
+
+Capacities are stored in bytes; helper properties convert to *elements* of
+a given word size because the paper's equations are written in elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["CacheLevel", "MemoryLevel", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Human-readable level name (``"L1"``, ``"L2"``, ...).
+    size_bytes:
+        Capacity of the level in bytes (per core for private levels, total
+        for shared levels -- see ``shared_by``).
+    line_bytes:
+        Cache-line length in bytes.
+    bandwidth_bytes_per_s:
+        Sustained bandwidth for transfers *from this level into the level
+        above* (or into registers for L1), in bytes/second.
+    latency_s:
+        Access latency in seconds (used by the performance simulator for
+        latency-bound corrections; the analytical model only uses bandwidth).
+    shared_by:
+        Number of cores that share this level (1 = private).
+    write_allocate:
+        Whether a store miss allocates the line (write-allocate policy).
+        The paper's Eq. 3 vs Eq. 4 distinction.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    bandwidth_bytes_per_s: float
+    latency_s: float = 0.0
+    shared_by: int = 1
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"{self.name}: size_bytes must be > 0")
+        if self.line_bytes <= 0:
+            raise ValueError(f"{self.name}: line_bytes must be > 0")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(f"{self.name}: bandwidth_bytes_per_s must be > 0")
+        if self.latency_s < 0:
+            raise ValueError(f"{self.name}: latency_s must be >= 0")
+        if self.shared_by < 1:
+            raise ValueError(f"{self.name}: shared_by must be >= 1")
+
+    def size_elements(self, word_bytes: int = 8) -> int:
+        """Capacity in elements of ``word_bytes`` bytes each."""
+        return self.size_bytes // word_bytes
+
+    def line_elements(self, word_bytes: int = 8) -> int:
+        """Line length ``W`` in elements of ``word_bytes`` bytes each."""
+        return max(1, self.line_bytes // word_bytes)
+
+    def beta(self, word_bytes: int = 8) -> float:
+        """Inverse bandwidth in seconds per element (the paper's ``beta_mem``)."""
+        return word_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """Main memory (DRAM) description."""
+
+    size_bytes: int
+    bandwidth_bytes_per_s: float
+    latency_s: float = 0.0
+    name: str = "DRAM"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("DRAM size_bytes must be > 0")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("DRAM bandwidth_bytes_per_s must be > 0")
+        if self.latency_s < 0:
+            raise ValueError("DRAM latency_s must be >= 0")
+
+    def beta(self, word_bytes: int = 8) -> float:
+        """Inverse bandwidth in seconds per element."""
+        return word_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """An ordered cache hierarchy (L1 first) plus main memory."""
+
+    levels: tuple[CacheLevel, ...]
+    memory: MemoryLevel
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("CacheHierarchy needs at least one cache level")
+        sizes = [lvl.size_bytes for lvl in self.levels]
+        if any(b <= a for a, b in zip(sizes, sizes[1:])):
+            raise ValueError(
+                "cache levels must be ordered from smallest (L1) to largest "
+                f"(got sizes {sizes})"
+            )
+        lines = {lvl.line_bytes for lvl in self.levels}
+        if len(lines) != 1:
+            raise ValueError(
+                f"all cache levels must share one line size, got {sorted(lines)}"
+            )
+
+    @property
+    def n_levels(self) -> int:
+        """Number of cache levels."""
+        return len(self.levels)
+
+    @property
+    def line_bytes(self) -> int:
+        """Common cache-line length in bytes."""
+        return self.levels[0].line_bytes
+
+    @property
+    def last_level(self) -> CacheLevel:
+        """The cache level closest to main memory (LLC)."""
+        return self.levels[-1]
+
+    def line_elements(self, word_bytes: int = 8) -> int:
+        """Line length ``W`` in elements."""
+        return self.levels[0].line_elements(word_bytes)
+
+    def level(self, name: str) -> CacheLevel:
+        """Look a level up by name (case-insensitive)."""
+        for lvl in self.levels:
+            if lvl.name.lower() == name.lower():
+                return lvl
+        raise KeyError(f"no cache level named {name!r}; have "
+                       f"{[lvl.name for lvl in self.levels]}")
+
+    def scaled(self, factor: float) -> "CacheHierarchy":
+        """Return a hierarchy with every capacity scaled by ``factor``.
+
+        Useful for "hardware change" experiments where the same workload is
+        re-simulated on a machine with smaller or larger caches.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be > 0")
+        new_levels = []
+        previous_size = 0
+        for lvl in self.levels:
+            scaled_size = max(lvl.line_bytes, int(lvl.size_bytes * factor))
+            # Preserve the strict L1 < L2 < ... ordering even for extreme
+            # factors that would otherwise collapse levels onto one size.
+            scaled_size = max(scaled_size, 2 * previous_size)
+            new_levels.append(replace(lvl, size_bytes=scaled_size))
+            previous_size = scaled_size
+        return CacheHierarchy(levels=tuple(new_levels), memory=self.memory)

@@ -1,0 +1,143 @@
+"""Single-node machine specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.cache import CacheHierarchy, CacheLevel, MemoryLevel
+
+__all__ = ["MachineSpec"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Description of a single compute node.
+
+    This is the only hardware information consumed by the analytical models
+    of Section IV and by the performance simulators:
+
+    * ``hierarchy`` -- the data-cache hierarchy and DRAM,
+    * ``flops_per_cycle_per_core`` and ``clock_hz`` -- combine to give the
+      per-core floating-point throughput from which the time per flop
+      ``tc`` is derived,
+    * ``cores_per_socket`` / ``sockets`` -- used by the thread-scaling
+      models (bandwidth saturates per socket, NUMA penalty across sockets),
+    * ``stream_bandwidth_bytes_per_s`` -- the *sustained* (STREAM-like)
+      node memory bandwidth; this is the ``1/beta_mem`` that the paper's
+      memory terms use, which is lower than the DRAM peak.
+    """
+
+    name: str
+    hierarchy: CacheHierarchy
+    clock_hz: float
+    flops_per_cycle_per_core: float
+    cores_per_socket: int
+    sockets: int = 1
+    word_bytes: int = 8
+    stream_bandwidth_bytes_per_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be > 0")
+        if self.flops_per_cycle_per_core <= 0:
+            raise ValueError("flops_per_cycle_per_core must be > 0")
+        if self.cores_per_socket < 1 or self.sockets < 1:
+            raise ValueError("cores_per_socket and sockets must be >= 1")
+        if self.word_bytes not in (4, 8):
+            raise ValueError("word_bytes must be 4 or 8")
+        if (self.stream_bandwidth_bytes_per_s is not None
+                and self.stream_bandwidth_bytes_per_s <= 0):
+            raise ValueError("stream_bandwidth_bytes_per_s must be > 0")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def n_cores(self) -> int:
+        """Total number of cores in the node."""
+        return self.cores_per_socket * self.sockets
+
+    @property
+    def peak_flops_per_core(self) -> float:
+        """Peak floating-point rate of one core (flop/s)."""
+        return self.clock_hz * self.flops_per_cycle_per_core
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak floating-point rate of the whole node (flop/s)."""
+        return self.peak_flops_per_core * self.n_cores
+
+    @property
+    def tc(self) -> float:
+        """Time per floating-point operation on one core, in seconds.
+
+        This is the paper's ``t_c`` in Eq. 8 and 9.
+        """
+        return 1.0 / self.peak_flops_per_core
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Sustained node memory bandwidth (bytes/s)."""
+        if self.stream_bandwidth_bytes_per_s is not None:
+            return self.stream_bandwidth_bytes_per_s
+        return self.hierarchy.memory.bandwidth_bytes_per_s
+
+    @property
+    def beta_mem(self) -> float:
+        """Inverse sustained memory bandwidth in seconds per element.
+
+        This is the paper's ``beta_mem`` in Eq. 12 and 14.
+        """
+        return self.word_bytes / self.memory_bandwidth
+
+    @property
+    def line_elements(self) -> int:
+        """Cache-line length ``W`` (or ``L``) in elements."""
+        return self.hierarchy.line_elements(self.word_bytes)
+
+    @property
+    def machine_balance(self) -> float:
+        """Bytes of memory traffic per flop sustainable at peak (B/F)."""
+        return self.memory_bandwidth / self.peak_flops
+
+    def cache_beta(self, level_index: int) -> float:
+        """Inverse bandwidth of cache level *level_index* (0 = L1), s/element."""
+        return self.hierarchy.levels[level_index].beta(self.word_bytes)
+
+    def with_hierarchy(self, hierarchy: CacheHierarchy) -> "MachineSpec":
+        """Return a copy of this spec with a different cache hierarchy."""
+        return MachineSpec(
+            name=self.name,
+            hierarchy=hierarchy,
+            clock_hz=self.clock_hz,
+            flops_per_cycle_per_core=self.flops_per_cycle_per_core,
+            cores_per_socket=self.cores_per_socket,
+            sockets=self.sockets,
+            word_bytes=self.word_bytes,
+            stream_bandwidth_bytes_per_s=self.stream_bandwidth_bytes_per_s,
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the node."""
+        lines = [
+            f"Machine: {self.name}",
+            f"  sockets x cores : {self.sockets} x {self.cores_per_socket} "
+            f"= {self.n_cores} cores",
+            f"  clock           : {self.clock_hz / 1e9:.2f} GHz",
+            f"  peak flops/core : {self.peak_flops_per_core / 1e9:.2f} Gflop/s",
+            f"  sustained BW    : {self.memory_bandwidth / 1e9:.1f} GB/s",
+            f"  machine balance : {self.machine_balance:.3f} B/F",
+        ]
+        for lvl in self.hierarchy.levels:
+            shared = f", shared by {lvl.shared_by}" if lvl.shared_by > 1 else ""
+            lines.append(
+                f"  {lvl.name:4s}: {lvl.size_bytes // 1024} KiB, "
+                f"{lvl.line_bytes} B lines, "
+                f"{lvl.bandwidth_bytes_per_s / 1e9:.1f} GB/s{shared}"
+            )
+        mem = self.hierarchy.memory
+        lines.append(
+            f"  DRAM: {mem.size_bytes // 2**30} GiB, "
+            f"{mem.bandwidth_bytes_per_s / 1e9:.1f} GB/s peak"
+        )
+        return "\n".join(lines)

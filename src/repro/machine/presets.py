@@ -1,0 +1,141 @@
+"""Machine presets.
+
+``blue_waters_xe6`` reproduces the node used throughout the paper
+(Section III-A): a Cray XE6 dual-socket node with two AMD Interlagos 6276
+processors.  Each Interlagos chip has eight Bulldozer modules; each module
+has a 16 KB write-through L1 data cache, a 2 MB write-back L2 cache, and
+shares an 8 MB write-back L3 with the other modules on the die.
+
+The numbers below (bandwidths, latencies) are representative published
+figures for the platform; the reproduction does not depend on their exact
+values -- only on the hierarchy shape, which is what the analytical model
+and the simulator consume.
+"""
+
+from __future__ import annotations
+
+from repro.machine.cache import CacheHierarchy, CacheLevel, MemoryLevel
+from repro.machine.node import MachineSpec
+
+__all__ = [
+    "blue_waters_xe6",
+    "generic_xeon_node",
+    "small_embedded_node",
+    "MACHINE_PRESETS",
+    "get_machine",
+]
+
+_GIB = 2**30
+_MIB = 2**20
+_KIB = 2**10
+
+
+def blue_waters_xe6() -> MachineSpec:
+    """Blue Waters Cray XE6 node: 2x AMD Interlagos 6276, 2.3 GHz, 64 GB."""
+    hierarchy = CacheHierarchy(
+        levels=(
+            CacheLevel(
+                name="L1",
+                size_bytes=16 * _KIB,
+                line_bytes=64,
+                bandwidth_bytes_per_s=75e9,
+                latency_s=4 / 2.3e9,
+                shared_by=1,
+                write_allocate=False,  # Interlagos L1d is write-through
+            ),
+            CacheLevel(
+                name="L2",
+                size_bytes=2 * _MIB,
+                line_bytes=64,
+                bandwidth_bytes_per_s=40e9,
+                latency_s=21 / 2.3e9,
+                shared_by=2,
+                write_allocate=True,
+            ),
+            CacheLevel(
+                name="L3",
+                size_bytes=8 * _MIB,
+                line_bytes=64,
+                bandwidth_bytes_per_s=25e9,
+                latency_s=65 / 2.3e9,
+                shared_by=8,
+                write_allocate=True,
+            ),
+        ),
+        memory=MemoryLevel(
+            size_bytes=64 * _GIB,
+            bandwidth_bytes_per_s=51.2e9,  # 2 channels DDR3-1600 per socket, peak
+            latency_s=100e-9,
+        ),
+    )
+    return MachineSpec(
+        name="Blue Waters XE6 (2x AMD Interlagos 6276)",
+        hierarchy=hierarchy,
+        clock_hz=2.3e9,
+        flops_per_cycle_per_core=4.0,  # AVX/FMA4 on a Bulldozer core-pair share
+        cores_per_socket=8,            # 8 Bulldozer modules per Interlagos die
+        sockets=2,
+        word_bytes=8,
+        stream_bandwidth_bytes_per_s=17e9,  # measured STREAM-triad class per socket
+    )
+
+
+def generic_xeon_node() -> MachineSpec:
+    """A generic two-socket Xeon-class node (hardware-change experiments)."""
+    hierarchy = CacheHierarchy(
+        levels=(
+            CacheLevel("L1", 32 * _KIB, 64, 150e9, 4 / 2.6e9, shared_by=1),
+            CacheLevel("L2", 1 * _MIB, 64, 80e9, 14 / 2.6e9, shared_by=1),
+            CacheLevel("L3", 32 * _MIB, 64, 45e9, 50 / 2.6e9, shared_by=16),
+        ),
+        memory=MemoryLevel(128 * _GIB, 120e9, 90e-9),
+    )
+    return MachineSpec(
+        name="Generic Xeon node",
+        hierarchy=hierarchy,
+        clock_hz=2.6e9,
+        flops_per_cycle_per_core=16.0,
+        cores_per_socket=16,
+        sockets=2,
+        word_bytes=8,
+        stream_bandwidth_bytes_per_s=85e9,
+    )
+
+
+def small_embedded_node() -> MachineSpec:
+    """A small cache-starved node, useful to stress the cache model cases."""
+    hierarchy = CacheHierarchy(
+        levels=(
+            CacheLevel("L1", 8 * _KIB, 32, 20e9, 3 / 1.2e9, shared_by=1),
+            CacheLevel("L2", 256 * _KIB, 32, 10e9, 12 / 1.2e9, shared_by=4),
+        ),
+        memory=MemoryLevel(4 * _GIB, 6.4e9, 150e-9),
+    )
+    return MachineSpec(
+        name="Small embedded node",
+        hierarchy=hierarchy,
+        clock_hz=1.2e9,
+        flops_per_cycle_per_core=2.0,
+        cores_per_socket=4,
+        sockets=1,
+        word_bytes=8,
+        stream_bandwidth_bytes_per_s=4.5e9,
+    )
+
+
+MACHINE_PRESETS = {
+    "blue_waters_xe6": blue_waters_xe6,
+    "generic_xeon": generic_xeon_node,
+    "small_embedded": small_embedded_node,
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look a machine preset up by name."""
+    try:
+        factory = MACHINE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine preset {name!r}; available: {sorted(MACHINE_PRESETS)}"
+        ) from None
+    return factory()

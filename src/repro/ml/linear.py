@@ -1,0 +1,95 @@
+"""Linear regression baselines.
+
+Not used by the paper's headline experiments, but valuable as cheap
+sanity-check baselines in the ablation benchmarks: a linear model cannot
+capture the strongly non-linear cache-transition behaviour of either
+application, so the tree ensembles should beat it comfortably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin
+from repro.utils.validation import check_array, check_X_y, check_is_fitted
+
+__all__ = ["LinearRegression", "Ridge"]
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Ordinary least squares fitted via the (rank-safe) lstsq solver."""
+
+    def __init__(self, *, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self.n_features_in_: int | None = None
+
+    def fit(self, X, y) -> "LinearRegression":
+        """Fit the least-squares coefficients."""
+        X, y = check_X_y(X, y)
+        self.n_features_in_ = X.shape[1]
+        if self.fit_intercept:
+            A = np.hstack([X, np.ones((X.shape[0], 1))])
+        else:
+            A = X
+        coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_ = coef[:-1]
+            self.intercept_ = float(coef[-1])
+        else:
+            self.coef_ = coef
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Evaluate the fitted linear function."""
+        check_is_fitted(self, "coef_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+
+class Ridge(BaseEstimator, RegressorMixin):
+    """L2-regularized linear regression (closed form normal equations)."""
+
+    def __init__(self, *, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self.n_features_in_: int | None = None
+
+    def fit(self, X, y) -> "Ridge":
+        """Solve the regularized normal equations."""
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {self.alpha}")
+        X, y = check_X_y(X, y)
+        self.n_features_in_ = X.shape[1]
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+        d = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Evaluate the fitted ridge model."""
+        check_is_fitted(self, "coef_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        return X @ self.coef_ + self.intercept_

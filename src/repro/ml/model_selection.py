@@ -1,0 +1,229 @@
+"""Dataset splitting, cross-validation and grid search.
+
+``train_test_split`` implements the paper's "uniform random sampling to
+construct the training dataset" (Section V) — the training fraction is the
+x-axis of every figure in the evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.metrics import r2_score
+from repro.utils.rng import check_random_state
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+    "ParameterGrid",
+    "GridSearchCV",
+]
+
+
+def train_test_split(*arrays, train_size: float | int | None = None,
+                     test_size: float | int | None = None,
+                     random_state=None, shuffle: bool = True):
+    """Split arrays into uniform-random train and test subsets.
+
+    Parameters
+    ----------
+    *arrays:
+        Arrays with the same first dimension (typically ``X, y``).
+    train_size, test_size:
+        Fraction (float in (0, 1)) or absolute count (int).  If only one is
+        given the other is the complement; if neither is given the split is
+        75% / 25%.
+    random_state:
+        Seed for the permutation.
+    shuffle:
+        If False, the first samples form the training set.
+
+    Returns
+    -------
+    list
+        ``[a1_train, a1_test, a2_train, a2_test, ...]``.
+    """
+    if not arrays:
+        raise ValueError("at least one array is required")
+    n = len(np.asarray(arrays[0]))
+    for a in arrays[1:]:
+        if len(np.asarray(a)) != n:
+            raise ValueError("all arrays must have the same length")
+    n_train, n_test = _resolve_split_sizes(n, train_size, test_size)
+    if shuffle:
+        rng = check_random_state(random_state)
+        perm = rng.permutation(n)
+    else:
+        perm = np.arange(n)
+    train_idx = perm[:n_train]
+    test_idx = perm[n_train:n_train + n_test]
+    out = []
+    for a in arrays:
+        a = np.asarray(a)
+        out.extend([a[train_idx], a[test_idx]])
+    return out
+
+
+def _resolve_split_sizes(n: int, train_size, test_size) -> tuple[int, int]:
+    def resolve(value, name):
+        if value is None:
+            return None
+        if isinstance(value, float):
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"float {name} must be in (0, 1), got {value}")
+            return max(1, int(round(value * n)))
+        value = int(value)
+        if not 1 <= value <= n:
+            raise ValueError(f"{name} must be in [1, {n}], got {value}")
+        return value
+
+    n_train = resolve(train_size, "train_size")
+    n_test = resolve(test_size, "test_size")
+    if n_train is None and n_test is None:
+        n_train = int(round(0.75 * n))
+        n_test = n - n_train
+    elif n_train is None:
+        n_train = n - n_test
+    elif n_test is None:
+        n_test = n - n_train
+    if n_train < 1 or n_test < 1 or n_train + n_test > n:
+        raise ValueError(
+            f"invalid split sizes: train={n_train}, test={n_test}, n={n}"
+        )
+    return n_train, n_test
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, *, n_splits: int = 5, shuffle: bool = False, random_state=None) -> None:
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n_samples: int | Sequence) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs.
+
+        ``n_samples`` may be an int or any sequence (its length is used).
+        """
+        if not isinstance(n_samples, (int, np.integer)):
+            n_samples = len(n_samples)
+        n = int(n_samples)
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        if self.shuffle:
+            rng = check_random_state(self.random_state)
+            indices = rng.permutation(n)
+        else:
+            indices = np.arange(n)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test_idx = indices[start:start + size]
+            train_idx = np.concatenate([indices[:start], indices[start + size:]])
+            yield train_idx, test_idx
+            start += size
+
+
+def cross_val_score(estimator: BaseEstimator, X, y, *, cv: int = 5,
+                    scoring=None, random_state=None) -> np.ndarray:
+    """Cross-validated scores of *estimator*.
+
+    ``scoring`` is a callable ``scoring(y_true, y_pred) -> float``; by
+    default the R² score is used.  Higher is assumed to be better only by
+    :class:`GridSearchCV`; this function simply reports the raw scores.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    scorer = scoring if scoring is not None else r2_score
+    scores = []
+    for train_idx, test_idx in KFold(n_splits=cv, shuffle=True,
+                                     random_state=random_state).split(len(y)):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+    return np.asarray(scores)
+
+
+class ParameterGrid:
+    """Iterate over the Cartesian product of a parameter grid dict."""
+
+    def __init__(self, grid: dict[str, Iterable]) -> None:
+        if not isinstance(grid, dict) or not grid:
+            raise ValueError("grid must be a non-empty dict of parameter lists")
+        self.grid = {k: list(v) for k, v in grid.items()}
+        for key, values in self.grid.items():
+            if not values:
+                raise ValueError(f"parameter {key!r} has no candidate values")
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.grid.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[dict]:
+        keys = sorted(self.grid)
+        for combo in itertools.product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+
+class GridSearchCV(BaseEstimator):
+    """Exhaustive hyper-parameter search with cross-validation.
+
+    ``scoring`` follows the *lower-is-better* convention when
+    ``greater_is_better=False`` (e.g. MAPE); the default R² uses
+    ``greater_is_better=True``.
+    """
+
+    def __init__(self, *, estimator: BaseEstimator, param_grid: dict,
+                 cv: int = 5, scoring=None, greater_is_better: bool = True,
+                 random_state=None) -> None:
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+        self.greater_is_better = greater_is_better
+        self.random_state = random_state
+        self.best_params_: dict | None = None
+        self.best_score_: float | None = None
+        self.best_estimator_: BaseEstimator | None = None
+        self.cv_results_: list[dict] | None = None
+
+    def fit(self, X, y) -> "GridSearchCV":
+        """Evaluate every parameter combination and refit the best one."""
+        results = []
+        best_key = None
+        for params in ParameterGrid(self.param_grid):
+            model = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(model, X, y, cv=self.cv,
+                                     scoring=self.scoring,
+                                     random_state=self.random_state)
+            mean_score = float(np.mean(scores))
+            results.append({"params": params, "mean_score": mean_score,
+                            "std_score": float(np.std(scores))})
+            key = mean_score if self.greater_is_better else -mean_score
+            if best_key is None or key > best_key:
+                best_key = key
+                self.best_params_ = params
+                self.best_score_ = mean_score
+        self.cv_results_ = results
+        self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict with the refitted best estimator."""
+        if self.best_estimator_ is None:
+            raise RuntimeError("GridSearchCV is not fitted yet")
+        return self.best_estimator_.predict(X)

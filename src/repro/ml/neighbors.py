@@ -1,0 +1,83 @@
+"""k-nearest-neighbours regression baseline.
+
+A useful sanity baseline for performance prediction: it interpolates the
+training response surface directly and therefore degrades sharply at small
+training fractions, which is exactly the regime the hybrid model targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin
+from repro.utils.validation import check_array, check_X_y, check_is_fitted
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor(BaseEstimator, RegressorMixin):
+    """Predict the (optionally distance-weighted) mean of the k nearest neighbours.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours to average.
+    weights:
+        ``"uniform"`` or ``"distance"`` (inverse-distance weighting; an
+        exact feature match gets full weight).
+    """
+
+    def __init__(self, *, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self.n_features_in_: int | None = None
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        """Memorize the training set."""
+        if self.n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {self.n_neighbors}")
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance', got {self.weights!r}")
+        X, y = check_X_y(X, y)
+        self._X = X
+        self._y = y
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Average the targets of the nearest stored samples."""
+        check_is_fitted(self, "_X")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        k = min(self.n_neighbors, self._X.shape[0])
+        # Squared Euclidean distances, blockwise to bound memory.
+        preds = np.empty(X.shape[0], dtype=np.float64)
+        block = 1024
+        for start in range(0, X.shape[0], block):
+            xq = X[start:start + block]
+            d2 = (
+                np.sum(xq**2, axis=1)[:, None]
+                - 2.0 * xq @ self._X.T
+                + np.sum(self._X**2, axis=1)[None, :]
+            )
+            np.maximum(d2, 0.0, out=d2)
+            nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            rows = np.arange(xq.shape[0])[:, None]
+            if self.weights == "uniform":
+                preds[start:start + block] = self._y[nn].mean(axis=1)
+            else:
+                dist = np.sqrt(d2[rows, nn])
+                exact = dist < 1e-12
+                w = np.where(exact, 1.0, 1.0 / np.maximum(dist, 1e-12))
+                # If any neighbour matches exactly, use only exact matches.
+                has_exact = exact.any(axis=1)
+                w = np.where(has_exact[:, None], exact.astype(float), w)
+                preds[start:start + block] = (
+                    (w * self._y[nn]).sum(axis=1) / w.sum(axis=1)
+                )
+        return preds

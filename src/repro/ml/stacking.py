@@ -1,0 +1,130 @@
+"""Stacked generalization.
+
+"In stacking, the output of one model is used as input for the next level
+model" (Section VI, citing Wolpert 1992).  The generic
+:class:`StackingRegressor` here stacks arbitrary base regressors under a
+final meta-regressor, generating the meta-features out-of-fold to avoid
+leaking the base models' training fit into the meta-model.
+
+The paper's hybrid model is a special case in which one of the "base
+models" is an *analytical* model that needs no training; that case is
+implemented directly in :class:`repro.core.hybrid.HybridPerformanceModel`,
+which re-uses the passthrough/meta-feature conventions established here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, clone
+from repro.ml.model_selection import KFold
+from repro.utils.validation import check_array, check_X_y, check_is_fitted
+
+__all__ = ["StackingRegressor"]
+
+
+class StackingRegressor(BaseEstimator, RegressorMixin):
+    """Stack several base regressors under a final estimator.
+
+    Parameters
+    ----------
+    estimators:
+        List of ``(name, estimator)`` pairs — the level-0 models.
+    final_estimator:
+        The level-1 (meta) regressor trained on the base models'
+        out-of-fold predictions.
+    cv:
+        Number of folds used to generate out-of-fold meta-features.
+    passthrough:
+        If True, the original features are appended to the meta-features,
+        which is exactly how the paper feeds the analytical prediction to
+        the ML model ("the analytical model predictions are regarded as
+        additional features").
+    """
+
+    def __init__(
+        self,
+        *,
+        estimators: list[tuple[str, BaseEstimator]],
+        final_estimator: BaseEstimator,
+        cv: int = 5,
+        passthrough: bool = False,
+        random_state=None,
+    ) -> None:
+        self.estimators = estimators
+        self.final_estimator = final_estimator
+        self.cv = cv
+        self.passthrough = passthrough
+        self.random_state = random_state
+        self.estimators_: list[BaseEstimator] | None = None
+        self.final_estimator_: BaseEstimator | None = None
+        self.named_estimators_: dict[str, BaseEstimator] | None = None
+        self.n_features_in_: int | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X, y) -> "StackingRegressor":
+        """Fit base models, build out-of-fold meta-features, fit the meta-model."""
+        X, y = check_X_y(X, y)
+        self._validate()
+        self.n_features_in_ = X.shape[1]
+        n = X.shape[0]
+        n_base = len(self.estimators)
+
+        n_folds = min(self.cv, n)
+        meta = np.zeros((n, n_base), dtype=np.float64)
+        if n_folds >= 2:
+            folds = KFold(n_splits=n_folds, shuffle=True,
+                          random_state=self.random_state).split(n)
+            for train_idx, test_idx in folds:
+                for j, (_, est) in enumerate(self.estimators):
+                    model = clone(est)
+                    model.fit(X[train_idx], y[train_idx])
+                    meta[test_idx, j] = model.predict(X[test_idx])
+        else:
+            # Degenerate tiny datasets: fall back to in-sample meta-features.
+            for j, (_, est) in enumerate(self.estimators):
+                model = clone(est)
+                model.fit(X, y)
+                meta[:, j] = model.predict(X)
+
+        # Refit every base model on the full training data for prediction time.
+        self.estimators_ = []
+        for _, est in self.estimators:
+            model = clone(est)
+            model.fit(X, y)
+            self.estimators_.append(model)
+        self.named_estimators_ = {
+            name: model for (name, _), model in zip(self.estimators, self.estimators_)
+        }
+
+        Z = np.hstack([meta, X]) if self.passthrough else meta
+        self.final_estimator_ = clone(self.final_estimator)
+        self.final_estimator_.fit(Z, y)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Return the meta-feature matrix for *X* (base predictions [+ X])."""
+        check_is_fitted(self, ["estimators_", "final_estimator_"])
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, but the stack was fitted with "
+                f"{self.n_features_in_}"
+            )
+        meta = np.column_stack([est.predict(X) for est in self.estimators_])
+        return np.hstack([meta, X]) if self.passthrough else meta
+
+    def predict(self, X) -> np.ndarray:
+        """Predict with the meta-model on top of the base predictions."""
+        Z = self.transform(X)
+        return self.final_estimator_.predict(Z)
+
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        if not self.estimators:
+            raise ValueError("estimators must be a non-empty list of (name, estimator)")
+        names = [name for name, _ in self.estimators]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate estimator names: {names}")
+        if self.cv < 1:
+            raise ValueError(f"cv must be >= 1, got {self.cv}")

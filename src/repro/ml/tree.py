@@ -1,0 +1,445 @@
+"""CART regression trees.
+
+:class:`DecisionTreeRegressor` implements the classic CART algorithm with
+variance (MSE) reduction as the split criterion.  Two splitters are
+provided:
+
+* ``"best"`` — exhaustive search over all candidate thresholds of each
+  considered feature (scikit-learn's default decision tree / random forest
+  behaviour);
+* ``"random"`` — one uniformly random threshold per considered feature
+  (the *extremely randomized trees* splitter of Geurts et al., used by
+  :class:`repro.ml.forest.ExtraTreesRegressor`, the best performing model
+  in the paper's Figure 3).
+
+The implementation is fully vectorized per node: candidate-split scoring
+uses cumulative sums over the sorted targets, so building a tree costs
+``O(n_features * n log n)`` per level, and prediction descends all query
+rows through the flat node arrays simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_X_y, check_is_fitted
+
+__all__ = ["DecisionTreeRegressor", "Tree"]
+
+_NO_CHILD = -1
+
+
+@dataclass
+class Tree:
+    """Flat array representation of a fitted regression tree.
+
+    Attributes
+    ----------
+    feature:
+        Split feature index per node (-1 for leaves).
+    threshold:
+        Split threshold per node (NaN for leaves).
+    left, right:
+        Child node indices (-1 for leaves).
+    value:
+        Mean training target of the samples reaching the node.
+    n_samples:
+        Number of training samples reaching the node.
+    impurity:
+        Variance of the training targets at the node.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+    n_samples: np.ndarray
+    impurity: np.ndarray
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes."""
+        return len(self.feature)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return int(np.sum(self.feature == _NO_CHILD))
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = depth 0)."""
+        depth = np.zeros(self.node_count, dtype=np.int64)
+        for node in range(self.node_count):
+            for child in (self.left[node], self.right[node]):
+                if child != _NO_CHILD:
+                    depth[child] = depth[node] + 1
+        return int(depth.max()) if self.node_count else 0
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Return the leaf value for every row of *X*."""
+        return self.value[self.apply(X)]
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Return the index of the leaf each row of *X* falls into."""
+        n = X.shape[0]
+        nodes = np.zeros(n, dtype=np.int64)
+        active = self.feature[nodes] != _NO_CHILD
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            cur = nodes[idx]
+            feat = self.feature[cur]
+            thr = self.threshold[cur]
+            go_left = X[idx, feat] <= thr
+            nodes[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            active[idx] = self.feature[nodes[idx]] != _NO_CHILD
+        return nodes
+
+    def decision_path_lengths(self, X: np.ndarray) -> np.ndarray:
+        """Return the depth of the leaf reached by every row of *X*."""
+        n = X.shape[0]
+        nodes = np.zeros(n, dtype=np.int64)
+        depths = np.zeros(n, dtype=np.int64)
+        active = self.feature[nodes] != _NO_CHILD
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            cur = nodes[idx]
+            feat = self.feature[cur]
+            thr = self.threshold[cur]
+            go_left = X[idx, feat] <= thr
+            nodes[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            depths[idx] += 1
+            active[idx] = self.feature[nodes[idx]] != _NO_CHILD
+        return depths
+
+
+class _TreeBuilder:
+    """Depth-first recursive builder shared by both splitters."""
+
+    def __init__(
+        self,
+        *,
+        splitter: str,
+        max_depth: int | None,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: int,
+        min_impurity_decrease: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.splitter = splitter
+        self.max_depth = np.inf if max_depth is None else max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.rng = rng
+        # Growing lists; converted to arrays at the end.
+        self._feature: list[int] = []
+        self._threshold: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._value: list[float] = []
+        self._n_samples: list[int] = []
+        self._impurity: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    def build(self, X: np.ndarray, y: np.ndarray) -> Tree:
+        self._grow(X, y, np.arange(X.shape[0]), depth=0)
+        return Tree(
+            feature=np.asarray(self._feature, dtype=np.int64),
+            threshold=np.asarray(self._threshold, dtype=np.float64),
+            left=np.asarray(self._left, dtype=np.int64),
+            right=np.asarray(self._right, dtype=np.int64),
+            value=np.asarray(self._value, dtype=np.float64),
+            n_samples=np.asarray(self._n_samples, dtype=np.int64),
+            impurity=np.asarray(self._impurity, dtype=np.float64),
+        )
+
+    def _new_node(self, value: float, n: int, impurity: float) -> int:
+        node_id = len(self._feature)
+        self._feature.append(_NO_CHILD)
+        self._threshold.append(np.nan)
+        self._left.append(_NO_CHILD)
+        self._right.append(_NO_CHILD)
+        self._value.append(value)
+        self._n_samples.append(n)
+        self._impurity.append(impurity)
+        return node_id
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, indices: np.ndarray, depth: int) -> int:
+        y_node = y[indices]
+        n = len(indices)
+        mean = float(y_node.mean())
+        impurity = float(y_node.var())
+        node_id = self._new_node(mean, n, impurity)
+
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or n < 2 * self.min_samples_leaf
+            or impurity <= 1e-15
+        ):
+            return node_id
+
+        split = self._find_split(X, y, indices, impurity)
+        if split is None:
+            return node_id
+
+        feature, threshold, left_idx, right_idx = split
+        left_id = self._grow(X, y, left_idx, depth + 1)
+        right_id = self._grow(X, y, right_idx, depth + 1)
+        self._feature[node_id] = feature
+        self._threshold[node_id] = threshold
+        self._left[node_id] = left_id
+        self._right[node_id] = right_id
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    def _find_split(self, X, y, indices, parent_impurity):
+        n = len(indices)
+        n_features = X.shape[1]
+        features = self.rng.permutation(n_features)
+
+        best = None  # (score, feature, threshold)
+        n_visited_with_candidates = 0
+        y_node = y[indices]
+        parent_sse = parent_impurity * n
+
+        for feature in features:
+            if n_visited_with_candidates >= self.max_features and best is not None:
+                break
+            x = X[indices, feature]
+            lo, hi = x.min(), x.max()
+            if lo == hi:
+                continue  # constant feature at this node
+            n_visited_with_candidates += 1
+
+            if self.splitter == "random":
+                candidate = self._score_random_threshold(x, y_node, lo, hi)
+            else:
+                candidate = self._score_best_threshold(x, y_node)
+            if candidate is None:
+                continue
+            score, threshold = candidate
+            if best is None or score < best[0]:
+                best = (score, int(feature), float(threshold))
+
+        if best is None:
+            return None
+        score, feature, threshold = best
+        decrease = (parent_sse - score) / n
+        if decrease < self.min_impurity_decrease - 1e-15:
+            return None
+
+        mask = X[indices, feature] <= threshold
+        left_idx = indices[mask]
+        right_idx = indices[~mask]
+        if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
+            return None
+        return feature, threshold, left_idx, right_idx
+
+    def _score_best_threshold(self, x: np.ndarray, y: np.ndarray):
+        """Best (min total SSE) threshold for one feature, or None."""
+        order = np.argsort(x, kind="mergesort")
+        xs = x[order]
+        ys = y[order]
+        n = len(xs)
+        # Candidate split positions i mean: left = [0..i), right = [i..n).
+        csum = np.cumsum(ys)
+        csum2 = np.cumsum(ys * ys)
+        total = csum[-1]
+        total2 = csum2[-1]
+        pos = np.arange(1, n)
+        # Only split between distinct consecutive values and obey min_samples_leaf.
+        distinct = xs[1:] != xs[:-1]
+        leaf_ok = (pos >= self.min_samples_leaf) & (n - pos >= self.min_samples_leaf)
+        valid = distinct & leaf_ok
+        if not np.any(valid):
+            return None
+        left_sum = csum[:-1]
+        left_sum2 = csum2[:-1]
+        right_sum = total - left_sum
+        right_sum2 = total2 - left_sum2
+        n_left = pos
+        n_right = n - pos
+        sse = (left_sum2 - left_sum**2 / n_left) + (right_sum2 - right_sum**2 / n_right)
+        sse = np.where(valid, sse, np.inf)
+        best_i = int(np.argmin(sse))
+        threshold = 0.5 * (xs[best_i] + xs[best_i + 1])
+        # Guard against midpoints that round onto the right value.
+        if threshold >= xs[best_i + 1]:
+            threshold = xs[best_i]
+        return float(sse[best_i]), float(threshold)
+
+    def _score_random_threshold(self, x: np.ndarray, y: np.ndarray, lo: float, hi: float):
+        """Extra-trees style: draw one uniform threshold and score it."""
+        threshold = float(self.rng.uniform(lo, hi))
+        if threshold >= hi:  # numerical edge; ensure both sides non-empty
+            threshold = np.nextafter(hi, lo)
+        mask = x <= threshold
+        n_left = int(mask.sum())
+        n_right = len(x) - n_left
+        if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+            return None
+        y_left = y[mask]
+        y_right = y[~mask]
+        sse = float(y_left.var() * n_left + y_right.var() * n_right)
+        return sse, threshold
+
+
+class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
+    """CART regression tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until leaves are pure or smaller
+        than ``min_samples_split``.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples in each leaf.
+    max_features:
+        Number of features examined per split: an int, a float fraction in
+        (0, 1], ``"sqrt"``, ``"log2"``, or ``None`` (all features).
+    splitter:
+        ``"best"`` (exhaustive thresholds) or ``"random"`` (extra-trees).
+    min_impurity_decrease:
+        Minimum weighted variance reduction required to keep a split.
+    random_state:
+        Seed controlling feature shuffling and random thresholds.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        splitter: str = "best",
+        min_impurity_decrease: float = 0.0,
+        random_state=None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.splitter = splitter
+        self.min_impurity_decrease = min_impurity_decrease
+        self.random_state = random_state
+        self.tree_: Tree | None = None
+        self.n_features_in_: int | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        """Grow the tree on the training data."""
+        X, y = check_X_y(X, y)
+        self._validate_hyperparameters()
+        self.n_features_in_ = X.shape[1]
+        rng = check_random_state(self.random_state)
+        builder = _TreeBuilder(
+            splitter=self.splitter,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self._resolve_max_features(X.shape[1]),
+            min_impurity_decrease=self.min_impurity_decrease,
+            rng=rng,
+        )
+        self.tree_ = builder.build(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict the target for every row of *X*."""
+        check_is_fitted(self, "tree_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, but the tree was fitted with "
+                f"{self.n_features_in_}"
+            )
+        return self.tree_.predict(X)
+
+    def apply(self, X) -> np.ndarray:
+        """Return the leaf index each row of *X* lands in."""
+        check_is_fitted(self, "tree_")
+        X = check_array(X)
+        return self.tree_.apply(X)
+
+    def get_depth(self) -> int:
+        """Depth of the fitted tree."""
+        check_is_fitted(self, "tree_")
+        return self.tree_.max_depth
+
+    def get_n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        check_is_fitted(self, "tree_")
+        return self.tree_.n_leaves
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Impurity-based feature importances (sum to 1, or all zeros)."""
+        check_is_fitted(self, "tree_")
+        tree = self.tree_
+        importances = np.zeros(self.n_features_in_, dtype=np.float64)
+        for node in range(tree.node_count):
+            feat = tree.feature[node]
+            if feat == _NO_CHILD:
+                continue
+            left, right = tree.left[node], tree.right[node]
+            n, n_l, n_r = tree.n_samples[node], tree.n_samples[left], tree.n_samples[right]
+            decrease = (
+                n * tree.impurity[node]
+                - n_l * tree.impurity[left]
+                - n_r * tree.impurity[right]
+            )
+            importances[feat] += max(0.0, decrease)
+        total = importances.sum()
+        if total > 0:
+            importances /= total
+        return importances
+
+    # ------------------------------------------------------------------ #
+    def _validate_hyperparameters(self) -> None:
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1 or None, got {self.max_depth}")
+        if self.min_samples_split < 2:
+            raise ValueError(
+                f"min_samples_split must be >= 2, got {self.min_samples_split}"
+            )
+        if self.min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1, got {self.min_samples_leaf}"
+            )
+        if self.splitter not in ("best", "random"):
+            raise ValueError(f"splitter must be 'best' or 'random', got {self.splitter!r}")
+        if self.min_impurity_decrease < 0:
+            raise ValueError("min_impurity_decrease must be >= 0")
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if isinstance(mf, str):
+            if mf == "sqrt":
+                return max(1, int(np.sqrt(n_features)))
+            if mf == "log2":
+                return max(1, int(np.log2(n_features)))
+            raise ValueError(f"unknown max_features string {mf!r}")
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError(f"float max_features must be in (0, 1], got {mf}")
+            return max(1, int(round(mf * n_features)))
+        mf = int(mf)
+        if not 1 <= mf <= n_features:
+            raise ValueError(
+                f"max_features must be in [1, {n_features}], got {mf}"
+            )
+        return mf

@@ -1,0 +1,35 @@
+"""Parallelism substrate.
+
+The paper's feature vectors include the number of OpenMP threads ``t``;
+its analytical models, however, are single-core models (Section VII-A,
+Fig. 7 explicitly exploits this).  This package provides:
+
+* :mod:`repro.parallel.scaling` -- analytic thread-scaling laws
+  (Amdahl's law, bandwidth-saturation scaling, NUMA penalties) that the
+  performance simulators use to turn a single-core time into a
+  multi-threaded time,
+* :mod:`repro.parallel.threadpool` -- a simple chunked parallel map used by
+  the executable engines and the ensemble learners,
+* :mod:`repro.parallel.communicator` -- a tiny in-process "communicator"
+  abstraction with the collective operations needed by the distributed-FMM
+  partitioning example (an MPI stand-in that requires no processes).
+"""
+
+from repro.parallel.scaling import (
+    amdahl_speedup,
+    gustafson_speedup,
+    bandwidth_saturation_speedup,
+    ThreadScalingModel,
+)
+from repro.parallel.threadpool import parallel_map, chunk_indices
+from repro.parallel.communicator import SimCommunicator
+
+__all__ = [
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "bandwidth_saturation_speedup",
+    "ThreadScalingModel",
+    "parallel_map",
+    "chunk_indices",
+    "SimCommunicator",
+]

@@ -1,0 +1,170 @@
+"""A tiny in-process stand-in for an MPI communicator.
+
+ExaFMM supports hybrid MPI/OpenMP runs; the paper's evaluation only varies
+the thread count, but the FMM partitioning example
+(``examples/fmm_parameter_tuning.py``) demonstrates domain decomposition
+across "ranks".  :class:`SimCommunicator` provides the handful of
+collectives that example needs (bcast, scatter, gather, allreduce,
+alltoall) executed over a list of per-rank payloads in a single process,
+so no ``mpiexec`` launcher or mpi4py installation is required.
+
+The interface deliberately mirrors mpi4py's lowercase, pickle-based
+methods (``bcast``/``scatter``/``gather``/...), so swapping a real
+``MPI.COMM_WORLD`` in is a one-line change for users who have MPI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["SimCommunicator"]
+
+
+class SimCommunicator:
+    """Simulated communicator over ``size`` virtual ranks.
+
+    The communicator stores one payload slot per rank.  Collective
+    operations take *per-rank input lists* and return *per-rank output
+    lists*, i.e. they evaluate what every rank would see.  This turns SPMD
+    snippets into ordinary loops while keeping the data movement explicit,
+    which is all the examples and tests need.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self._size = int(size)
+        self._bytes_sent = 0
+        self._n_messages = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of virtual ranks."""
+        return self._size
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total payload volume moved by collectives so far (bytes)."""
+        return self._bytes_sent
+
+    @property
+    def n_messages(self) -> int:
+        """Number of point-to-point messages implied by collectives so far."""
+        return self._n_messages
+
+    def reset_counters(self) -> None:
+        """Zero the traffic counters."""
+        self._bytes_sent = 0
+        self._n_messages = 0
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+    def bcast(self, obj: Any, root: int = 0) -> list[Any]:
+        """Broadcast *obj* from *root*: every rank receives it."""
+        self._check_rank(root)
+        self._account(obj, self._size - 1)
+        return [obj for _ in range(self._size)]
+
+    def scatter(self, chunks: Sequence[Any], root: int = 0) -> list[Any]:
+        """Scatter one chunk to each rank from *root*."""
+        self._check_rank(root)
+        chunks = list(chunks)
+        if len(chunks) != self._size:
+            raise ValueError(
+                f"scatter needs exactly {self._size} chunks, got {len(chunks)}"
+            )
+        for i, c in enumerate(chunks):
+            if i != root:
+                self._account(c, 1)
+        return chunks
+
+    def gather(self, per_rank_values: Sequence[Any], root: int = 0) -> list[Any]:
+        """Gather one value from every rank onto *root*.
+
+        Returns the list the root rank would receive.
+        """
+        self._check_rank(root)
+        values = list(per_rank_values)
+        if len(values) != self._size:
+            raise ValueError(
+                f"gather needs exactly {self._size} values, got {len(values)}"
+            )
+        for i, v in enumerate(values):
+            if i != root:
+                self._account(v, 1)
+        return values
+
+    def allgather(self, per_rank_values: Sequence[Any]) -> list[list[Any]]:
+        """All ranks receive the full list of per-rank values."""
+        values = list(per_rank_values)
+        if len(values) != self._size:
+            raise ValueError(
+                f"allgather needs exactly {self._size} values, got {len(values)}"
+            )
+        for v in values:
+            self._account(v, self._size - 1)
+        return [list(values) for _ in range(self._size)]
+
+    def allreduce(self, per_rank_values: Sequence[Any],
+                  op: Callable[[Any, Any], Any] | None = None) -> list[Any]:
+        """Reduce per-rank values with *op* (default: sum) and give all ranks the result."""
+        values = list(per_rank_values)
+        if len(values) != self._size:
+            raise ValueError(
+                f"allreduce needs exactly {self._size} values, got {len(values)}"
+            )
+        if op is None:
+            result = values[0]
+            for v in values[1:]:
+                result = result + v
+        else:
+            result = values[0]
+            for v in values[1:]:
+                result = op(result, v)
+        for v in values:
+            self._account(v, 1)
+        return [result for _ in range(self._size)]
+
+    def alltoall(self, send_matrix: Sequence[Sequence[Any]]) -> list[list[Any]]:
+        """Personalized all-to-all: ``send_matrix[i][j]`` goes from rank i to rank j."""
+        matrix = [list(row) for row in send_matrix]
+        if len(matrix) != self._size or any(len(row) != self._size for row in matrix):
+            raise ValueError(
+                f"alltoall needs a {self._size}x{self._size} matrix of payloads"
+            )
+        for i, row in enumerate(matrix):
+            for j, payload in enumerate(row):
+                if i != j:
+                    self._account(payload, 1)
+        return [[matrix[i][j] for i in range(self._size)] for j in range(self._size)]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._size:
+            raise ValueError(f"rank {rank} out of range [0, {self._size})")
+
+    def _account(self, payload: Any, n_receivers: int) -> None:
+        self._n_messages += n_receivers
+        self._bytes_sent += self._payload_bytes(payload) * n_receivers
+
+    @staticmethod
+    def _payload_bytes(payload: Any) -> int:
+        if isinstance(payload, np.ndarray):
+            return payload.nbytes
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        if isinstance(payload, (int, float, np.floating, np.integer)):
+            return 8
+        if isinstance(payload, (list, tuple)):
+            return sum(SimCommunicator._payload_bytes(p) for p in payload)
+        if isinstance(payload, dict):
+            return sum(SimCommunicator._payload_bytes(v) for v in payload.values())
+        return 64  # rough default for other Python objects

@@ -1,0 +1,65 @@
+"""Chunked parallel map.
+
+Python threads cannot speed up pure-Python loops (the GIL), but the
+executable engines in :mod:`repro.stencil` and :mod:`repro.fmm` spend their
+time inside NumPy kernels which release the GIL, so a thread pool gives
+real concurrency there.  ``parallel_map`` degrades gracefully to a serial
+loop when ``n_jobs == 1`` (the default), which also keeps unit tests
+deterministic and cheap.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["parallel_map", "chunk_indices"]
+
+
+def chunk_indices(n_items: int, n_chunks: int) -> list[range]:
+    """Split ``range(n_items)`` into at most *n_chunks* contiguous ranges.
+
+    The chunks are balanced: their lengths differ by at most one.  Empty
+    chunks are never returned.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be >= 0")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    n_chunks = min(n_chunks, n_items) if n_items > 0 else 0
+    chunks: list[range] = []
+    start = 0
+    for i in range(n_chunks):
+        size = n_items // n_chunks + (1 if i < n_items % n_chunks else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+def parallel_map(func: Callable, items: Sequence, *, n_jobs: int = 1) -> list:
+    """Apply *func* to every item, optionally with a thread pool.
+
+    Parameters
+    ----------
+    func:
+        Callable applied to each element of *items*.
+    items:
+        Sequence of work items.
+    n_jobs:
+        Number of worker threads.  ``1`` runs serially; ``-1`` uses as many
+        workers as items (capped at 32).
+
+    Returns
+    -------
+    list
+        Results in the same order as *items*.
+    """
+    items = list(items)
+    if n_jobs == 0 or n_jobs < -1:
+        raise ValueError(f"n_jobs must be -1 or >= 1, got {n_jobs}")
+    if n_jobs == -1:
+        n_jobs = min(32, max(1, len(items)))
+    if n_jobs == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+        return list(pool.map(func, items))

@@ -1,0 +1,139 @@
+"""3-D structured grids with ghost layers.
+
+The paper's stencil loops run over interior points ``1 .. II-1`` etc.,
+where ``II = I + 2*l`` includes ``l`` ghost layers on each side for a
+stencil of order ``l`` (the 7-point stencil has ``l = 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Grid3D"]
+
+
+@dataclass
+class Grid3D:
+    """A 3-D grid of ``I x J x K`` interior points with ghost layers.
+
+    Parameters
+    ----------
+    shape:
+        Interior extents ``(I, J, K)`` — the x, y and z dimensions, matching
+        the paper's notation.
+    order:
+        Stencil order ``l``; the halo is ``l`` points wide on every face.
+    dtype:
+        Floating-point dtype of the field storage.
+    """
+
+    shape: tuple[int, int, int]
+    order: int = 1
+    dtype: type = np.float64
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or any(int(s) < 1 for s in self.shape):
+            raise ValueError(f"shape must be three positive extents, got {self.shape}")
+        if self.order < 1:
+            raise ValueError(f"order must be >= 1, got {self.order}")
+        self.shape = tuple(int(s) for s in self.shape)
+        self._data = np.zeros(self.padded_shape, dtype=self.dtype)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def I(self) -> int:  # noqa: E743 — matches the paper's symbol
+        """Interior extent along x."""
+        return self.shape[0]
+
+    @property
+    def J(self) -> int:
+        """Interior extent along y."""
+        return self.shape[1]
+
+    @property
+    def K(self) -> int:
+        """Interior extent along z."""
+        return self.shape[2]
+
+    @property
+    def padded_shape(self) -> tuple[int, int, int]:
+        """Extents including ghost points: ``(II, JJ, KK)``."""
+        g = 2 * self.order
+        return (self.shape[0] + g, self.shape[1] + g, self.shape[2] + g)
+
+    @property
+    def n_interior(self) -> int:
+        """Number of interior points ``N = I * J * K``."""
+        return self.shape[0] * self.shape[1] * self.shape[2]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The full padded storage array (ghosts included)."""
+        return self._data
+
+    @property
+    def interior(self) -> np.ndarray:
+        """View of the interior region (no ghosts)."""
+        l = self.order
+        return self._data[l:-l, l:-l, l:-l]
+
+    # ------------------------------------------------------------------ #
+    def fill(self, value: float) -> "Grid3D":
+        """Set every point (including ghosts) to *value*."""
+        self._data[...] = value
+        return self
+
+    def fill_random(self, random_state=None, low: float = 0.0, high: float = 1.0) -> "Grid3D":
+        """Fill the full array with uniform random values."""
+        from repro.utils.rng import check_random_state
+
+        rng = check_random_state(random_state)
+        self._data[...] = rng.uniform(low, high, size=self.padded_shape)
+        return self
+
+    def fill_function(self, func) -> "Grid3D":
+        """Fill interior points with ``func(x, y, z)`` on the unit cube.
+
+        Ghost points are set by clamped extension of the interior, which is
+        a simple homogeneous-Neumann-like boundary adequate for tests.
+        """
+        l = self.order
+        ii, jj, kk = np.meshgrid(
+            np.linspace(0.0, 1.0, self.I),
+            np.linspace(0.0, 1.0, self.J),
+            np.linspace(0.0, 1.0, self.K),
+            indexing="ij",
+        )
+        self.interior[...] = func(ii, jj, kk)
+        # Clamp-extend into ghost layers.
+        for axis in range(3):
+            for _ in range(l):
+                sl_lo = [slice(None)] * 3
+                sl_lo_src = [slice(None)] * 3
+                sl_hi = [slice(None)] * 3
+                sl_hi_src = [slice(None)] * 3
+                sl_lo[axis] = slice(0, l)
+                sl_lo_src[axis] = slice(l, l + 1)
+                sl_hi[axis] = slice(-l, None)
+                sl_hi_src[axis] = slice(-l - 1, -l)
+                self._data[tuple(sl_lo)] = self._data[tuple(sl_lo_src)]
+                self._data[tuple(sl_hi)] = self._data[tuple(sl_hi_src)]
+        return self
+
+    def copy(self) -> "Grid3D":
+        """Deep copy of the grid (storage included)."""
+        other = Grid3D(shape=self.shape, order=self.order, dtype=self.dtype)
+        other._data[...] = self._data
+        return other
+
+    def memory_bytes(self, word_bytes: int | None = None) -> int:
+        """Bytes of storage for one copy of the padded field."""
+        itemsize = np.dtype(self.dtype).itemsize if word_bytes is None else word_bytes
+        ii, jj, kk = self.padded_shape
+        return ii * jj * kk * itemsize
+
+    def __repr__(self) -> str:
+        return (f"Grid3D(shape={self.shape}, order={self.order}, "
+                f"padded={self.padded_shape})")

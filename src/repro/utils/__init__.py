@@ -1,0 +1,21 @@
+"""Shared utilities: validation helpers, random-number handling, timing."""
+
+from repro.utils.rng import check_random_state
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_array,
+    check_X_y,
+    check_positive,
+    check_in_range,
+    check_is_fitted,
+)
+
+__all__ = [
+    "check_random_state",
+    "Timer",
+    "check_array",
+    "check_X_y",
+    "check_positive",
+    "check_in_range",
+    "check_is_fitted",
+]

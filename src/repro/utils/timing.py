@@ -1,0 +1,60 @@
+"""Lightweight wall-clock timing utilities used by the executable engines."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "timeit_median"]
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed time in seconds."""
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+
+def timeit_median(func, *, repeats: int = 3, **kwargs) -> float:
+    """Run ``func(**kwargs)`` *repeats* times and return the median runtime.
+
+    The median is robust against one-off interference (page faults, GC),
+    which matters when timing short kernels.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        func(**kwargs)
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    mid = len(samples) // 2
+    if len(samples) % 2:
+        return samples[mid]
+    return 0.5 * (samples[mid - 1] + samples[mid])

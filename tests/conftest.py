@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, deterministic datasets and model instances so
+individual test modules stay fast (the full suite is meant to run in a few
+minutes on a laptop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import PerformanceDataset
+from repro.datasets import blocked_small_grid_dataset, fmm_dataset
+from repro.fmm.particles import random_cube
+from repro.machine import blue_waters_xe6
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The Blue Waters node used across the analytical-model tests."""
+    return blue_waters_xe6()
+
+
+@pytest.fixture(scope="session")
+def regression_data():
+    """A small synthetic regression problem with non-linear structure."""
+    rng = np.random.default_rng(42)
+    X = rng.uniform(0.0, 10.0, size=(400, 4))
+    y = (np.sin(X[:, 0]) + 0.3 * X[:, 1] ** 2 + X[:, 2] * X[:, 3] / 10.0
+         + rng.normal(0.0, 0.05, size=400) + 5.0)
+    return X, y
+
+@pytest.fixture(scope="session")
+def small_stencil_dataset() -> PerformanceDataset:
+    """A subsampled blocked-stencil dataset (fast to generate and fit)."""
+    return blocked_small_grid_dataset(max_configs=300, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def small_fmm_dataset() -> PerformanceDataset:
+    """A subsampled FMM dataset."""
+    return fmm_dataset(max_configs=300, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def small_particles():
+    """A small uniform-cube particle set for FMM tests."""
+    return random_cube(600, random_state=7)

@@ -1,0 +1,78 @@
+"""Tests for repro.analytical.communication."""
+
+import pytest
+
+from repro.analytical.communication import (
+    AlphaBetaNetwork,
+    fmm_communication_time,
+    stencil_halo_exchange_time,
+)
+
+
+class TestAlphaBetaNetwork:
+    def test_message_time_components(self):
+        net = AlphaBetaNetwork(latency_s=1e-6, bandwidth_bytes_per_s=1e9, word_bytes=8)
+        assert net.message_time(0) == pytest.approx(1e-6)
+        assert net.message_time(1000) == pytest.approx(1e-6 + 8000 / 1e9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AlphaBetaNetwork(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            AlphaBetaNetwork(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(ValueError):
+            AlphaBetaNetwork().message_time(-1)
+
+
+class TestStencilHaloExchange:
+    def test_single_rank_is_free(self):
+        assert stencil_halo_exchange_time((256, 256, 256), 1) == 0.0
+
+    def test_more_ranks_smaller_messages_but_more_directions(self):
+        shape = (512, 512, 512)
+        t2 = stencil_halo_exchange_time(shape, 2)
+        t64 = stencil_halo_exchange_time(shape, 64)
+        assert t2 > 0 and t64 > 0
+        # With 64 ranks every face shrinks by 16x but all 3 directions
+        # communicate, so time per rank drops but not by the full factor.
+        assert t64 < t2
+        assert t64 > t2 / 16.0
+
+    def test_timesteps_scale_linearly(self):
+        shape = (128, 128, 128)
+        t1 = stencil_halo_exchange_time(shape, 8, timesteps=1)
+        t5 = stencil_halo_exchange_time(shape, 8, timesteps=5)
+        assert t5 == pytest.approx(5 * t1)
+
+    def test_higher_order_larger_halo(self):
+        shape = (128, 128, 128)
+        assert stencil_halo_exchange_time(shape, 8, order=2) > \
+            stencil_halo_exchange_time(shape, 8, order=1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            stencil_halo_exchange_time((8, 8, 8), 0)
+        with pytest.raises(ValueError):
+            stencil_halo_exchange_time((8, 8, 8), 4, timesteps=0)
+
+
+class TestFmmCommunication:
+    def test_single_rank_is_free(self):
+        assert fmm_communication_time(100_000, 1) == 0.0
+
+    def test_positive_and_grows_with_order(self):
+        low = fmm_communication_time(1_000_000, 64, order=2)
+        high = fmm_communication_time(1_000_000, 64, order=10)
+        assert 0 < low < high
+
+    def test_weak_scaling_per_rank_volume_shrinks(self):
+        # Fixed total N: each rank holds less, so its ghost volume shrinks.
+        few = fmm_communication_time(1_000_000, 8)
+        many = fmm_communication_time(1_000_000, 512)
+        assert many < few
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fmm_communication_time(0, 4)
+        with pytest.raises(ValueError):
+            fmm_communication_time(1000, 4, order=0)

@@ -1,0 +1,96 @@
+"""Tests for repro.analytical.fmm_model (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.analytical.fmm_model import FmmAnalyticalModel
+from repro.fmm.config import FmmConfig
+from repro.machine import blue_waters_xe6
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FmmAnalyticalModel()
+
+
+class TestEquations:
+    def test_p2p_flop_term_matches_eq8(self, model):
+        # With enormous q the P2P flop term dominates everything:
+        # T ~ 27 q N tc.
+        cfg = FmmConfig(threads=1, n_particles=100_000, particles_per_leaf=50_000, order=2)
+        machine = model.machine
+        expected_p2p = 27.0 * 50_000 * 100_000 * machine.tc
+        phases = model.predict_phases(cfg)
+        assert phases["p2p_flops"] == pytest.approx(expected_p2p)
+
+    def test_m2l_flop_term_matches_eq9(self, model):
+        cfg = FmmConfig(threads=1, n_particles=10_000, particles_per_leaf=10, order=10)
+        expected = 189.0 * 10_000 * 10.0 ** 6 / 10.0 * model.machine.tc
+        assert model.predict_phases(cfg)["m2l_flops"] == pytest.approx(expected)
+
+    def test_memory_terms_positive_and_scale_with_n(self, model):
+        small = model.predict_phases(FmmConfig(threads=1, n_particles=4096,
+                                               particles_per_leaf=64, order=6))
+        large = model.predict_phases(FmmConfig(threads=1, n_particles=16384,
+                                               particles_per_leaf=64, order=6))
+        for key in ("p2p_mem", "m2l_mem"):
+            assert small[key] > 0
+            assert large[key] == pytest.approx(4.0 * small[key], rel=1e-6)
+
+    def test_total_is_sum_of_phase_rooflines(self, model):
+        cfg = FmmConfig(threads=1, n_particles=8192, particles_per_leaf=64, order=6)
+        phases = model.predict_phases(cfg)
+        expected = (max(phases["p2p_flops"], phases["p2p_mem"])
+                    + max(phases["m2l_flops"], phases["m2l_mem"]))
+        assert model.predict_config(cfg) == pytest.approx(expected)
+
+    def test_expansion_phases_add_cost_when_enabled(self):
+        cfg = FmmConfig(threads=1, n_particles=8192, particles_per_leaf=64, order=6)
+        base = FmmAnalyticalModel().predict_config(cfg)
+        extended = FmmAnalyticalModel(include_expansion_phases=True).predict_config(cfg)
+        assert extended > base
+
+
+class TestShape:
+    def test_order_dependence_is_k6_when_m2l_dominates(self, model):
+        t_small = model.predict_config(FmmConfig(threads=1, n_particles=16384,
+                                                 particles_per_leaf=8, order=4))
+        t_large = model.predict_config(FmmConfig(threads=1, n_particles=16384,
+                                                 particles_per_leaf=8, order=8))
+        assert t_large / t_small == pytest.approx(2.0 ** 6, rel=0.3)
+
+    def test_optimal_q_exists_at_low_order(self, model):
+        # At low expansion order the P2P term (growing with q) and the M2L
+        # term (shrinking with q) cross, giving an interior optimum; at high
+        # order the paper's model is M2L-dominated everywhere.
+        qs = [8, 16, 32, 64, 128, 256, 512]
+        times = [model.predict_config(FmmConfig(threads=1, n_particles=16384,
+                                                particles_per_leaf=q, order=2))
+                 for q in qs]
+        best = int(np.argmin(times))
+        assert 0 < best < len(qs) - 1
+
+    def test_threads_ignored(self, model):
+        t1 = model.predict_config(FmmConfig(threads=1, n_particles=8192,
+                                            particles_per_leaf=64, order=6))
+        t16 = model.predict_config(FmmConfig(threads=16, n_particles=8192,
+                                             particles_per_leaf=64, order=6))
+        assert t1 == pytest.approx(t16)
+
+
+class TestFeatureInterface:
+    def test_predict_from_feature_matrix(self, model):
+        X = np.array([[1, 4096, 64, 4], [1, 4096, 64, 8]], dtype=float)
+        times = model.predict(X, ["threads", "n_particles", "particles_per_leaf", "order"])
+        assert times[1] > times[0]
+
+    def test_config_from_features(self, model):
+        cfg = model.config_from_features(
+            np.array([2.0, 8192.0, 32.0, 7.0]),
+            ["threads", "n_particles", "particles_per_leaf", "order"],
+        )
+        assert cfg == FmmConfig(threads=2, n_particles=8192, particles_per_leaf=32, order=7)
+
+    def test_invalid_constants(self):
+        with pytest.raises(ValueError):
+            FmmAnalyticalModel(p2p_flops_constant=0.0)

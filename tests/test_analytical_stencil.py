@@ -1,0 +1,119 @@
+"""Tests for repro.analytical.stencil_model (Section IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.analytical.base import roofline_time
+from repro.analytical.stencil_model import StencilAnalyticalModel
+from repro.machine import blue_waters_xe6, small_embedded_node
+from repro.stencil.config import StencilConfig
+
+
+@pytest.fixture(scope="module")
+def model():
+    return StencilAnalyticalModel()
+
+
+class TestRoofline:
+    def test_max_rule(self):
+        assert roofline_time(1.0, 2.0) == 2.0
+        assert roofline_time(3.0, 2.0) == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_time(-1.0, 2.0)
+
+
+class TestPredictions:
+    def test_positive_finite(self, model):
+        t = model.predict_config(StencilConfig(I=64, J=64, K=64))
+        assert np.isfinite(t) and t > 0
+
+    def test_scales_with_grid_points(self, model):
+        t1 = model.predict_config(StencilConfig(I=64, J=64, K=64))
+        t2 = model.predict_config(StencilConfig(I=128, J=128, K=128))
+        assert 6.0 < t2 / t1 < 20.0   # 8x the points, superlinear when caches overflow
+
+    def test_timesteps_scale_linearly(self):
+        cfg = StencilConfig(I=64, J=64, K=64)
+        t1 = StencilAnalyticalModel(timesteps=1).predict_config(cfg)
+        t3 = StencilAnalyticalModel(timesteps=3).predict_config(cfg)
+        assert t3 == pytest.approx(3.0 * t1)
+
+    def test_serial_model_ignores_threads(self, model):
+        t1 = model.predict_config(StencilConfig(I=128, J=128, K=1, threads=1))
+        t8 = model.predict_config(StencilConfig(I=128, J=128, K=1, threads=8))
+        assert t1 == pytest.approx(t8)   # the paper's Fig. 7 premise
+
+    def test_blocking_enters_the_model(self, model):
+        unblocked = model.predict_config(StencilConfig(I=128, J=128, K=128))
+        blocked = model.predict_config(StencilConfig(I=128, J=128, K=128, bi=16, bj=16, bk=16))
+        assert blocked != unblocked
+
+    def test_cache_friendly_blocking_not_worse_than_tiny_blocking(self, model):
+        good = model.predict_config(StencilConfig(I=256, J=256, K=256, bi=256, bj=32, bk=32))
+        terrible = model.predict_config(StencilConfig(I=256, J=256, K=256, bi=1, bj=1, bk=1))
+        assert good <= terrible
+
+    def test_write_allocate_costs_more(self):
+        cfg = StencilConfig(I=128, J=128, K=128)
+        wa = StencilAnalyticalModel(write_allocate=True).predict_config(cfg)
+        nwa = StencilAnalyticalModel(write_allocate=False).predict_config(cfg)
+        assert wa >= nwa
+
+    def test_smaller_machine_predicts_slower(self):
+        cfg = StencilConfig(I=128, J=128, K=128)
+        fast = StencilAnalyticalModel(machine=blue_waters_xe6()).predict_config(cfg)
+        slow = StencilAnalyticalModel(machine=small_embedded_node()).predict_config(cfg)
+        assert slow > fast
+
+    def test_predict_configs_batch(self, model):
+        configs = [StencilConfig(I=32, J=32, K=32), StencilConfig(I=64, J=64, K=64)]
+        times = model.predict_configs(configs)
+        assert times.shape == (2,)
+        assert times[0] < times[1]
+
+
+class TestFeatureInterface:
+    def test_predict_from_feature_matrix(self, model):
+        X = np.array([[64.0, 64.0, 64.0], [128.0, 128.0, 128.0]])
+        times = model.predict(X, ["I", "J", "K"])
+        assert times.shape == (2,)
+        assert times[0] < times[1]
+
+    def test_config_from_features_roundtrip(self, model):
+        cfg = model.config_from_features(
+            np.array([1.0, 64.0, 32.0, 1.0, 16.0, 8.0]),
+            ["I", "J", "K", "bi", "bj", "bk"],
+        )
+        assert cfg == StencilConfig(I=1, J=64, K=32, bi=1, bj=16, bk=8)
+
+    def test_missing_features_use_defaults(self, model):
+        cfg = model.config_from_features(np.array([16.0, 16.0, 16.0]), ["I", "J", "K"])
+        assert cfg.threads == 1 and cfg.bi == 0
+
+    def test_invalid_timesteps(self):
+        with pytest.raises(ValueError):
+            StencilAnalyticalModel(timesteps=0)
+
+
+class TestNplanesCases:
+    def test_tiny_working_set_gives_one_plane(self, model):
+        W = model.machine.line_elements
+        nplanes = model._nplanes(cache_elements=10**9, W=W, pread=3,
+                                 sread=100.0, stotal=400.0, II=10.0)
+        assert nplanes == pytest.approx(1.0)
+
+    def test_huge_working_set_gives_max_planes(self, model):
+        W = model.machine.line_elements
+        nplanes = model._nplanes(cache_elements=64, W=W, pread=3,
+                                 sread=1e9, stotal=4e9, II=1e6)
+        assert nplanes == pytest.approx(5.0)   # 2*pread - 1
+
+    def test_nplanes_monotone_in_cache_size(self, model):
+        W = model.machine.line_elements
+        sizes = np.logspace(2, 8, 30)
+        values = [model._nplanes(cache_elements=s, W=W, pread=3,
+                                 sread=5e4, stotal=2e5, II=300.0) for s in sizes]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+        assert min(values) >= 1.0 and max(values) <= 5.0

@@ -1,0 +1,90 @@
+"""Tests for repro.core.evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import (
+    LearningCurve,
+    LearningCurvePoint,
+    compare_models,
+    evaluate_learning_curve,
+)
+from repro.ml import ExtraTreesRegressor, LinearRegression, Pipeline, StandardScaler
+
+
+def _et_factory(seed):
+    return Pipeline(steps=[("s", StandardScaler()),
+                           ("m", ExtraTreesRegressor(n_estimators=8, random_state=seed))])
+
+
+class TestLearningCurveContainers:
+    def test_point_statistics(self):
+        point = LearningCurvePoint(fraction=0.1, n_train=10, mapes=[10.0, 20.0, 30.0])
+        assert point.mean == pytest.approx(20.0)
+        assert point.std == pytest.approx(np.std([10.0, 20.0, 30.0]))
+        assert point.min == 10.0 and point.max == 30.0
+
+    def test_curve_lookup_and_rows(self):
+        curve = LearningCurve(label="m", points=[
+            LearningCurvePoint(fraction=0.1, n_train=5, mapes=[5.0]),
+            LearningCurvePoint(fraction=0.2, n_train=10, mapes=[3.0]),
+        ])
+        assert curve.mape_at(0.2) == 3.0
+        assert curve.fractions == [0.1, 0.2]
+        assert curve.means == [5.0, 3.0]
+        rows = curve.as_rows()
+        assert rows[0]["series"] == "m" and rows[1]["mape_mean"] == 3.0
+        with pytest.raises(KeyError):
+            curve.mape_at(0.5)
+
+
+class TestEvaluateLearningCurve:
+    def test_structure(self, small_stencil_dataset):
+        curve = evaluate_learning_curve(
+            _et_factory, small_stencil_dataset,
+            fractions=[0.05, 0.2], n_repeats=2, label="et", random_state=0)
+        assert curve.label == "et"
+        assert len(curve.points) == 2
+        assert all(len(p.mapes) == 2 for p in curve.points)
+        assert curve.points[0].n_train < curve.points[1].n_train
+
+    def test_mape_decreases_with_more_data(self, small_stencil_dataset):
+        curve = evaluate_learning_curve(
+            _et_factory, small_stencil_dataset,
+            fractions=[0.03, 0.4], n_repeats=2, random_state=0)
+        assert curve.points[1].mean < curve.points[0].mean
+
+    def test_deterministic(self, small_stencil_dataset):
+        kwargs = dict(fractions=[0.1], n_repeats=2, random_state=5)
+        c1 = evaluate_learning_curve(_et_factory, small_stencil_dataset, **kwargs)
+        c2 = evaluate_learning_curve(_et_factory, small_stencil_dataset, **kwargs)
+        assert c1.points[0].mapes == c2.points[0].mapes
+
+    def test_invalid_arguments(self, small_stencil_dataset):
+        with pytest.raises(ValueError):
+            evaluate_learning_curve(_et_factory, small_stencil_dataset,
+                                    fractions=[], n_repeats=1)
+        with pytest.raises(ValueError):
+            evaluate_learning_curve(_et_factory, small_stencil_dataset,
+                                    fractions=[0.1], n_repeats=0)
+
+
+class TestCompareModels:
+    def test_common_fractions(self, small_stencil_dataset):
+        curves = compare_models(
+            {"et": _et_factory, "linear": lambda seed: LinearRegression()},
+            small_stencil_dataset, fractions=[0.1], n_repeats=2, random_state=0)
+        assert set(curves) == {"et", "linear"}
+
+    def test_per_model_fractions(self, small_stencil_dataset):
+        curves = compare_models(
+            {"a": _et_factory, "b": _et_factory},
+            small_stencil_dataset,
+            fractions_by_model={"a": [0.05], "b": [0.1, 0.2]},
+            n_repeats=1, random_state=0)
+        assert len(curves["a"].points) == 1
+        assert len(curves["b"].points) == 2
+
+    def test_missing_fractions_raises(self, small_stencil_dataset):
+        with pytest.raises(ValueError):
+            compare_models({"a": _et_factory}, small_stencil_dataset)

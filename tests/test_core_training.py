@@ -1,0 +1,50 @@
+"""Tests for repro.core.training."""
+
+import pytest
+
+from repro.analytical import StencilAnalyticalModel
+from repro.core.training import TrainedModel, train_hybrid_model, train_ml_model
+from repro.ml import KNeighborsRegressor
+
+
+class TestTrainHybridModel:
+    def test_returns_fitted_model_with_mape(self, small_stencil_dataset):
+        result = train_hybrid_model(small_stencil_dataset, StencilAnalyticalModel(),
+                                    train_fraction=0.05, random_state=0)
+        assert isinstance(result, TrainedModel)
+        assert result.mape > 0
+        assert result.n_train == len(result.train_indices)
+        assert len(result.test_indices) == small_stencil_dataset.n_samples - result.n_train
+
+    def test_more_training_data_is_not_worse(self, small_stencil_dataset):
+        small = train_hybrid_model(small_stencil_dataset, StencilAnalyticalModel(),
+                                   train_fraction=0.02, random_state=1)
+        large = train_hybrid_model(small_stencil_dataset, StencilAnalyticalModel(),
+                                   train_fraction=0.3, random_state=1)
+        assert large.mape < small.mape * 1.5   # allow noise, but the trend must hold
+
+    def test_options_forwarded(self, small_stencil_dataset):
+        result = train_hybrid_model(small_stencil_dataset, StencilAnalyticalModel(),
+                                    train_fraction=0.05, aggregate_analytical=True,
+                                    bagging_estimators=3, random_state=0)
+        assert result.model.aggregate_analytical is True
+
+
+class TestTrainMlModel:
+    def test_default_pipeline(self, small_stencil_dataset):
+        result = train_ml_model(small_stencil_dataset, train_fraction=0.2, random_state=0)
+        assert result.mape > 0
+        from repro.ml import Pipeline
+
+        assert isinstance(result.model, Pipeline)
+
+    def test_custom_model(self, small_stencil_dataset):
+        result = train_ml_model(small_stencil_dataset, train_fraction=0.2,
+                                ml_model=KNeighborsRegressor(n_neighbors=3), random_state=0)
+        assert result.mape > 0
+
+    def test_hybrid_beats_ml_at_same_tiny_fraction(self, small_stencil_dataset):
+        ml = train_ml_model(small_stencil_dataset, train_fraction=0.03, random_state=3)
+        hybrid = train_hybrid_model(small_stencil_dataset, StencilAnalyticalModel(),
+                                    train_fraction=0.03, random_state=3)
+        assert hybrid.mape < ml.mape

@@ -1,0 +1,137 @@
+"""Tests for repro.fmm.expansions (multi-index sets and Taylor machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fmm.expansions import CartesianExpansion, MultiIndexSet, taylor_coefficients
+
+
+class TestMultiIndexSet:
+    def test_term_count_formula(self):
+        # Number of multi-indices with |n| <= p is C(p+3, 3).
+        for p in range(0, 7):
+            assert MultiIndexSet(p).n_terms == math.comb(p + 3, 3)
+
+    def test_indices_sorted_by_degree(self):
+        mset = MultiIndexSet(4)
+        degrees = mset.degrees
+        assert np.all(np.diff(degrees) >= 0)
+
+    def test_index_of_roundtrip(self):
+        mset = MultiIndexSet(3)
+        for i, idx in enumerate(mset.indices):
+            assert mset.index_of(tuple(idx)) == i
+        assert mset.index_of((5, 5, 5)) == -1
+
+    def test_factorials(self):
+        mset = MultiIndexSet(3)
+        i = mset.index_of((2, 1, 0))
+        assert mset.factorials[i] == 2.0
+        i = mset.index_of((1, 1, 1))
+        assert mset.factorials[i] == 1.0
+        i = mset.index_of((3, 0, 0))
+        assert mset.factorials[i] == 6.0
+
+    def test_monomials_against_direct_evaluation(self):
+        mset = MultiIndexSet(3)
+        rng = np.random.default_rng(0)
+        dx = rng.uniform(-1, 1, (5, 3))
+        mono = mset.monomials(dx)
+        for p in range(5):
+            for t, (nx, ny, nz) in enumerate(mset.indices):
+                expected = dx[p, 0] ** nx * dx[p, 1] ** ny * dx[p, 2] ** nz
+                assert mono[p, t] == pytest.approx(expected, rel=1e-12)
+
+    def test_monomials_shape_check(self):
+        with pytest.raises(ValueError):
+            MultiIndexSet(2).monomials(np.zeros((3, 2)))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            MultiIndexSet(-1)
+
+
+class TestTaylorCoefficients:
+    def test_taylor_series_approximates_kernel(self):
+        mset = MultiIndexSet(8)
+        rng = np.random.default_rng(1)
+        R = np.array([[2.0, -1.0, 0.5]])
+        T = taylor_coefficients(mset, R)[:, 0]
+        for _ in range(5):
+            t = rng.uniform(-0.1, 0.1, 3)
+            exact = 1.0 / np.linalg.norm(R[0] + t)
+            approx = float(mset.monomials(t.reshape(1, 3))[0] @ T)
+            assert approx == pytest.approx(exact, rel=1e-8)
+
+    def test_low_order_coefficients_closed_form(self):
+        mset = MultiIndexSet(2)
+        R = np.array([[1.0, 2.0, -2.0]])
+        r = 3.0
+        T = taylor_coefficients(mset, R)[:, 0]
+        assert T[mset.index_of((0, 0, 0))] == pytest.approx(1.0 / r)
+        assert T[mset.index_of((1, 0, 0))] == pytest.approx(-1.0 / r ** 3)
+        assert T[mset.index_of((0, 1, 0))] == pytest.approx(-2.0 / r ** 3)
+        assert T[mset.index_of((2, 0, 0))] == pytest.approx((3 * 1.0 - r ** 2) / (2 * r ** 5))
+        assert T[mset.index_of((1, 1, 0))] == pytest.approx(3 * 1.0 * 2.0 / r ** 5)
+
+    def test_batched_matches_individual(self):
+        mset = MultiIndexSet(4)
+        rng = np.random.default_rng(2)
+        R = rng.uniform(1.0, 3.0, (6, 3))
+        batched = taylor_coefficients(mset, R)
+        for j in range(6):
+            single = taylor_coefficients(mset, R[j])[:, 0]
+            np.testing.assert_allclose(batched[:, j], single, rtol=1e-12)
+
+    def test_zero_separation_rejected(self):
+        with pytest.raises(ValueError):
+            taylor_coefficients(MultiIndexSet(2), np.zeros((1, 3)))
+
+
+class TestCartesianExpansion:
+    def test_term_counts(self):
+        exp = CartesianExpansion(order=4)
+        assert exp.n_terms == math.comb(3 + 3, 3)          # degree <= 3
+        assert exp.mset_ext.order == 6
+
+    def test_shift_matrix_identity_for_zero_shift(self):
+        exp = CartesianExpansion(order=3)
+        S = exp.m2m_matrix(np.zeros(3))
+        np.testing.assert_allclose(S, np.eye(exp.n_terms))
+        L = exp.l2l_matrix(np.zeros(3))
+        np.testing.assert_allclose(L, np.eye(exp.n_terms))
+
+    def test_m2m_translation_composes(self):
+        # Shifting by a then b equals shifting by a+b.
+        exp = CartesianExpansion(order=4)
+        rng = np.random.default_rng(3)
+        a, b = rng.uniform(-0.5, 0.5, 3), rng.uniform(-0.5, 0.5, 3)
+        S_ab = exp.m2m_matrix(a + b)
+        S_two = exp.m2m_matrix(a) @ exp.m2m_matrix(b)
+        np.testing.assert_allclose(S_ab, S_two, atol=1e-12)
+
+    def test_l2l_translation_composes(self):
+        exp = CartesianExpansion(order=4)
+        rng = np.random.default_rng(4)
+        a, b = rng.uniform(-0.5, 0.5, 3), rng.uniform(-0.5, 0.5, 3)
+        L_ab = exp.l2l_matrix(a + b)
+        L_two = exp.l2l_matrix(b) @ exp.l2l_matrix(a)
+        np.testing.assert_allclose(L_ab, L_two, atol=1e-12)
+
+    def test_shift_matrix_cache_reuse(self):
+        exp = CartesianExpansion(order=3)
+        s = np.array([0.25, -0.25, 0.25])
+        m1 = exp.m2m_matrix(s)
+        m2 = exp.m2m_matrix(s)
+        assert m1 is m2   # cached object
+
+    def test_m2l_apply_shape_check(self):
+        exp = CartesianExpansion(order=3)
+        with pytest.raises(ValueError):
+            exp.m2l_apply(np.zeros((5, 2)), np.zeros((exp.mset_ext.n_terms, 2)))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            CartesianExpansion(order=0)

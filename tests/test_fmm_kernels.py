@@ -1,0 +1,133 @@
+"""Tests for repro.fmm.kernels (P2P, P2M, M2M, M2L, L2L, L2P)."""
+
+import numpy as np
+import pytest
+
+from repro.fmm.expansions import CartesianExpansion
+from repro.fmm.kernels import (
+    l2l,
+    l2p,
+    laplace_potential,
+    m2l,
+    m2m,
+    m2p,
+    p2m,
+    p2p,
+    p2p_self,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    rng = np.random.default_rng(7)
+    src = rng.uniform(-0.5, 0.5, (40, 3))
+    w = rng.uniform(0.1, 1.0, 40)
+    return src, w
+
+
+class TestLaplacePotential:
+    def test_single_pair_inverse_distance(self):
+        phi = laplace_potential(np.array([[3.0, 0.0, 0.0]]),
+                                np.array([[0.0, 0.0, 0.0]]), np.array([2.0]))
+        assert phi[0] == pytest.approx(2.0 / 3.0)
+
+    def test_self_interaction_excluded(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        w = np.array([1.0, 1.0])
+        phi = p2p_self(pos, w)
+        np.testing.assert_allclose(phi, [1.0, 1.0])
+
+    def test_superposition(self, cluster):
+        src, w = cluster
+        targets = np.array([[2.0, 2.0, 2.0]])
+        total = laplace_potential(targets, src, w)
+        split = (laplace_potential(targets, src[:20], w[:20])
+                 + laplace_potential(targets, src[20:], w[20:]))
+        assert total[0] == pytest.approx(split[0])
+
+    def test_p2p_alias(self, cluster):
+        src, w = cluster
+        targets = np.array([[1.5, 0.0, 0.0], [0.0, 1.5, 0.0]])
+        np.testing.assert_allclose(p2p(targets, src, w), laplace_potential(targets, src, w))
+
+
+class TestExpansionOperators:
+    @pytest.mark.parametrize("order,tol", [(2, 0.05), (4, 2e-3), (6, 1e-4)])
+    def test_m2p_converges_with_order(self, cluster, order, tol):
+        src, w = cluster
+        exp = CartesianExpansion(order=order)
+        center = np.zeros(3)
+        M = p2m(exp, src, w, center)
+        targets = np.array([[3.0, 2.5, 2.0], [-3.0, 2.0, -2.5]])
+        exact = laplace_potential(targets, src, w)
+        approx = m2p(exp, M, center, targets)
+        assert np.max(np.abs(approx - exact) / np.abs(exact)) < tol
+
+    def test_m2m_preserves_far_field(self, cluster):
+        src, w = cluster
+        exp = CartesianExpansion(order=6)
+        child_center = np.zeros(3)
+        parent_center = np.array([0.4, -0.3, 0.2])
+        M_child = p2m(exp, src, w, child_center)
+        M_parent = m2m(exp, M_child, child_center, parent_center)
+        targets = np.array([[4.0, 4.0, 4.0]])
+        exact = laplace_potential(targets, src, w)
+        approx = m2p(exp, M_parent, parent_center, targets)
+        assert approx[0] == pytest.approx(exact[0], rel=1e-3)
+
+    def test_m2l_l2p_chain(self, cluster):
+        src, w = cluster
+        exp = CartesianExpansion(order=6)
+        source_center = np.zeros(3)
+        target_center = np.array([3.0, 3.0, 3.0])
+        rng = np.random.default_rng(1)
+        targets = target_center + rng.uniform(-0.3, 0.3, (10, 3))
+        M = p2m(exp, src, w, source_center)
+        L = m2l(exp, M.reshape(-1, 1), source_center.reshape(1, 3),
+                target_center.reshape(1, 3))[:, 0]
+        approx = l2p(exp, L, target_center, targets)
+        exact = laplace_potential(targets, src, w)
+        assert np.max(np.abs(approx - exact) / np.abs(exact)) < 1e-3
+
+    def test_l2l_preserves_local_field(self, cluster):
+        src, w = cluster
+        exp = CartesianExpansion(order=6)
+        source_center = np.zeros(3)
+        parent_center = np.array([3.0, 3.0, 3.0])
+        child_center = parent_center + np.array([0.2, -0.15, 0.1])
+        rng = np.random.default_rng(2)
+        targets = child_center + rng.uniform(-0.1, 0.1, (8, 3))
+        M = p2m(exp, src, w, source_center)
+        L_parent = m2l(exp, M.reshape(-1, 1), source_center.reshape(1, 3),
+                       parent_center.reshape(1, 3))[:, 0]
+        L_child = l2l(exp, L_parent, parent_center, child_center)
+        via_child = l2p(exp, L_child, child_center, targets)
+        via_parent = l2p(exp, L_parent, parent_center, targets)
+        np.testing.assert_allclose(via_child, via_parent, rtol=1e-10)
+
+    def test_m2l_batched_matches_loop(self, cluster):
+        src, w = cluster
+        exp = CartesianExpansion(order=4)
+        centers = np.array([[0.0, 0.0, 0.0], [0.1, 0.0, -0.1]])
+        M = np.column_stack([
+            p2m(exp, src[:20], w[:20], centers[0]),
+            p2m(exp, src[20:], w[20:], centers[1]),
+        ])
+        target_centers = np.array([[3.0, 3.0, 3.0], [-3.0, 2.0, 1.0]])
+        batched = m2l(exp, M, centers, target_centers)
+        for j in range(2):
+            single = m2l(exp, M[:, j:j + 1], centers[j:j + 1], target_centers[j:j + 1])
+            np.testing.assert_allclose(batched[:, j], single[:, 0], rtol=1e-10)
+
+    def test_p2m_linear_in_weights(self, cluster):
+        src, w = cluster
+        exp = CartesianExpansion(order=3)
+        M1 = p2m(exp, src, w, np.zeros(3))
+        M2 = p2m(exp, src, 2.0 * w, np.zeros(3))
+        np.testing.assert_allclose(M2, 2.0 * M1)
+
+    def test_monopole_term_is_total_weight(self, cluster):
+        src, w = cluster
+        exp = CartesianExpansion(order=4)
+        M = p2m(exp, src, w, np.zeros(3))
+        assert M[0] == pytest.approx(w.sum())

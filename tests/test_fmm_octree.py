@@ -1,0 +1,79 @@
+"""Tests for repro.fmm.octree."""
+
+import numpy as np
+import pytest
+
+from repro.fmm.octree import Octree
+from repro.fmm.particles import plummer, random_cube
+
+
+class TestOctreeConstruction:
+    def test_invariants_on_uniform_cube(self):
+        particles = random_cube(800, random_state=0)
+        tree = Octree(particles, max_per_leaf=32)
+        tree.validate()
+        assert tree.n_cells > 1
+        assert tree.root.n_particles == 800
+
+    def test_invariants_on_clustered_distribution(self):
+        particles = plummer(600, random_state=1)
+        tree = Octree(particles, max_per_leaf=16)
+        tree.validate()
+
+    def test_leaf_population_bound(self):
+        particles = random_cube(1000, random_state=2)
+        tree = Octree(particles, max_per_leaf=25)
+        assert tree.max_leaf_population() <= 25
+
+    def test_single_leaf_when_q_large(self):
+        particles = random_cube(50, random_state=3)
+        tree = Octree(particles, max_per_leaf=100)
+        assert tree.n_cells == 1
+        assert tree.root.is_leaf
+
+    def test_smaller_q_gives_deeper_tree(self):
+        particles = random_cube(2000, random_state=4)
+        shallow = Octree(particles, max_per_leaf=256)
+        deep = Octree(particles, max_per_leaf=16)
+        assert deep.n_levels > shallow.n_levels
+        assert deep.n_cells > shallow.n_cells
+
+    def test_children_geometry(self):
+        particles = random_cube(500, random_state=5)
+        tree = Octree(particles, max_per_leaf=32)
+        for cell in tree.cells:
+            for child_idx in cell.children:
+                child = tree.cells[child_idx]
+                assert child.radius == pytest.approx(cell.radius / 2.0)
+                np.testing.assert_allclose(
+                    np.abs(child.center - cell.center), cell.radius / 2.0, rtol=1e-12
+                )
+
+    def test_max_level_cap(self):
+        # Duplicate points can never be separated; the level cap must stop recursion.
+        positions = np.zeros((20, 3))
+        positions[:, 0] = 1e-12 * np.arange(20)
+        from repro.fmm.particles import ParticleSet
+
+        particles = ParticleSet(positions, np.ones(20))
+        tree = Octree(particles, max_per_leaf=2, max_level=5)
+        assert tree.n_levels <= 6
+
+    def test_cells_at_level_and_leaves(self):
+        particles = random_cube(400, random_state=6)
+        tree = Octree(particles, max_per_leaf=32)
+        assert tree.cells_at_level(0) == [tree.root]
+        total_leaf_particles = sum(leaf.n_particles for leaf in tree.leaves)
+        assert total_leaf_particles == 400
+        assert 0 < tree.mean_leaf_population() <= 32
+
+    def test_invalid_parameters(self):
+        particles = random_cube(10, random_state=0)
+        with pytest.raises(ValueError):
+            Octree(particles, max_per_leaf=0)
+        with pytest.raises(ValueError):
+            Octree(particles, max_per_leaf=4, max_level=-1)
+
+    def test_repr(self):
+        tree = Octree(random_cube(64, random_state=0), max_per_leaf=8)
+        assert "Octree" in repr(tree)

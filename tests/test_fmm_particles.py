@@ -1,0 +1,71 @@
+"""Tests for repro.fmm.particles."""
+
+import numpy as np
+import pytest
+
+from repro.fmm.particles import ParticleSet, plummer, random_cube, random_sphere
+
+
+class TestParticleSet:
+    def test_construction_and_properties(self):
+        pos = np.zeros((5, 3))
+        w = np.ones(5)
+        p = ParticleSet(pos, w)
+        assert p.n == 5
+        assert p.total_weight() == pytest.approx(5.0)
+
+    def test_bounding_cube_contains_all_points(self):
+        rng = np.random.default_rng(0)
+        p = ParticleSet(rng.uniform(-3, 7, (100, 3)), np.ones(100))
+        center, radius = p.bounding_cube()
+        assert np.all(np.abs(p.positions - center) <= radius + 1e-12)
+
+    def test_subset(self):
+        p = random_cube(20, random_state=0)
+        sub = p.subset(np.array([0, 5, 7]))
+        assert sub.n == 3
+        np.testing.assert_array_equal(sub.positions[1], p.positions[5])
+
+    @pytest.mark.parametrize("pos,w", [
+        (np.zeros((3, 2)), np.ones(3)),       # wrong dimensionality
+        (np.zeros((3, 3)), np.ones(4)),       # weight length mismatch
+        (np.zeros((0, 3)), np.zeros(0)),      # empty
+        (np.full((2, 3), np.nan), np.ones(2)),  # NaN
+    ])
+    def test_invalid(self, pos, w):
+        with pytest.raises(ValueError):
+            ParticleSet(pos, w)
+
+
+class TestDistributions:
+    def test_random_cube_bounds_and_determinism(self):
+        p = random_cube(500, side=2.0, random_state=3)
+        assert p.n == 500
+        assert np.all(np.abs(p.positions) <= 1.0)
+        q = random_cube(500, side=2.0, random_state=3)
+        np.testing.assert_array_equal(p.positions, q.positions)
+
+    def test_random_cube_uniform_weights_sum_to_one(self):
+        p = random_cube(100, random_state=0, weights="uniform")
+        assert p.total_weight() == pytest.approx(1.0)
+
+    def test_random_cube_random_weights(self):
+        p = random_cube(100, random_state=0, weights="random")
+        assert np.all((p.weights >= 0) & (p.weights <= 1))
+        assert len(np.unique(p.weights)) > 10
+
+    def test_random_sphere_within_radius(self):
+        p = random_sphere(300, radius=0.7, random_state=1)
+        assert np.all(np.linalg.norm(p.positions, axis=1) <= 0.7 + 1e-12)
+
+    def test_plummer_is_centrally_concentrated(self):
+        p = plummer(1000, scale=0.1, random_state=2)
+        radii = np.linalg.norm(p.positions, axis=1)
+        assert np.median(radii) < 0.3
+        assert p.n == 1000
+
+    def test_invalid_sizes_and_weights(self):
+        with pytest.raises(ValueError):
+            random_cube(0)
+        with pytest.raises(ValueError):
+            random_cube(10, weights="gaussian")

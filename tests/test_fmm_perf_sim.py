@@ -1,0 +1,88 @@
+"""Tests for repro.fmm.perf_sim."""
+
+import numpy as np
+import pytest
+
+from repro.fmm.config import FmmConfig
+from repro.fmm.perf_sim import FmmPerformanceSimulator
+from repro.machine import small_embedded_node
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return FmmPerformanceSimulator(noise=0.0)
+
+
+class TestBasics:
+    def test_positive_finite_times(self, sim):
+        t = sim.time(FmmConfig(threads=1, n_particles=8192, particles_per_leaf=64, order=6))
+        assert np.isfinite(t) and t > 0
+
+    def test_deterministic(self):
+        sim = FmmPerformanceSimulator(random_state=3)
+        cfg = FmmConfig(threads=4, n_particles=4096, particles_per_leaf=32, order=5)
+        assert sim.time(cfg) == sim.time(cfg)
+
+    def test_phase_breakdown_sums_to_total(self, sim):
+        run = sim.run(FmmConfig(threads=2, n_particles=8192, particles_per_leaf=64, order=6))
+        assert run.seconds == pytest.approx(sum(run.phase_seconds.values()) * run.noise_factor)
+        assert set(run.phase_seconds) == {"tree", "traversal", "p2m", "m2m",
+                                          "m2l", "l2l", "l2p", "p2p"}
+
+    def test_times_vectorized(self, sim):
+        configs = [FmmConfig(threads=1, n_particles=4096, particles_per_leaf=64, order=4),
+                   FmmConfig(threads=8, n_particles=4096, particles_per_leaf=64, order=4)]
+        times = sim.times(configs)
+        assert times.shape == (2,)
+        assert times[1] < times[0]
+
+
+class TestPhysicalShape:
+    def test_m2l_dominates_small_leaves_p2p_dominates_large(self, sim):
+        small_q = sim.run(FmmConfig(threads=1, n_particles=16384, particles_per_leaf=8, order=8))
+        large_q = sim.run(FmmConfig(threads=1, n_particles=16384, particles_per_leaf=512, order=4))
+        assert small_q.dominant_phase == "m2l"
+        assert large_q.dominant_phase == "p2p"
+
+    def test_time_grows_strongly_with_order(self, sim):
+        times = [sim.time(FmmConfig(threads=1, n_particles=8192, particles_per_leaf=64, order=k))
+                 for k in (2, 6, 12)]
+        assert times[0] < times[1] < times[2]
+        assert times[2] / times[0] > 20.0
+
+    def test_time_roughly_linear_in_n(self, sim):
+        t1 = sim.time(FmmConfig(threads=1, n_particles=4096, particles_per_leaf=64, order=6))
+        t2 = sim.time(FmmConfig(threads=1, n_particles=16384, particles_per_leaf=64, order=6))
+        ratio = t2 / t1
+        assert 2.0 < ratio < 10.0   # N grows 4x; FMM is O(N) up to tree effects
+
+    def test_optimal_leaf_size_is_interior(self, sim):
+        # At moderate expansion order the M2L cost (shrinking with q) and the
+        # P2P cost (growing with q) cross, so time-vs-q dips in the interior.
+        qs = [8, 32, 128, 512]
+        times = [sim.time(FmmConfig(threads=1, n_particles=16384, particles_per_leaf=q, order=3))
+                 for q in qs]
+        best = int(np.argmin(times))
+        assert best not in (0, len(qs) - 1)
+
+    def test_thread_scaling_sublinear(self, sim):
+        t1 = sim.time(FmmConfig(threads=1, n_particles=16384, particles_per_leaf=64, order=8))
+        t16 = sim.time(FmmConfig(threads=16, n_particles=16384, particles_per_leaf=64, order=8))
+        speedup = t1 / t16
+        assert 1.5 < speedup < 16.0
+
+    def test_slower_machine_is_slower(self):
+        cfg = FmmConfig(threads=1, n_particles=8192, particles_per_leaf=64, order=6)
+        fast = FmmPerformanceSimulator(noise=0.0).time(cfg)
+        slow = FmmPerformanceSimulator(machine=small_embedded_node(), noise=0.0).time(cfg)
+        assert slow > fast
+
+    def test_noise_magnitude_bounded(self):
+        cfg = FmmConfig(threads=1, n_particles=8192, particles_per_leaf=64, order=6)
+        noisy = FmmPerformanceSimulator(noise=0.05, random_state=0).time(cfg)
+        clean = FmmPerformanceSimulator(noise=0.0).time(cfg)
+        assert abs(np.log(noisy / clean)) < 0.2
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            FmmPerformanceSimulator(noise=-0.1)

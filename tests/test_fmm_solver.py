@@ -1,0 +1,104 @@
+"""Tests for repro.fmm.solver and repro.fmm.direct (end-to-end accuracy)."""
+
+import numpy as np
+import pytest
+
+from repro.fmm.direct import DirectSummation
+from repro.fmm.particles import plummer, random_cube
+from repro.fmm.solver import Fmm
+
+
+@pytest.fixture(scope="module")
+def reference(small_particles):
+    return DirectSummation().potentials(small_particles)
+
+
+class TestDirectSummation:
+    def test_blocked_matches_unblocked(self, small_particles):
+        full = DirectSummation(block_size=10_000).potentials(small_particles)
+        blocked = DirectSummation(block_size=64).potentials(small_particles)
+        np.testing.assert_allclose(blocked, full, rtol=1e-12)
+
+    def test_threaded_matches_serial(self, small_particles):
+        serial = DirectSummation(n_jobs=1).potentials(small_particles)
+        threaded = DirectSummation(n_jobs=4).potentials(small_particles)
+        np.testing.assert_allclose(threaded, serial, rtol=1e-12)
+
+    def test_custom_targets(self, small_particles):
+        targets = np.array([[2.0, 2.0, 2.0]])
+        phi = DirectSummation().potentials(small_particles, targets=targets)
+        assert phi.shape == (1,)
+        assert phi[0] > 0
+
+    def test_operation_count(self):
+        assert DirectSummation().operation_count(100) == 10_000
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            DirectSummation(block_size=0)
+
+
+class TestFmmAccuracy:
+    def test_error_decreases_with_order(self, small_particles, reference):
+        errors = []
+        for order in (2, 4, 6):
+            fmm = Fmm(order=order, max_per_leaf=32, theta=0.55)
+            result = fmm.evaluate(small_particles)
+            err = np.linalg.norm(result.potentials - reference) / np.linalg.norm(reference)
+            errors.append(err)
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-3
+
+    def test_lists_traversal_also_accurate(self, small_particles, reference):
+        fmm = Fmm(order=4, max_per_leaf=32, traversal="lists")
+        result = fmm.evaluate(small_particles)
+        err = np.linalg.norm(result.potentials - reference) / np.linalg.norm(reference)
+        assert err < 5e-3
+
+    def test_clustered_distribution(self):
+        particles = plummer(400, random_state=3)
+        reference = DirectSummation().potentials(particles)
+        result = Fmm(order=5, max_per_leaf=16, theta=0.5).evaluate(particles)
+        err = np.linalg.norm(result.potentials - reference) / np.linalg.norm(reference)
+        assert err < 5e-3
+
+    def test_relative_error_helper(self, small_particles, reference):
+        fmm = Fmm(order=4, max_per_leaf=32)
+        err_full = fmm.relative_error(small_particles)
+        err_given_ref = fmm.relative_error(small_particles, reference=reference)
+        assert err_given_ref == pytest.approx(err_full, rel=1e-6)
+        err_sampled = fmm.relative_error(small_particles, sample=100, random_state=0)
+        assert err_sampled < 5e-2
+
+    def test_threaded_p2p_matches_serial(self, small_particles):
+        serial = Fmm(order=3, max_per_leaf=32, n_jobs=1).evaluate(small_particles)
+        threaded = Fmm(order=3, max_per_leaf=32, n_jobs=4).evaluate(small_particles)
+        np.testing.assert_allclose(threaded.potentials, serial.potentials, rtol=1e-12)
+
+
+class TestFmmStructure:
+    def test_result_metadata(self, small_particles):
+        result = Fmm(order=3, max_per_leaf=64).evaluate(small_particles)
+        assert result.n_particles == small_particles.n
+        assert result.order == 3
+        assert result.octree.max_per_leaf == 64
+        timings = result.timings.as_dict()
+        assert set(timings) >= {"p2m", "m2l", "p2p", "total"}
+        assert timings["total"] > 0
+        assert result.timings.total == pytest.approx(
+            sum(v for k, v in timings.items() if k != "total"))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Fmm(order=0)
+        with pytest.raises(ValueError):
+            Fmm(max_per_leaf=0)
+        with pytest.raises(ValueError):
+            Fmm(traversal="bfs")
+
+    def test_small_problem_single_leaf(self):
+        particles = random_cube(30, random_state=1)
+        result = Fmm(order=3, max_per_leaf=100).evaluate(particles)
+        reference = DirectSummation().potentials(particles)
+        # Single leaf means pure P2P: exact up to floating point.
+        np.testing.assert_allclose(result.potentials, reference, rtol=1e-10)

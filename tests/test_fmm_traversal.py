@@ -1,0 +1,94 @@
+"""Tests for repro.fmm.traversal."""
+
+import numpy as np
+import pytest
+
+from repro.fmm.octree import Octree
+from repro.fmm.particles import plummer, random_cube
+from repro.fmm.traversal import Interactions, build_interaction_lists, dual_tree_traversal
+
+
+def _coverage_counts(octree, interactions):
+    """Count how many times each (target particle, source particle) pair is covered.
+
+    A pair is covered once by a P2P leaf pair containing it, or once by an
+    M2L pair of ancestor cells.  Every pair must be covered exactly once
+    for the FMM to be exact.
+    """
+    n = octree.particles.n
+    cover = np.zeros((n, n), dtype=np.int64)
+    cells = octree.cells
+    for t, s in interactions.p2p_pairs:
+        cover[np.ix_(cells[t].particle_indices, cells[s].particle_indices)] += 1
+    for t, s in interactions.m2l_pairs:
+        cover[np.ix_(cells[t].particle_indices, cells[s].particle_indices)] += 1
+    return cover
+
+
+@pytest.mark.parametrize("builder,kwargs", [
+    (dual_tree_traversal, {"theta": 0.6}),
+    (dual_tree_traversal, {"theta": 0.9}),
+    (build_interaction_lists, {}),
+])
+class TestExactCoverage:
+    def test_uniform_cube_coverage(self, builder, kwargs):
+        particles = random_cube(300, random_state=0)
+        tree = Octree(particles, max_per_leaf=16)
+        cover = _coverage_counts(tree, builder(tree, **kwargs))
+        assert np.all(cover == 1)
+
+    def test_clustered_coverage(self, builder, kwargs):
+        particles = plummer(200, random_state=1)
+        tree = Octree(particles, max_per_leaf=8)
+        cover = _coverage_counts(tree, builder(tree, **kwargs))
+        assert np.all(cover == 1)
+
+
+class TestDualTreeTraversal:
+    def test_single_cell_tree_is_all_p2p(self):
+        particles = random_cube(20, random_state=2)
+        tree = Octree(particles, max_per_leaf=64)
+        inter = dual_tree_traversal(tree)
+        assert inter.n_m2l == 0
+        assert inter.p2p_pairs == [(0, 0)]
+
+    def test_smaller_theta_means_more_direct_work(self):
+        particles = random_cube(600, random_state=3)
+        tree = Octree(particles, max_per_leaf=16)
+        loose = dual_tree_traversal(tree, theta=0.9)
+        tight = dual_tree_traversal(tree, theta=0.3)
+        assert tight.n_p2p > loose.n_p2p
+
+    def test_invalid_theta(self):
+        particles = random_cube(20, random_state=4)
+        tree = Octree(particles, max_per_leaf=8)
+        with pytest.raises(ValueError):
+            dual_tree_traversal(tree, theta=0.0)
+        with pytest.raises(ValueError):
+            dual_tree_traversal(tree, theta=1.5)
+
+
+class TestInteractionListStatistics:
+    def test_interior_list_sizes_approach_paper_constants(self):
+        # For a dense uniform distribution the average near-field list size
+        # approaches 26 (paper's b_P2P) and the well-separated list 189
+        # (b_M2L); boundary cells pull the averages down.
+        particles = random_cube(4096, random_state=5)
+        tree = Octree(particles, max_per_leaf=8)
+        inter = build_interaction_lists(tree)
+        avg_p2p = inter.average_p2p_neighbors(tree)
+        avg_m2l = inter.average_m2l_sources()
+        assert 7.0 < avg_p2p <= 26.0
+        assert 25.0 < avg_m2l <= 189.0
+
+    def test_interactions_container_counters(self):
+        inter = Interactions(p2p_pairs=[(0, 0), (0, 1)], m2l_pairs=[(0, 2)])
+        assert inter.n_p2p == 2
+        assert inter.n_m2l == 1
+
+    def test_empty_interactions_averages(self):
+        particles = random_cube(10, random_state=6)
+        tree = Octree(particles, max_per_leaf=64)
+        inter = Interactions()
+        assert inter.average_p2p_neighbors(tree) == 0.0
+        assert inter.average_m2l_sources() == 0.0

@@ -1,0 +1,104 @@
+"""Tests for repro.machine.cache."""
+
+import pytest
+
+from repro.machine.cache import CacheHierarchy, CacheLevel, MemoryLevel
+
+
+def _level(name="L1", size=32 * 1024, line=64, bw=1e11, **kwargs):
+    return CacheLevel(name=name, size_bytes=size, line_bytes=line,
+                      bandwidth_bytes_per_s=bw, **kwargs)
+
+
+class TestCacheLevel:
+    def test_basic_properties(self):
+        lvl = _level()
+        assert lvl.size_elements(8) == 4096
+        assert lvl.line_elements(8) == 8
+        assert lvl.beta(8) == pytest.approx(8 / 1e11)
+
+    def test_word_size_4(self):
+        lvl = _level()
+        assert lvl.size_elements(4) == 8192
+        assert lvl.line_elements(4) == 16
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size=0), dict(line=0), dict(bw=0.0), dict(shared_by=0),
+    ])
+    def test_invalid_parameters(self, kwargs):
+        mapping = {"size": "size_bytes", "line": "line_bytes", "bw": "bandwidth_bytes_per_s",
+                   "shared_by": "shared_by"}
+        full = dict(name="L1", size_bytes=1024, line_bytes=64,
+                    bandwidth_bytes_per_s=1e9, shared_by=1)
+        for short, value in kwargs.items():
+            full[mapping[short]] = value
+        with pytest.raises(ValueError):
+            CacheLevel(**full)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            _level(latency_s=-1e-9)
+
+
+class TestMemoryLevel:
+    def test_beta(self):
+        mem = MemoryLevel(size_bytes=2**30, bandwidth_bytes_per_s=1e10)
+        assert mem.beta(8) == pytest.approx(8e-10)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MemoryLevel(size_bytes=0, bandwidth_bytes_per_s=1e10)
+        with pytest.raises(ValueError):
+            MemoryLevel(size_bytes=2**30, bandwidth_bytes_per_s=0.0)
+
+
+class TestCacheHierarchy:
+    def _hierarchy(self):
+        return CacheHierarchy(
+            levels=(
+                _level("L1", size=32 * 1024, bw=1.5e11),
+                _level("L2", size=1024 * 1024, bw=8e10),
+                _level("L3", size=8 * 1024 * 1024, bw=4e10),
+            ),
+            memory=MemoryLevel(size_bytes=2**34, bandwidth_bytes_per_s=1e11),
+        )
+
+    def test_levels_and_lookup(self):
+        h = self._hierarchy()
+        assert h.n_levels == 3
+        assert h.line_bytes == 64
+        assert h.last_level.name == "L3"
+        assert h.level("l2").size_bytes == 1024 * 1024
+        with pytest.raises(KeyError):
+            h.level("L4")
+
+    def test_requires_increasing_sizes(self):
+        with pytest.raises(ValueError, match="ordered"):
+            CacheHierarchy(
+                levels=(_level("L1", size=2**20), _level("L2", size=2**15)),
+                memory=MemoryLevel(2**30, 1e10),
+            )
+
+    def test_requires_common_line_size(self):
+        with pytest.raises(ValueError, match="line size"):
+            CacheHierarchy(
+                levels=(_level("L1", size=2**15, line=64), _level("L2", size=2**20, line=128)),
+                memory=MemoryLevel(2**30, 1e10),
+            )
+
+    def test_requires_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(levels=(), memory=MemoryLevel(2**30, 1e10))
+
+    def test_scaled(self):
+        h = self._hierarchy()
+        smaller = h.scaled(0.5)
+        assert smaller.levels[0].size_bytes == 16 * 1024
+        assert smaller.levels[2].size_bytes == 4 * 1024 * 1024
+        with pytest.raises(ValueError):
+            h.scaled(0.0)
+
+    def test_scaled_never_below_line_size(self):
+        h = self._hierarchy()
+        tiny = h.scaled(1e-9)
+        assert all(lvl.size_bytes >= lvl.line_bytes for lvl in tiny.levels)

@@ -1,0 +1,88 @@
+"""Tests for repro.machine.node and presets."""
+
+import pytest
+
+from repro.machine import (
+    MachineSpec,
+    blue_waters_xe6,
+    generic_xeon_node,
+    get_machine,
+    small_embedded_node,
+    MACHINE_PRESETS,
+)
+
+
+class TestMachineSpec:
+    def test_derived_quantities(self):
+        m = blue_waters_xe6()
+        assert m.n_cores == 16
+        assert m.peak_flops_per_core == pytest.approx(2.3e9 * 4.0)
+        assert m.peak_flops == pytest.approx(2.3e9 * 4.0 * 16)
+        assert m.tc == pytest.approx(1.0 / (2.3e9 * 4.0))
+        assert m.line_elements == 8
+        assert 0.0 < m.machine_balance < 1.0
+
+    def test_beta_mem_uses_stream_bandwidth(self):
+        m = blue_waters_xe6()
+        assert m.memory_bandwidth == pytest.approx(17e9)
+        assert m.beta_mem == pytest.approx(8 / 17e9)
+
+    def test_beta_mem_falls_back_to_dram_peak(self):
+        base = blue_waters_xe6()
+        m = MachineSpec(
+            name="x", hierarchy=base.hierarchy, clock_hz=base.clock_hz,
+            flops_per_cycle_per_core=base.flops_per_cycle_per_core,
+            cores_per_socket=base.cores_per_socket, sockets=base.sockets,
+            stream_bandwidth_bytes_per_s=None,
+        )
+        assert m.memory_bandwidth == base.hierarchy.memory.bandwidth_bytes_per_s
+
+    def test_cache_beta_ordering(self):
+        m = blue_waters_xe6()
+        betas = [m.cache_beta(i) for i in range(m.hierarchy.n_levels)]
+        assert betas == sorted(betas)  # L1 fastest
+
+    def test_with_hierarchy(self):
+        m = blue_waters_xe6()
+        replaced = m.with_hierarchy(m.hierarchy.scaled(0.5))
+        assert replaced.hierarchy.levels[0].size_bytes == m.hierarchy.levels[0].size_bytes // 2
+        assert replaced.clock_hz == m.clock_hz
+
+    def test_describe_mentions_caches(self):
+        text = blue_waters_xe6().describe()
+        assert "L1" in text and "L3" in text and "DRAM" in text
+
+    def test_invalid_parameters(self):
+        base = blue_waters_xe6()
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", hierarchy=base.hierarchy, clock_hz=0.0,
+                        flops_per_cycle_per_core=4, cores_per_socket=8)
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", hierarchy=base.hierarchy, clock_hz=1e9,
+                        flops_per_cycle_per_core=4, cores_per_socket=8, word_bytes=3)
+
+
+class TestPresets:
+    def test_registry_contains_all(self):
+        assert set(MACHINE_PRESETS) == {"blue_waters_xe6", "generic_xeon", "small_embedded"}
+
+    def test_get_machine(self):
+        assert get_machine("blue_waters_xe6").name.startswith("Blue Waters")
+        with pytest.raises(KeyError):
+            get_machine("cray-1")
+
+    def test_blue_waters_matches_paper_description(self):
+        m = blue_waters_xe6()
+        # Section III-A: 16KB L1d, 2MB L2, 8MB shared L3, 2.3 GHz, 64 GB.
+        assert m.hierarchy.level("L1").size_bytes == 16 * 1024
+        assert m.hierarchy.level("L2").size_bytes == 2 * 1024 * 1024
+        assert m.hierarchy.level("L3").size_bytes == 8 * 1024 * 1024
+        assert m.hierarchy.memory.size_bytes == 64 * 2**30
+        assert m.clock_hz == pytest.approx(2.3e9)
+        assert m.sockets == 2
+
+    def test_other_presets_are_consistent(self):
+        for preset in (generic_xeon_node(), small_embedded_node()):
+            assert preset.n_cores >= 4
+            assert preset.peak_flops > 0
+            assert preset.hierarchy.n_levels >= 2

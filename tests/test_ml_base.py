@@ -1,0 +1,74 @@
+"""Tests for repro.ml.base (parameter introspection and clone)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.forest import ExtraTreesRegressor
+from repro.ml.linear import Ridge
+from repro.ml.stacking import StackingRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestGetSetParams:
+    def test_get_params_returns_init_arguments(self):
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=2)
+        params = tree.get_params()
+        assert params["max_depth"] == 3
+        assert params["min_samples_leaf"] == 2
+
+    def test_set_params_roundtrip(self):
+        tree = DecisionTreeRegressor()
+        tree.set_params(max_depth=5)
+        assert tree.max_depth == 5
+
+    def test_set_params_invalid_key(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            DecisionTreeRegressor().set_params(bogus=1)
+
+    def test_nested_params(self):
+        stack = StackingRegressor(
+            estimators=[("tree", DecisionTreeRegressor())],
+            final_estimator=Ridge(alpha=1.0),
+        )
+        params = stack.get_params(deep=True)
+        assert params["final_estimator__alpha"] == 1.0
+        stack.set_params(final_estimator__alpha=0.5)
+        assert stack.final_estimator.alpha == 0.5
+
+    def test_repr_contains_class_and_params(self):
+        text = repr(DecisionTreeRegressor(max_depth=2))
+        assert "DecisionTreeRegressor" in text and "max_depth=2" in text
+
+
+class TestClone:
+    def test_clone_copies_params_not_state(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((50, 3))
+        y = X @ np.array([1.0, 2.0, 3.0])
+        model = DecisionTreeRegressor(max_depth=4, random_state=0).fit(X, y)
+        copy = clone(model)
+        assert copy.max_depth == 4
+        assert copy.tree_ is None  # unfitted
+
+    def test_clone_nested_estimator(self):
+        stack = StackingRegressor(
+            estimators=[("et", ExtraTreesRegressor(n_estimators=3))],
+            final_estimator=Ridge(),
+        )
+        copy = clone(stack)
+        assert copy.estimators[0][1] is not stack.estimators[0][1]
+        assert copy.final_estimator is not stack.final_estimator
+
+    def test_clone_rejects_non_estimator(self):
+        with pytest.raises(TypeError):
+            clone("not an estimator")
+
+
+class TestRegressorScore:
+    def test_score_is_r2(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((100, 2))
+        y = 3 * X[:, 0] - X[:, 1]
+        model = Ridge(alpha=1e-8).fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0, abs=1e-6)

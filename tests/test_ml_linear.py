@@ -1,0 +1,70 @@
+"""Tests for repro.ml.linear."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression, Ridge
+from repro.utils.validation import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 3))
+    coef = np.array([2.0, -1.0, 0.5])
+    y = X @ coef + 3.0
+    return X, y, coef
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self, linear_data):
+        X, y, coef = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=1e-10)
+        assert model.intercept_ == pytest.approx(3.0)
+
+    def test_predict_matches_formula(self, linear_data):
+        X, y, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-10)
+
+    def test_no_intercept(self, linear_data):
+        X, y, _ = linear_data
+        model = LinearRegression(fit_intercept=False).fit(X, y - 3.0)
+        assert model.intercept_ == 0.0
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict([[1.0]])
+
+    def test_feature_mismatch(self, linear_data):
+        X, y, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(X[:, :2])
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self, linear_data):
+        X, y, coef = linear_data
+        model = Ridge(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=1e-8)
+
+    def test_large_alpha_shrinks_coefficients(self, linear_data):
+        X, y, _ = linear_data
+        small = Ridge(alpha=1e-6).fit(X, y)
+        big = Ridge(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(big.coef_) < np.linalg.norm(small.coef_)
+
+    def test_handles_collinear_features(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100)
+        X = np.column_stack([x, x, x])  # perfectly collinear
+        y = 3 * x + 1
+        model = Ridge(alpha=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.coef_))
+
+    def test_negative_alpha_rejected(self, linear_data):
+        X, y, _ = linear_data
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0).fit(X, y)

@@ -1,0 +1,145 @@
+"""Tests for repro.ml.model_selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import Ridge
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestTrainTestSplit:
+    def test_default_split_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        Xtr, Xte = train_test_split(X, random_state=0)
+        assert len(Xtr) == 75 and len(Xte) == 25
+
+    def test_fraction_and_count(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, train_size=0.2, random_state=0)
+        assert len(Xtr) == 10 and len(Xte) == 40
+        Xtr, Xte = train_test_split(X, train_size=7, random_state=0)
+        assert len(Xtr) == 7
+
+    def test_no_overlap_and_full_coverage(self):
+        X = np.arange(30).reshape(-1, 1)
+        Xtr, Xte = train_test_split(X, train_size=0.5, random_state=1)
+        combined = sorted(np.concatenate([Xtr, Xte]).ravel().tolist())
+        assert combined == list(range(30))
+
+    def test_rows_stay_aligned_across_arrays(self):
+        X = np.arange(40).reshape(-1, 1)
+        y = np.arange(40) * 10
+        Xtr, Xte, ytr, yte = train_test_split(X, y, train_size=0.5, random_state=3)
+        np.testing.assert_array_equal(Xtr.ravel() * 10, ytr)
+
+    def test_deterministic_with_seed(self):
+        X = np.arange(20).reshape(-1, 1)
+        a = train_test_split(X, random_state=5)[0]
+        b = train_test_split(X, random_state=5)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_no_shuffle(self):
+        X = np.arange(10).reshape(-1, 1)
+        Xtr, _ = train_test_split(X, train_size=4, shuffle=False)
+        np.testing.assert_array_equal(Xtr.ravel(), [0, 1, 2, 3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), np.arange(4))
+
+    def test_invalid_sizes(self):
+        X = np.arange(10).reshape(-1, 1)
+        with pytest.raises(ValueError):
+            train_test_split(X, train_size=1.5)
+        with pytest.raises(ValueError):
+            train_test_split(X, train_size=5, test_size=6)
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        folds = list(KFold(n_splits=4).split(22))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(22))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3).split(15):
+            assert set(train).isdisjoint(set(test))
+            assert len(train) + len(test) == 15
+
+    def test_shuffle_determinism(self):
+        a = [t.tolist() for _, t in KFold(n_splits=3, shuffle=True, random_state=1).split(12)]
+        b = [t.tolist() for _, t in KFold(n_splits=3, shuffle=True, random_state=1).split(12)]
+        assert a == b
+
+    def test_accepts_sequence(self):
+        folds = list(KFold(n_splits=2).split([1, 2, 3, 4]))
+        assert len(folds) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+
+class TestCrossValScoreAndGrid:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 5, size=(120, 2))
+        y = 2 * X[:, 0] + X[:, 1] ** 2
+        return X, y
+
+    def test_cross_val_score_shape(self, data):
+        X, y = data
+        scores = cross_val_score(Ridge(alpha=0.1), X, y, cv=4, random_state=0)
+        assert scores.shape == (4,)
+
+    def test_custom_scoring(self, data):
+        X, y = data
+        scores = cross_val_score(DecisionTreeRegressor(random_state=0), X, y, cv=3,
+                                 scoring=mean_absolute_percentage_error, random_state=0)
+        assert np.all(scores >= 0)
+
+    def test_parameter_grid_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(grid) == 6 and len(combos) == 6
+        assert {"a": 1, "b": "x"} in combos
+
+    def test_parameter_grid_invalid(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({})
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": []})
+
+    def test_grid_search_finds_reasonable_depth(self, data):
+        X, y = data
+        search = GridSearchCV(
+            estimator=DecisionTreeRegressor(random_state=0),
+            param_grid={"max_depth": [1, 8]},
+            cv=3, random_state=0,
+        ).fit(X, y)
+        assert search.best_params_["max_depth"] == 8
+        assert search.predict(X).shape == y.shape
+        assert len(search.cv_results_) == 2
+
+    def test_grid_search_lower_is_better_mode(self, data):
+        X, y = data
+        search = GridSearchCV(
+            estimator=DecisionTreeRegressor(random_state=0),
+            param_grid={"max_depth": [1, 8]},
+            cv=3, scoring=mean_absolute_percentage_error, greater_is_better=False,
+            random_state=0,
+        ).fit(X, y)
+        assert search.best_params_["max_depth"] == 8

@@ -1,0 +1,85 @@
+"""Tests for repro.ml.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import Ridge
+from repro.ml.metrics import r2_score
+from repro.ml.pipeline import Pipeline, make_pipeline
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.validation import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(9)
+    X = rng.uniform(-3, 3, size=(150, 2)) * np.array([1.0, 100.0])
+    y = X[:, 0] + X[:, 1] / 100.0
+    return X, y
+
+
+class TestPipeline:
+    def test_fit_predict(self, data):
+        X, y = data
+        pipe = Pipeline(steps=[("scale", StandardScaler()), ("ridge", Ridge(alpha=1e-6))])
+        pipe.fit(X, y)
+        assert r2_score(y, pipe.predict(X)) > 0.999
+
+    def test_steps_are_cloned_not_mutated(self, data):
+        X, y = data
+        scaler = StandardScaler()
+        pipe = Pipeline(steps=[("scale", scaler), ("ridge", Ridge())]).fit(X, y)
+        assert scaler.mean_ is None            # original untouched
+        assert pipe.named_steps["scale"].mean_ is not None
+
+    def test_transform_requires_final_transformer(self, data):
+        X, y = data
+        pipe = Pipeline(steps=[("s1", StandardScaler()), ("s2", MinMaxScaler())]).fit(X)
+        Z = pipe.transform(X)
+        assert Z.shape == X.shape
+        pipe2 = Pipeline(steps=[("s", StandardScaler()), ("ridge", Ridge())]).fit(X, y)
+        with pytest.raises(AttributeError):
+            pipe2.transform(X)
+
+    def test_named_steps_before_fit_raises(self):
+        pipe = Pipeline(steps=[("ridge", Ridge())])
+        with pytest.raises(NotFittedError):
+            _ = pipe.named_steps
+
+    def test_scaling_matters_for_scale_sensitive_models(self, data):
+        from repro.ml.neighbors import KNeighborsRegressor
+
+        X, y = data
+        raw = KNeighborsRegressor(n_neighbors=3).fit(X, y)
+        piped = Pipeline(steps=[("scale", StandardScaler()),
+                                ("knn", KNeighborsRegressor(n_neighbors=3))]).fit(X, y)
+        assert r2_score(y, piped.predict(X)) >= r2_score(y, raw.predict(X))
+
+    def test_duplicate_step_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Pipeline(steps=[("a", StandardScaler()), ("a", Ridge())]).fit([[1.0]], [1.0])
+
+    def test_empty_pipeline(self):
+        with pytest.raises(ValueError):
+            Pipeline(steps=[]).fit([[1.0]], [1.0])
+
+    def test_intermediate_step_must_transform(self):
+        with pytest.raises(TypeError):
+            Pipeline(steps=[("tree", DecisionTreeRegressor()), ("ridge", Ridge())]).fit(
+                [[1.0], [2.0]], [1.0, 2.0])
+
+
+class TestMakePipeline:
+    def test_names_are_generated(self):
+        pipe = make_pipeline(StandardScaler(), Ridge())
+        assert [name for name, _ in pipe.steps] == ["standardscaler", "ridge"]
+
+    def test_duplicate_classes_get_suffixes(self):
+        pipe = make_pipeline(StandardScaler(), StandardScaler(), Ridge())
+        names = [name for name, _ in pipe.steps]
+        assert names == ["standardscaler", "standardscaler-2", "ridge"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_pipeline()

@@ -1,0 +1,97 @@
+"""Tests for repro.ml.stacking."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import ExtraTreesRegressor
+from repro.ml.linear import LinearRegression, Ridge
+from repro.ml.metrics import r2_score
+from repro.ml.stacking import StackingRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    X = rng.uniform(0, 4, size=(240, 3))
+    y = 2.0 * X[:, 0] + np.sin(3 * X[:, 1]) + 0.05 * rng.normal(size=240)
+    return X[:180], y[:180], X[180:], y[180:]
+
+
+class TestStackingRegressor:
+    def _stack(self, **kwargs):
+        defaults = dict(
+            estimators=[
+                ("linear", LinearRegression()),
+                ("tree", DecisionTreeRegressor(max_depth=6, random_state=0)),
+            ],
+            final_estimator=Ridge(alpha=1e-3),
+            cv=4,
+            random_state=0,
+        )
+        defaults.update(kwargs)
+        return StackingRegressor(**defaults)
+
+    def test_fit_predict(self, data):
+        Xtr, ytr, Xte, yte = data
+        model = self._stack().fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.9
+
+    def test_stack_at_least_as_good_as_worst_base(self, data):
+        Xtr, ytr, Xte, yte = data
+        model = self._stack().fit(Xtr, ytr)
+        base_scores = [r2_score(yte, est.predict(Xte)) for est in model.estimators_]
+        assert r2_score(yte, model.predict(Xte)) > min(base_scores) - 0.05
+
+    def test_transform_returns_meta_features(self, data):
+        Xtr, ytr, Xte, _ = data
+        model = self._stack().fit(Xtr, ytr)
+        Z = model.transform(Xte)
+        assert Z.shape == (len(Xte), 2)
+
+    def test_passthrough_appends_original_features(self, data):
+        Xtr, ytr, Xte, _ = data
+        model = self._stack(passthrough=True).fit(Xtr, ytr)
+        Z = model.transform(Xte)
+        assert Z.shape == (len(Xte), 2 + Xtr.shape[1])
+
+    def test_named_estimators(self, data):
+        Xtr, ytr, _, _ = data
+        model = self._stack().fit(Xtr, ytr)
+        assert set(model.named_estimators_) == {"linear", "tree"}
+
+    def test_tiny_dataset_falls_back_to_in_sample(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0.0, 1.0, 2.0])
+        model = StackingRegressor(
+            estimators=[("lin", LinearRegression())],
+            final_estimator=LinearRegression(), cv=1,
+        ).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-8)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            StackingRegressor(
+                estimators=[("a", LinearRegression()), ("a", Ridge())],
+                final_estimator=Ridge(),
+            )._validate()
+
+    def test_empty_estimators_rejected(self, data):
+        Xtr, ytr, _, _ = data
+        with pytest.raises(ValueError):
+            StackingRegressor(estimators=[], final_estimator=Ridge()).fit(Xtr, ytr)
+
+    def test_feature_mismatch_at_predict(self, data):
+        Xtr, ytr, _, _ = data
+        model = self._stack().fit(Xtr, ytr)
+        with pytest.raises(ValueError):
+            model.predict(Xtr[:, :1])
+
+    def test_ensemble_base_estimator(self, data):
+        Xtr, ytr, Xte, yte = data
+        model = StackingRegressor(
+            estimators=[("et", ExtraTreesRegressor(n_estimators=10, random_state=0))],
+            final_estimator=LinearRegression(),
+            cv=3, random_state=0,
+        ).fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.85

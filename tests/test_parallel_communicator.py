@@ -1,0 +1,66 @@
+"""Tests for repro.parallel.communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.communicator import SimCommunicator
+
+
+class TestSimCommunicator:
+    def test_bcast(self):
+        comm = SimCommunicator(4)
+        received = comm.bcast({"a": 1}, root=0)
+        assert len(received) == 4
+        assert all(r == {"a": 1} for r in received)
+
+    def test_scatter_gather_roundtrip(self):
+        comm = SimCommunicator(3)
+        chunks = [np.full(2, i) for i in range(3)]
+        scattered = comm.scatter(chunks, root=0)
+        gathered = comm.gather(scattered, root=0)
+        for i, arr in enumerate(gathered):
+            np.testing.assert_array_equal(arr, np.full(2, i))
+
+    def test_scatter_wrong_count(self):
+        with pytest.raises(ValueError):
+            SimCommunicator(3).scatter([1, 2], root=0)
+
+    def test_allgather(self):
+        comm = SimCommunicator(3)
+        out = comm.allgather([1, 2, 3])
+        assert out == [[1, 2, 3]] * 3
+
+    def test_allreduce_default_sum(self):
+        comm = SimCommunicator(4)
+        out = comm.allreduce([1, 2, 3, 4])
+        assert out == [10] * 4
+
+    def test_allreduce_custom_op(self):
+        comm = SimCommunicator(3)
+        out = comm.allreduce([5, 2, 9], op=max)
+        assert out == [9, 9, 9]
+
+    def test_alltoall(self):
+        comm = SimCommunicator(2)
+        send = [["a->a", "a->b"], ["b->a", "b->b"]]
+        recv = comm.alltoall(send)
+        assert recv[0] == ["a->a", "b->a"]
+        assert recv[1] == ["a->b", "b->b"]
+
+    def test_alltoall_shape_check(self):
+        with pytest.raises(ValueError):
+            SimCommunicator(2).alltoall([[1], [2, 3]])
+
+    def test_traffic_accounting(self):
+        comm = SimCommunicator(4)
+        comm.bcast(np.zeros(10), root=0)
+        assert comm.bytes_sent == 3 * 80
+        assert comm.n_messages == 3
+        comm.reset_counters()
+        assert comm.bytes_sent == 0
+
+    def test_invalid_size_and_rank(self):
+        with pytest.raises(ValueError):
+            SimCommunicator(0)
+        with pytest.raises(ValueError):
+            SimCommunicator(2).bcast(1, root=5)

@@ -1,0 +1,51 @@
+"""Tests for repro.parallel.threadpool."""
+
+import pytest
+
+from repro.parallel.threadpool import chunk_indices, parallel_map
+
+
+class TestChunkIndices:
+    def test_even_split(self):
+        chunks = chunk_indices(10, 2)
+        assert [len(c) for c in chunks] == [5, 5]
+        assert list(chunks[0]) + list(chunks[1]) == list(range(10))
+
+    def test_uneven_split_is_balanced(self):
+        chunks = chunk_indices(10, 3)
+        assert sorted(len(c) for c in chunks) == [3, 3, 4]
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_indices(3, 10)
+        assert len(chunks) == 3
+        assert all(len(c) == 1 for c in chunks)
+
+    def test_zero_items(self):
+        assert chunk_indices(0, 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_indices(10, 0)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(lambda x: x * 2, [1, 2, 3], n_jobs=1) == [2, 4, 6]
+
+    def test_threaded_path_preserves_order(self):
+        items = list(range(50))
+        assert parallel_map(lambda x: x + 1, items, n_jobs=4) == [x + 1 for x in items]
+
+    def test_n_jobs_minus_one(self):
+        assert parallel_map(lambda x: x, [1, 2, 3], n_jobs=-1) == [1, 2, 3]
+
+    def test_empty_items(self):
+        assert parallel_map(lambda x: x, [], n_jobs=4) == []
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ValueError):
+            parallel_map(lambda x: x, [1], n_jobs=0)
+        with pytest.raises(ValueError):
+            parallel_map(lambda x: x, [1], n_jobs=-2)

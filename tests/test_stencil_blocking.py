@@ -1,0 +1,65 @@
+"""Tests for repro.stencil.blocking."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.blocking import block_counts, blocked_sweep, iterate_blocks
+from repro.stencil.kernels import stencil7_sweep
+
+
+class TestBlockCounts:
+    def test_exact_division(self):
+        assert block_counts((16, 32, 8), (4, 8, 8)) == (4, 4, 1)
+
+    def test_ceiling_for_partial_tiles(self):
+        assert block_counts((10, 10, 10), (3, 4, 7)) == (4, 3, 2)
+
+    def test_block_larger_than_extent(self):
+        assert block_counts((4, 4, 4), (100, 100, 100)) == (1, 1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            block_counts((0, 4, 4), (1, 1, 1))
+        with pytest.raises(ValueError):
+            block_counts((4, 4, 4), (0, 1, 1))
+
+
+class TestIterateBlocks:
+    def test_blocks_cover_domain_exactly_once(self):
+        shape = (7, 9, 5)
+        cover = np.zeros(shape, dtype=int)
+        for si, sj, sk in iterate_blocks(shape, (3, 4, 2)):
+            cover[si, sj, sk] += 1
+        assert np.all(cover == 1)
+
+    def test_block_sizes_bounded(self):
+        for si, sj, sk in iterate_blocks((10, 10, 10), (4, 5, 6)):
+            assert si.stop - si.start <= 4
+            assert sj.stop - sj.start <= 5
+            assert sk.stop - sk.start <= 6
+
+
+class TestBlockedSweep:
+    @pytest.mark.parametrize("blocks", [(1, 1, 1), (2, 3, 4), (5, 5, 5), (100, 1, 7)])
+    def test_bit_identical_to_unblocked(self, blocks):
+        rng = np.random.default_rng(2)
+        src = rng.random((9, 10, 11))
+        dst_blocked = np.zeros_like(src)
+        dst_plain = np.zeros_like(src)
+        n_blocked = blocked_sweep(src, dst_blocked, 0.4, 0.1, blocks)
+        n_plain = stencil7_sweep(src, dst_plain, 0.4, 0.1)
+        assert n_blocked == n_plain
+        np.testing.assert_array_equal(dst_blocked[1:-1, 1:-1, 1:-1],
+                                      dst_plain[1:-1, 1:-1, 1:-1])
+
+    def test_ghosts_untouched(self):
+        src = np.random.default_rng(0).random((6, 6, 6))
+        dst = np.full_like(src, -5.0)
+        blocked_sweep(src, dst, 0.4, 0.1, (2, 2, 2))
+        assert np.all(dst[0, :, :] == -5.0)
+
+    def test_invalid_block_sizes(self):
+        src = np.zeros((5, 5, 5))
+        dst = np.zeros_like(src)
+        with pytest.raises(ValueError):
+            blocked_sweep(src, dst, 0.4, 0.1, (0, 1, 1))

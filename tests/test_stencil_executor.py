@@ -1,0 +1,60 @@
+"""Tests for repro.stencil.executor (real execution path)."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.config import StencilConfig
+from repro.stencil.executor import MeasuredRun, StencilExecutor
+
+
+class TestStencilExecutor:
+    def test_run_small_config(self):
+        executor = StencilExecutor(timesteps=1, repeats=1)
+        run = executor.run(StencilConfig(I=16, J=16, K=16))
+        assert run.seconds > 0
+        assert run.points_updated == 16 ** 3
+        assert run.flops == 16 ** 3 * 8
+        assert run.gflops > 0
+        assert run.points_per_second > 0
+        assert run.effective_bandwidth_bytes_per_s > 0
+
+    def test_blocked_config_runs(self):
+        executor = StencilExecutor(timesteps=1, repeats=1)
+        run = executor.run(StencilConfig(I=16, J=16, K=16, bi=4, bj=8, bk=16))
+        assert run.seconds > 0
+
+    def test_27_point_config_runs(self):
+        executor = StencilExecutor(timesteps=1, repeats=1)
+        run = executor.run(StencilConfig(I=12, J=12, K=12, stencil_points=27))
+        assert run.flops == 12 ** 3 * 30
+
+    def test_timesteps_scale_points(self):
+        executor = StencilExecutor(timesteps=3, repeats=1)
+        run = executor.run(StencilConfig(I=8, J=8, K=8))
+        assert run.points_updated == 3 * 8 ** 3
+
+    def test_memory_cap_enforced(self):
+        executor = StencilExecutor(max_elements=1000)
+        with pytest.raises(ValueError, match="cap"):
+            executor.run(StencilConfig(I=64, J=64, K=64))
+
+    def test_run_many_and_measure_times(self):
+        executor = StencilExecutor(timesteps=1, repeats=1)
+        configs = [StencilConfig(I=8, J=8, K=8), StencilConfig(I=12, J=12, K=12)]
+        runs = executor.run_many(configs)
+        assert len(runs) == 2 and all(isinstance(r, MeasuredRun) for r in runs)
+        times = executor.measure_times(configs)
+        assert times.shape == (2,)
+        assert np.all(times > 0)
+
+    def test_larger_grids_take_longer(self):
+        executor = StencilExecutor(timesteps=2, repeats=2)
+        small = executor.run(StencilConfig(I=16, J=16, K=16)).seconds
+        large = executor.run(StencilConfig(I=64, J=64, K=64)).seconds
+        assert large > small
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StencilExecutor(timesteps=0)
+        with pytest.raises(ValueError):
+            StencilExecutor(repeats=0)

@@ -1,0 +1,66 @@
+"""Tests for repro.stencil.grid."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.grid import Grid3D
+
+
+class TestGrid3D:
+    def test_shapes_and_padding(self):
+        grid = Grid3D(shape=(4, 5, 6))
+        assert grid.I == 4 and grid.J == 5 and grid.K == 6
+        assert grid.padded_shape == (6, 7, 8)
+        assert grid.n_interior == 120
+        assert grid.interior.shape == (4, 5, 6)
+        assert grid.data.shape == (6, 7, 8)
+
+    def test_higher_order_padding(self):
+        grid = Grid3D(shape=(4, 4, 4), order=2)
+        assert grid.padded_shape == (8, 8, 8)
+
+    def test_fill(self):
+        grid = Grid3D(shape=(3, 3, 3)).fill(2.5)
+        assert np.all(grid.data == 2.5)
+
+    def test_fill_random_deterministic(self):
+        a = Grid3D(shape=(3, 3, 3)).fill_random(0).data
+        b = Grid3D(shape=(3, 3, 3)).fill_random(0).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_fill_function_sets_interior(self):
+        grid = Grid3D(shape=(5, 5, 5))
+        grid.fill_function(lambda x, y, z: x + y + z)
+        assert grid.interior[0, 0, 0] == pytest.approx(0.0)
+        assert grid.interior[-1, -1, -1] == pytest.approx(3.0)
+
+    def test_fill_function_clamps_ghosts(self):
+        grid = Grid3D(shape=(4, 4, 4))
+        grid.fill_function(lambda x, y, z: x)
+        # Ghost layer equals the adjacent interior value (clamped extension).
+        np.testing.assert_allclose(grid.data[0, 1:-1, 1:-1], grid.data[1, 1:-1, 1:-1])
+        np.testing.assert_allclose(grid.data[-1, 1:-1, 1:-1], grid.data[-2, 1:-1, 1:-1])
+
+    def test_interior_is_view(self):
+        grid = Grid3D(shape=(3, 3, 3))
+        grid.interior[...] = 7.0
+        assert grid.data[1, 1, 1] == 7.0
+        assert grid.data[0, 0, 0] == 0.0
+
+    def test_copy_is_independent(self):
+        grid = Grid3D(shape=(3, 3, 3)).fill(1.0)
+        other = grid.copy()
+        other.data[...] = 9.0
+        assert np.all(grid.data == 1.0)
+
+    def test_memory_bytes(self):
+        grid = Grid3D(shape=(2, 2, 2))
+        assert grid.memory_bytes() == 4 * 4 * 4 * 8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Grid3D(shape=(0, 2, 2))
+        with pytest.raises(ValueError):
+            Grid3D(shape=(2, 2))
+        with pytest.raises(ValueError):
+            Grid3D(shape=(2, 2, 2), order=0)

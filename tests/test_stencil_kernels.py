@@ -1,0 +1,111 @@
+"""Tests for repro.stencil.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.grid import Grid3D
+from repro.stencil.kernels import (
+    flops_per_point,
+    jacobi_iterate,
+    stencil27_sweep,
+    stencil7_reference,
+    stencil7_sweep,
+)
+
+
+@pytest.fixture()
+def padded_field():
+    rng = np.random.default_rng(0)
+    src = rng.random((8, 9, 10))
+    return src, np.zeros_like(src)
+
+
+class TestStencil7:
+    def test_matches_reference_loop(self, padded_field):
+        src, dst_vec = padded_field
+        dst_ref = np.zeros_like(src)
+        stencil7_sweep(src, dst_vec, 0.4, 0.1)
+        stencil7_reference(src, dst_ref, 0.4, 0.1)
+        np.testing.assert_allclose(dst_vec[1:-1, 1:-1, 1:-1], dst_ref[1:-1, 1:-1, 1:-1])
+
+    def test_returns_point_count(self, padded_field):
+        src, dst = padded_field
+        assert stencil7_sweep(src, dst, 0.4, 0.1) == 6 * 7 * 8
+
+    def test_ghost_layer_untouched(self, padded_field):
+        src, dst = padded_field
+        dst[...] = -1.0
+        stencil7_sweep(src, dst, 0.4, 0.1)
+        assert np.all(dst[0, :, :] == -1.0)
+        assert np.all(dst[:, :, -1] == -1.0)
+
+    def test_constant_field_is_preserved_when_weights_sum_to_one(self):
+        src = np.full((6, 6, 6), 3.0)
+        dst = np.zeros_like(src)
+        stencil7_sweep(src, dst, 0.4, 0.1)  # 0.4 + 6*0.1 = 1.0
+        np.testing.assert_allclose(dst[1:-1, 1:-1, 1:-1], 3.0)
+
+    def test_identical_arrays_rejected(self, padded_field):
+        src, _ = padded_field
+        with pytest.raises(ValueError, match="distinct"):
+            stencil7_sweep(src, src, 0.4, 0.1)
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            stencil7_sweep(np.zeros((2, 5, 5)), np.zeros((2, 5, 5)), 0.4, 0.1)
+        with pytest.raises(ValueError):
+            stencil7_sweep(np.zeros((5, 5, 5)), np.zeros((5, 5, 4)), 0.4, 0.1)
+        with pytest.raises(ValueError):
+            stencil7_sweep(np.zeros((5, 5)), np.zeros((5, 5)), 0.4, 0.1)
+
+
+class TestStencil27:
+    def test_constant_preservation(self):
+        src = np.full((5, 5, 5), 2.0)
+        dst = np.zeros_like(src)
+        # center + 6 faces + 12 edges + 8 corners with weights summing to 1.
+        w_face, w_edge, w_corner = 0.05, 0.02, 0.01
+        w_center = 1.0 - 6 * w_face - 12 * w_edge - 8 * w_corner
+        stencil27_sweep(src, dst, (w_center, w_face, w_edge, w_corner))
+        np.testing.assert_allclose(dst[1:-1, 1:-1, 1:-1], 2.0)
+
+    def test_reduces_to_7point_when_corner_edge_weights_zero(self):
+        rng = np.random.default_rng(1)
+        src = rng.random((6, 6, 6))
+        dst27 = np.zeros_like(src)
+        dst7 = np.zeros_like(src)
+        stencil27_sweep(src, dst27, (0.4, 0.1, 0.0, 0.0))
+        stencil7_sweep(src, dst7, 0.4, 0.1)
+        np.testing.assert_allclose(dst27[1:-1, 1:-1, 1:-1], dst7[1:-1, 1:-1, 1:-1])
+
+
+class TestJacobiIterate:
+    def test_zero_timesteps_is_identity(self):
+        grid = Grid3D(shape=(4, 4, 4)).fill_random(0)
+        before = grid.data.copy()
+        jacobi_iterate(grid, 0)
+        np.testing.assert_array_equal(grid.data, before)
+
+    def test_heat_equation_smooths_towards_mean(self):
+        grid = Grid3D(shape=(8, 8, 8))
+        grid.fill_function(lambda x, y, z: np.where(x > 0.5, 1.0, 0.0))
+        var_before = grid.interior.var()
+        jacobi_iterate(grid, 10, c0=0.4, c1=0.1)
+        assert grid.interior.var() < var_before
+
+    def test_result_also_returned(self):
+        grid = Grid3D(shape=(4, 4, 4)).fill_random(0)
+        out = jacobi_iterate(grid, 3)
+        assert out is grid.data
+
+    def test_negative_timesteps(self):
+        with pytest.raises(ValueError):
+            jacobi_iterate(Grid3D(shape=(3, 3, 3)), -1)
+
+
+class TestFlopsPerPoint:
+    def test_values(self):
+        assert flops_per_point(7) == 8
+        assert flops_per_point(27) == 30
+        with pytest.raises(ValueError):
+            flops_per_point(9)

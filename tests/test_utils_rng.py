@@ -1,0 +1,54 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import check_random_state, spawn_seeds
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        rng = check_random_state(None)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(123).random(5)
+        b = check_random_state(123).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).random(5)
+        b = check_random_state(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_legacy_randomstate_is_wrapped(self):
+        legacy = np.random.RandomState(0)
+        rng = check_random_state(legacy)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            check_random_state("not-a-seed")
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        seeds1 = spawn_seeds(7, 5)
+        seeds2 = spawn_seeds(7, 5)
+        assert len(seeds1) == 5
+        assert seeds1 == seeds2
+
+    def test_distinct_seeds(self):
+        seeds = spawn_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+    def test_zero_is_allowed(self):
+        assert spawn_seeds(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)

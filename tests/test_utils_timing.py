@@ -1,0 +1,37 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Timer, timeit_median
+
+
+class TestTimer:
+    def test_context_manager_records_elapsed(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed > 0.0
+
+    def test_start_stop(self):
+        t = Timer()
+        t.start()
+        sum(range(10000))
+        elapsed = t.stop()
+        assert elapsed > 0.0
+        assert t.elapsed == elapsed
+
+
+class TestTimeitMedian:
+    def test_returns_positive_time(self):
+        assert timeit_median(lambda: sum(range(1000)), repeats=3) > 0.0
+
+    def test_kwargs_forwarded(self):
+        calls = []
+        timeit_median(lambda x: calls.append(x), repeats=2, x=5)
+        assert calls == [5, 5]
+
+    def test_single_repeat(self):
+        assert timeit_median(lambda: None, repeats=1) >= 0.0
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            timeit_median(lambda: None, repeats=0)
