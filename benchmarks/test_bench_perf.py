@@ -1,0 +1,101 @@
+"""Engine-redesign performance tracking.
+
+Times the vectorized tree-ensemble engine against the seed ("legacy")
+implementation *in the same process* — forest fit at the acceptance
+workload (``ExtraTreesRegressor(n_estimators=100)`` at ``n = 2000``) and
+one quick-preset Figure 3 (FMM) run — and writes the measurements to
+``BENCH_engine.json`` at the repository root so the performance
+trajectory is tracked from the engine-redesign PR onward.
+
+Scale the legacy workload down with ``REPRO_BENCH_PERF_TREES`` if a
+constrained machine cannot afford the ~1.5 minute legacy fit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure3_fmm
+from repro.experiments.runner import ExperimentSettings
+from repro.ml import ExtraTreesRegressor, use_engines
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: Acceptance thresholds of the engine-redesign PR.
+MIN_FOREST_FIT_SPEEDUP = 5.0
+MIN_FIGURE3_SPEEDUP = 3.0
+
+
+def _time(func) -> float:
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="engines")
+def test_engine_redesign_speedups():
+    n_trees = int(os.environ.get("REPRO_BENCH_PERF_TREES", "100"))
+    rng = np.random.default_rng(0)
+    n = 2000
+    X = rng.uniform(0.0, 10.0, size=(n, 6))
+    y = np.sin(X[:, 0]) + 0.1 * X[:, 1] * X[:, 2] + 0.1 * rng.normal(size=n)
+
+    def fit_forest():
+        ExtraTreesRegressor(n_estimators=n_trees, random_state=0).fit(X, y)
+
+    settings = ExperimentSettings.quick()
+
+    def run_figure3():
+        figure3_fmm(settings=settings)
+
+    # Vectorized engines (current defaults: batched fit + packed predict,
+    # analytical caching in the experiment pipeline).
+    t_fit_new = _time(fit_forest)
+    t_fig3_new = _time(run_figure3)
+
+    # Seed implementation, same process, via the legacy engine flag.
+    with use_engines(tree="legacy", forest="legacy"):
+        t_fit_legacy = _time(fit_forest)
+        t_fig3_legacy = _time(run_figure3)
+
+    fit_speedup = t_fit_legacy / t_fit_new
+    fig3_speedup = t_fig3_legacy / t_fig3_new
+
+    result = {
+        "benchmark": "engine_redesign",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": {
+            "extra_trees_fit": {
+                "description": f"ExtraTreesRegressor(n_estimators={n_trees}).fit, "
+                               f"n={n}, d=6",
+                "legacy_seconds": round(t_fit_legacy, 4),
+                "vectorized_seconds": round(t_fit_new, 4),
+                "speedup": round(fit_speedup, 2),
+                "threshold": MIN_FOREST_FIT_SPEEDUP,
+            },
+            "figure3_fmm_quick": {
+                "description": "figure3_fmm(ExperimentSettings.quick())",
+                "legacy_seconds": round(t_fig3_legacy, 4),
+                "vectorized_seconds": round(t_fig3_new, 4),
+                "speedup": round(fig3_speedup, 2),
+                "threshold": MIN_FIGURE3_SPEEDUP,
+            },
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print()
+    print(json.dumps(result["workloads"], indent=2))
+
+    assert fit_speedup >= MIN_FOREST_FIT_SPEEDUP, (
+        f"forest fit speedup {fit_speedup:.1f}x below {MIN_FOREST_FIT_SPEEDUP}x")
+    assert fig3_speedup >= MIN_FIGURE3_SPEEDUP, (
+        f"figure3 speedup {fig3_speedup:.1f}x below {MIN_FIGURE3_SPEEDUP}x")

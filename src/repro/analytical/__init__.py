@@ -20,6 +20,7 @@ a predicted execution time using closed-form expressions:
 """
 
 from repro.analytical.base import AnalyticalModel, roofline_time
+from repro.analytical.cache import AnalyticalPredictionCache
 from repro.analytical.stencil_model import StencilAnalyticalModel
 from repro.analytical.fmm_model import FmmAnalyticalModel
 from repro.analytical.calibration import calibrate_scale, CalibratedModel
@@ -31,6 +32,7 @@ from repro.analytical.communication import (
 
 __all__ = [
     "AnalyticalModel",
+    "AnalyticalPredictionCache",
     "roofline_time",
     "StencilAnalyticalModel",
     "FmmAnalyticalModel",

@@ -49,6 +49,17 @@ class AnalyticalModel(abc.ABC):
             objects (subclasses define which names they understand).
         """
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return self.predict_rows(X, feature_names)
+
+    def predict_rows(self, X: np.ndarray, feature_names) -> np.ndarray:
+        """Vectorized prediction hook for a validated 2-D feature matrix.
+
+        The default rebuilds one configuration object per row and calls
+        :meth:`predict_config`; subclasses whose formulas are pure
+        arithmetic (the FMM and stencil models) override this with a
+        whole-matrix implementation so predicting a dataset costs a few
+        array expressions instead of ``n_samples`` Python round-trips.
+        """
         return np.array(
             [self.predict_config(self.config_from_features(row, feature_names)) for row in X],
             dtype=np.float64,

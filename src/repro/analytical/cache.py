@@ -1,0 +1,79 @@
+"""Memoization of analytical-model predictions.
+
+Analytical models are *prediction-only and deterministic* (they have no
+``fit`` step — Section VI trains only the ML component), so a given
+feature row always maps to the same predicted time.  The learning-curve
+protocol, however, re-evaluates the analytical model for every
+``(fraction, repeat)`` cell on overlapping subsets of the same dataset
+rows.  :class:`AnalyticalPredictionCache` binds one analytical model and
+feature layout, computes predictions for previously unseen rows in one
+vectorized :meth:`~repro.analytical.base.AnalyticalModel.predict` call,
+and serves every repeated row from a hash lookup, so each dataset row is
+evaluated exactly once per experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytical.base import AnalyticalModel
+
+__all__ = ["AnalyticalPredictionCache"]
+
+
+class AnalyticalPredictionCache:
+    """Row-level memo of one analytical model's predictions.
+
+    Parameters
+    ----------
+    model:
+        The analytical model whose predictions are cached.
+    feature_names:
+        Column layout of every matrix that will be passed to
+        :meth:`predict`; rows are keyed by their raw float64 bytes, so the
+        layout must be consistent for lookups to be meaningful.
+    """
+
+    def __init__(self, model: AnalyticalModel, feature_names) -> None:
+        if not isinstance(model, AnalyticalModel):
+            raise TypeError(
+                f"model must be an AnalyticalModel, got {type(model).__name__}"
+            )
+        self.model = model
+        self.feature_names = list(feature_names)
+        self._store: dict[bytes, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def warm(self, X: np.ndarray) -> "AnalyticalPredictionCache":
+        """Precompute predictions for every row of *X* (e.g. a full dataset)."""
+        self.predict(X)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted times for *X*, computing only never-seen rows."""
+        X = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        if X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"X has {X.shape[1]} columns but the cache is bound to "
+                f"{len(self.feature_names)} feature names"
+            )
+        keys = [row.tobytes() for row in X]
+        store = self._store
+        missing = [i for i, key in enumerate(keys) if key not in store]
+        if missing:
+            values = self.model.predict(X[missing], self.feature_names)
+            for i, value in zip(missing, values):
+                store[keys[i]] = float(value)
+        self.misses += len(missing)
+        self.hits += len(keys) - len(missing)
+        return np.array([store[key] for key in keys], dtype=np.float64)
+
+    def clear(self) -> None:
+        """Drop all memoized rows and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

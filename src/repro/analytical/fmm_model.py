@@ -109,6 +109,55 @@ class FmmAnalyticalModel(AnalyticalModel):
             + (n * k ** 2 * L / (q * Z ** (1.0 / 3.0))) * beta,
         }
 
+    def predict_rows(self, X: np.ndarray, feature_names) -> np.ndarray:
+        """Vectorized :meth:`predict_config` over a whole feature matrix.
+
+        Applies the same integer rounding and range validation as
+        :meth:`config_from_features` / :class:`FmmConfig` and evaluates
+        Eq. 8/9/12/14 with the identical expression order, so the result
+        matches the per-row path bit for bit without rebuilding an
+        :class:`FmmConfig` per sample.
+        """
+        names = list(feature_names)
+
+        def col(name: str, default: float) -> np.ndarray:
+            if name in names:
+                values = np.rint(X[:, names.index(name)])
+            else:
+                values = np.full(X.shape[0], float(default))
+            # Same bound FmmConfig.__post_init__ enforces on the scalar path.
+            if np.any(~(values >= 1)):
+                bad = values[~(values >= 1)][0]
+                raise ValueError(f"{name} must be >= 1, got {bad:g}")
+            return values
+
+        col("threads", 1)
+        n = col("n_particles", 1)
+        q = col("particles_per_leaf", 1)
+        k = col("order", 1)
+        tc = self.machine.tc
+        beta = self.machine.beta_mem
+        L = float(self.machine.line_elements)
+        Z = float(self.machine.hierarchy.last_level.size_elements(self.machine.word_bytes))
+
+        t_flop_p2p = self.p2p_flops_constant * q * n * tc
+        t_mem_p2p = n * beta + (n * L / (Z ** (1.0 / 3.0) * q ** (2.0 / 3.0))) * beta
+        t_p2p = np.maximum(t_flop_p2p, t_mem_p2p)
+
+        t_flop_m2l = self.m2l_flops_constant * n * k ** 6 / q * tc
+        t_mem_m2l = (n * k ** 6 / q) * beta + (n * k ** 2 * L / (q * Z ** (1.0 / 3.0))) * beta
+        t_m2l = np.maximum(t_flop_m2l, t_mem_m2l)
+
+        total = t_p2p + t_m2l
+
+        if self.include_expansion_phases:
+            terms = k ** 3 / 6.0
+            t_p2m_l2p = 2.0 * n * terms * 6.0 * tc
+            t_m2m_l2l = 2.0 * (n / q) * 8.0 * terms ** 2 * tc
+            total = total + (t_p2m_l2p + t_m2m_l2l)
+
+        return np.asarray(total, dtype=np.float64)
+
     def config_from_features(self, row: np.ndarray, feature_names) -> FmmConfig:
         """Build an :class:`FmmConfig` from a numeric feature row."""
         values = {name: float(v) for name, v in zip(feature_names, row)}

@@ -109,6 +109,78 @@ class StencilAnalyticalModel(AnalyticalModel):
 
         return float(total_time * self.timesteps)
 
+    def predict_rows(self, X: np.ndarray, feature_names) -> np.ndarray:
+        """Vectorized :meth:`predict_config` over a whole feature matrix.
+
+        Mirrors the scalar path expression by expression (same rounding,
+        same range validation, same blocking re-map, same R1–R4
+        interpolation) on float64 column arrays, so a dataset is predicted
+        in a handful of array operations instead of one config rebuild per
+        row.
+        """
+        names = list(feature_names)
+
+        def col(name: str, default: float, minimum: float) -> np.ndarray:
+            if name in names:
+                values = np.rint(X[:, names.index(name)])
+            else:
+                values = np.full(X.shape[0], float(default))
+            # Same bound StencilConfig.__post_init__ enforces per row.
+            if np.any(~(values >= minimum)):
+                bad = values[~(values >= minimum)][0]
+                raise ValueError(f"{name} must be >= {minimum:g}, got {bad:g}")
+            return values
+
+        I = col("I", 1, 1)  # noqa: E741 — paper notation
+        J = col("J", 1, 1)
+        K = col("K", 1, 1)
+        bi = col("bi", 0, 0)
+        bj = col("bj", 0, 0)
+        bk = col("bk", 0, 0)
+        col("threads", 1, 1)
+
+        l = 1.0  # StencilConfig default order
+        W = self.machine.line_elements
+
+        # Effective tile sizes: 0 means un-blocked (full extent).
+        ti = np.minimum(np.where(bi > 0, bi, I), I)
+        tj = np.minimum(np.where(bj > 0, bj, J), J)
+        tk = np.minimum(np.where(bk > 0, bk, K), K)
+
+        I_eff = np.ceil(ti / W) * W
+        II = np.ceil((ti + 2 * l) / W) * W
+        J_eff = tj
+        JJ = tj + 2 * l
+        KK = tk + 2 * l
+        nb = np.ceil(I / ti) * np.ceil(J / tj) * np.ceil(K / tk)
+
+        pread = 2 * l + 1
+        sread = II * JJ
+        swrite = I_eff * J_eff
+        if self.write_allocate:
+            stotal = pread * sread + 1 * swrite          # Eq. 3
+        else:
+            stotal = pread * sread                        # Eq. 4
+
+        lines_per_plane = np.ceil(II / W)
+        accesses = lines_per_plane * JJ * KK * (2 * pread - 1) * nb
+        misses_prev = accesses
+        total_time = np.zeros(X.shape[0])
+        for level in self.machine.hierarchy.levels:
+            nplanes = self._nplanes_rows(
+                level.size_elements(self.machine.word_bytes), W, pread,
+                sread, stotal, II)
+            misses = lines_per_plane * JJ * KK * nplanes * nb
+            hits = np.maximum(0.0, misses_prev - misses)
+            t_data = W * level.beta(self.machine.word_bytes)
+            total_time = total_time + t_data * hits
+            misses_prev = misses
+
+        t_data_mem = W * self.machine.beta_mem
+        total_time = total_time + t_data_mem * misses_prev
+
+        return np.asarray(total_time * self.timesteps, dtype=np.float64)
+
     def config_from_features(self, row: np.ndarray, feature_names) -> StencilConfig:
         """Build a :class:`StencilConfig` from a numeric feature row."""
         values = {name: float(v) for name, v in zip(feature_names, row)}
@@ -160,9 +232,36 @@ class StencilAnalyticalModel(AnalyticalModel):
             return pread + (pread - 1.0) * frac
         return 2.0 * pread - 1.0
 
+    def _nplanes_rows(self, cache_elements: int, W: int, pread: float,
+                      sread: np.ndarray, stotal: np.ndarray,
+                      II: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_nplanes` (same R1–R4 cases and interpolation)."""
+        rcol = pread / (2.0 * pread - 1.0)
+        cap = cache_elements / W
+
+        r1 = cap * rcol >= stotal
+        r2 = cap > stotal
+        r3 = cap * rcol > sread
+        r4 = cap * rcol < pread * II
+
+        v2 = 1.0 + (pread - 2.0) * self._fraction_rows(cap * rcol, stotal, stotal * rcol)
+        v3 = (pread - 1.0) + 1.0 * self._fraction_rows(cap, stotal, sread / rcol)
+        v4 = pread + (pread - 1.0) * self._fraction_rows(cap * rcol, sread, pread * II)
+        return np.select([r1, r2, r3, ~r4], [1.0, v2, v3, v4],
+                         default=2.0 * pread - 1.0)
+
     @staticmethod
     def _fraction(value: float, upper: float, lower: float) -> float:
         """Linear position of *value* between *upper* (-> 0) and *lower* (-> 1)."""
         if upper <= lower:
             return 1.0
         return float(np.clip((upper - value) / (upper - lower), 0.0, 1.0))
+
+    @staticmethod
+    def _fraction_rows(value, upper, lower) -> np.ndarray:
+        """Vectorized :meth:`_fraction` (elementwise on row arrays)."""
+        upper = np.asarray(upper, dtype=np.float64)
+        lower = np.asarray(lower, dtype=np.float64)
+        span = np.where(upper > lower, upper - lower, 1.0)
+        return np.where(upper <= lower, 1.0,
+                        np.clip((upper - value) / span, 0.0, 1.0))

@@ -99,6 +99,7 @@ def evaluate_learning_curve(
     min_train: int = 3,
     label: str = "model",
     random_state=0,
+    analytical_cache=None,
 ) -> LearningCurve:
     """MAPE-vs-training-fraction curve for one model family.
 
@@ -119,21 +120,37 @@ def evaluate_learning_curve(
         Name of the resulting curve.
     random_state:
         Master seed; per-repeat seeds are spawned deterministically.
+    analytical_cache:
+        Optional :class:`~repro.analytical.cache.AnalyticalPredictionCache`
+        shared with the models the factory produces.  It is warmed with
+        the full dataset up front (one vectorized evaluation), so every
+        ``(fraction, repeat)`` cell afterwards is pure cache hits.
     """
     if not fractions:
         raise ValueError("fractions must be non-empty")
     if n_repeats < 1:
         raise ValueError("n_repeats must be >= 1")
+    if analytical_cache is not None:
+        analytical_cache.warm(dataset.X)
     rng = check_random_state(random_state)
     curve = LearningCurve(label=label)
     for fraction in fractions:
         seeds = spawn_seeds(rng, n_repeats)
-        point = LearningCurvePoint(fraction=float(fraction), n_train=0)
+        point: LearningCurvePoint | None = None
         for seed in seeds:
             train_idx, test_idx = dataset.train_test_indices(
                 train_fraction=float(fraction), min_train=min_train, random_state=seed
             )
-            point.n_train = len(train_idx)
+            # The split size is a deterministic function of the fraction and
+            # dataset, so repeats must agree; record it from the first split.
+            if point is None:
+                point = LearningCurvePoint(fraction=float(fraction),
+                                           n_train=len(train_idx))
+            elif len(train_idx) != point.n_train:
+                raise RuntimeError(
+                    f"inconsistent n_train across repeats at fraction {fraction}: "
+                    f"{len(train_idx)} != {point.n_train}"
+                )
             model = model_factory(seed)
             model.fit(dataset.X[train_idx], dataset.y[train_idx])
             predictions = model.predict(dataset.X[test_idx])
@@ -153,13 +170,17 @@ def compare_models(
     n_repeats: int = 3,
     min_train: int = 3,
     random_state=0,
+    analytical_cache=None,
 ) -> dict[str, LearningCurve]:
     """Learning curves for several model families on the same dataset.
 
     Either a common ``fractions`` list or a per-model
     ``fractions_by_model`` mapping must be provided (the paper's hybrid
     experiments use different fractions for the pure-ML and hybrid
-    models, e.g. 10/15/20% vs 1/2/4% in Figure 5).
+    models, e.g. 10/15/20% vs 1/2/4% in Figure 5).  An optional shared
+    ``analytical_cache`` is forwarded to every per-family evaluation, so
+    the analytical model is evaluated once per dataset row across the
+    whole comparison.
     """
     if fractions_by_model is None:
         if fractions is None:
@@ -175,5 +196,6 @@ def compare_models(
             min_train=min_train,
             label=name,
             random_state=random_state,
+            analytical_cache=analytical_cache,
         )
     return curves

@@ -65,6 +65,13 @@ class HybridPerformanceModel(BaseEstimator, RegressorMixin):
         extra feature.  Execution times span orders of magnitude across the
         configuration spaces; the log keeps the feature informative at both
         ends.  The aggregation stage always uses the raw (linear) value.
+    analytical_cache:
+        Optional :class:`~repro.analytical.cache.AnalyticalPredictionCache`
+        bound to ``analytical_model``; when given, analytical predictions
+        are served from (and recorded into) the cache, so repeated fits
+        and predictions over the same dataset rows — the learning-curve
+        protocol — evaluate each row only once.  The cache may be shared
+        across many model instances (it holds no per-fit state).
     random_state:
         Seed forwarded to the ML model (and the bagging wrapper).
     """
@@ -80,6 +87,7 @@ class HybridPerformanceModel(BaseEstimator, RegressorMixin):
         bagging_estimators: int = 0,
         standardize: bool = True,
         log_analytical_feature: bool = True,
+        analytical_cache=None,
         random_state=None,
     ) -> None:
         self.analytical_model = analytical_model
@@ -90,6 +98,7 @@ class HybridPerformanceModel(BaseEstimator, RegressorMixin):
         self.bagging_estimators = bagging_estimators
         self.standardize = standardize
         self.log_analytical_feature = log_analytical_feature
+        self.analytical_cache = analytical_cache
         self.random_state = random_state
         self.scaler_: StandardScaler | None = None
         self.stacked_model_: BaseEstimator | None = None
@@ -114,6 +123,17 @@ class HybridPerformanceModel(BaseEstimator, RegressorMixin):
                 f"X has {X.shape[1]} columns but feature_names has "
                 f"{len(list(self.feature_names))} entries"
             )
+        if self.analytical_cache is not None:
+            cached = self.analytical_cache.model
+            if cached is not self.analytical_model and cached != self.analytical_model:
+                raise ValueError(
+                    "analytical_cache is bound to a different analytical model"
+                )
+            if list(self.analytical_cache.feature_names) != list(self.feature_names):
+                raise ValueError(
+                    "analytical_cache is bound to a different feature layout: "
+                    f"{self.analytical_cache.feature_names} != {list(self.feature_names)}"
+                )
         self.n_features_in_ = X.shape[1]
 
         Z = self._stacked_features(X)
@@ -172,7 +192,10 @@ class HybridPerformanceModel(BaseEstimator, RegressorMixin):
     # Internals
     # ------------------------------------------------------------------ #
     def _analytical_predictions(self, X: np.ndarray) -> np.ndarray:
-        preds = self.analytical_model.predict(X, self.feature_names)
+        if self.analytical_cache is not None:
+            preds = self.analytical_cache.predict(X)
+        else:
+            preds = self.analytical_model.predict(X, self.feature_names)
         preds = np.asarray(preds, dtype=np.float64)
         if preds.shape != (X.shape[0],):
             raise ValueError(

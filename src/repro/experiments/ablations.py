@@ -20,7 +20,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.analytical import CalibratedModel, StencilAnalyticalModel
+from repro.analytical import (
+    AnalyticalPredictionCache,
+    CalibratedModel,
+    StencilAnalyticalModel,
+)
 from repro.analytical.base import AnalyticalModel
 from repro.core.evaluation import compare_models, evaluate_learning_curve
 from repro.core.hybrid import HybridPerformanceModel
@@ -94,6 +98,10 @@ class _ConstantModel(AnalyticalModel):
 
 
 def _hybrid_factory(analytical, dataset, settings, *, aggregate=False) -> Callable:
+    # One cache per factory: every (fraction, repeat) instance shares it, so
+    # each dataset row is evaluated by the analytical model at most once.
+    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
+
     def factory(seed: int):
         return HybridPerformanceModel(
             analytical_model=analytical,
@@ -101,6 +109,7 @@ def _hybrid_factory(analytical, dataset, settings, *, aggregate=False) -> Callab
             ml_model=ExtraTreesRegressor(n_estimators=settings.n_estimators,
                                          random_state=seed),
             aggregate_analytical=aggregate,
+            analytical_cache=cache,
             random_state=seed,
         )
 
@@ -185,6 +194,7 @@ def ablation_sampling_strategy(settings: ExperimentSettings | None = None,
     dataset = dataset if dataset is not None else blocked_small_grid_dataset(
         max_configs=settings.max_configs)
     analytical = StencilAnalyticalModel()
+    cache = AnalyticalPredictionCache(analytical, dataset.feature_names).warm(dataset.X)
     extra: dict = {}
     from repro.core.evaluation import LearningCurve, LearningCurvePoint
 
@@ -207,6 +217,7 @@ def ablation_sampling_strategy(settings: ExperimentSettings | None = None,
                     feature_names=dataset.feature_names,
                     ml_model=ExtraTreesRegressor(n_estimators=settings.n_estimators,
                                                  random_state=seed),
+                    analytical_cache=cache,
                     random_state=seed,
                 )
                 model.fit(dataset.X[train_idx], dataset.y[train_idx])
@@ -231,12 +242,15 @@ def ablation_ml_backend(settings: ExperimentSettings | None = None,
         max_configs=settings.max_configs)
     analytical = StencilAnalyticalModel()
 
+    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
+
     def hybrid_with(ml_factory) -> Callable:
         def factory(seed: int):
             return HybridPerformanceModel(
                 analytical_model=analytical,
                 feature_names=dataset.feature_names,
                 ml_model=ml_factory(seed),
+                analytical_cache=cache,
                 random_state=seed,
             )
 

@@ -12,7 +12,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.analytical import FmmAnalyticalModel, StencilAnalyticalModel
+from repro.analytical import (
+    AnalyticalPredictionCache,
+    FmmAnalyticalModel,
+    StencilAnalyticalModel,
+)
 from repro.core.evaluation import compare_models
 from repro.core.features import PerformanceDataset
 from repro.core.hybrid import HybridPerformanceModel
@@ -71,8 +75,15 @@ def _ml_pipeline_factory(estimator_cls, settings: ExperimentSettings, **kwargs) 
 
 
 def _hybrid_factory(analytical_model, feature_names, settings: ExperimentSettings,
-                    *, aggregate: bool) -> Callable:
-    """Factory producing a hybrid (extra trees stacked on the AM) per seed."""
+                    *, aggregate: bool, cache: AnalyticalPredictionCache | None = None,
+                    ) -> Callable:
+    """Factory producing a hybrid (extra trees stacked on the AM) per seed.
+
+    All instances share the optional analytical-prediction *cache*: the
+    analytical model is deterministic and prediction-only, so each dataset
+    row is evaluated once per experiment regardless of how many
+    ``(fraction, repeat)`` fits the learning-curve protocol performs.
+    """
 
     def factory(seed: int):
         return HybridPerformanceModel(
@@ -81,6 +92,7 @@ def _hybrid_factory(analytical_model, feature_names, settings: ExperimentSetting
             ml_model=ExtraTreesRegressor(n_estimators=settings.n_estimators,
                                          random_state=seed),
             aggregate_analytical=aggregate,
+            analytical_cache=cache,
             random_state=seed,
         )
 
@@ -147,19 +159,20 @@ def figure5(settings: ExperimentSettings | None = None,
     dataset = dataset if dataset is not None else grid_only_dataset(
         max_configs=settings.max_configs)
     analytical = StencilAnalyticalModel()
+    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
     factories = {
         "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
         "hybrid": _hybrid_factory(analytical, dataset.feature_names, settings,
-                                  aggregate=False),
+                                  aggregate=False, cache=cache),
     }
     curves = compare_models(
         factories, dataset,
         fractions_by_model={"extra_trees": FIG5_ML_FRACTIONS,
                             "hybrid": FIG5_HYBRID_FRACTIONS},
         n_repeats=settings.n_repeats, random_state=settings.random_state,
+        analytical_cache=cache,
     )
-    am_mape = mean_absolute_percentage_error(
-        dataset.y, analytical.predict(dataset.X, dataset.feature_names))
+    am_mape = mean_absolute_percentage_error(dataset.y, cache.predict(dataset.X))
     return ExperimentResult(
         experiment_id="figure5",
         description="Hybrid (1-4% training) vs extra trees (10-20%) on grid-size-only stencil",
@@ -184,16 +197,17 @@ def figure6(settings: ExperimentSettings | None = None,
     dataset = dataset if dataset is not None else blocked_small_grid_dataset(
         max_configs=settings.max_configs)
     analytical = StencilAnalyticalModel()
+    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
     factories = {
         "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
         "hybrid": _hybrid_factory(analytical, dataset.feature_names, settings,
-                                  aggregate=False),
+                                  aggregate=False, cache=cache),
     }
     curves = compare_models(factories, dataset, fractions=FIG6_FRACTIONS,
                             n_repeats=settings.n_repeats,
-                            random_state=settings.random_state)
-    am_mape = mean_absolute_percentage_error(
-        dataset.y, analytical.predict(dataset.X, dataset.feature_names))
+                            random_state=settings.random_state,
+                            analytical_cache=cache)
+    am_mape = mean_absolute_percentage_error(dataset.y, cache.predict(dataset.X))
     return ExperimentResult(
         experiment_id="figure6",
         description="Hybrid vs extra trees at 1-4% training on the blocked stencil dataset",
@@ -215,16 +229,17 @@ def figure7(settings: ExperimentSettings | None = None,
     dataset = dataset if dataset is not None else threaded_dataset(
         max_configs=settings.max_configs)
     analytical = StencilAnalyticalModel()
+    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
     factories = {
         "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
         "hybrid": _hybrid_factory(analytical, dataset.feature_names, settings,
-                                  aggregate=False),
+                                  aggregate=False, cache=cache),
     }
     curves = compare_models(factories, dataset, fractions=FIG7_FRACTIONS,
                             n_repeats=settings.n_repeats,
-                            random_state=settings.random_state)
-    am_mape = mean_absolute_percentage_error(
-        dataset.y, analytical.predict(dataset.X, dataset.feature_names))
+                            random_state=settings.random_state,
+                            analytical_cache=cache)
+    am_mape = mean_absolute_percentage_error(dataset.y, cache.predict(dataset.X))
     return ExperimentResult(
         experiment_id="figure7",
         description="Hybrid (serial AM) vs extra trees on the multithreaded stencil dataset",
@@ -243,16 +258,17 @@ def figure8(settings: ExperimentSettings | None = None,
     settings = settings or ExperimentSettings()
     dataset = dataset if dataset is not None else fmm_dataset(max_configs=settings.max_configs)
     analytical = FmmAnalyticalModel()
+    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
     factories = {
         "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
         "hybrid": _hybrid_factory(analytical, dataset.feature_names, settings,
-                                  aggregate=False),
+                                  aggregate=False, cache=cache),
     }
     curves = compare_models(factories, dataset, fractions=FIG8_FRACTIONS,
                             n_repeats=settings.n_repeats,
-                            random_state=settings.random_state)
-    am_mape = mean_absolute_percentage_error(
-        dataset.y, analytical.predict(dataset.X, dataset.feature_names))
+                            random_state=settings.random_state,
+                            analytical_cache=cache)
+    am_mape = mean_absolute_percentage_error(dataset.y, cache.predict(dataset.X))
     return ExperimentResult(
         experiment_id="figure8",
         description="Hybrid vs extra trees at 15-25% training on the FMM dataset",

@@ -59,7 +59,7 @@ class DirectSummation:
             return laplace_potential(rows, sources, weights)
 
         results = parallel_map(_block, blocks, n_jobs=self.n_jobs)
-        return np.concatenate(results) if results else np.zeros(0)
+        return np.concatenate(results) if results else np.zeros(0, dtype=np.float64)
 
     def operation_count(self, n: int) -> int:
         """Kernel evaluations performed for an N-body problem (N^2)."""

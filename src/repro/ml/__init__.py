@@ -25,8 +25,10 @@ Estimators
 """
 
 from repro.ml.base import BaseEstimator, RegressorMixin, TransformerMixin, clone
+from repro.ml.engine import get_default_engines, set_default_engines, use_engines
 from repro.ml.tree import DecisionTreeRegressor
 from repro.ml.forest import RandomForestRegressor, ExtraTreesRegressor
+from repro.ml._packed import PackedForest
 from repro.ml.bagging import BaggingRegressor
 from repro.ml.boosting import GradientBoostingRegressor
 from repro.ml.stacking import StackingRegressor
@@ -54,9 +56,13 @@ __all__ = [
     "RegressorMixin",
     "TransformerMixin",
     "clone",
+    "get_default_engines",
+    "set_default_engines",
+    "use_engines",
     "DecisionTreeRegressor",
     "RandomForestRegressor",
     "ExtraTreesRegressor",
+    "PackedForest",
     "BaggingRegressor",
     "GradientBoostingRegressor",
     "StackingRegressor",

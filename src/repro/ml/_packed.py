@@ -1,0 +1,74 @@
+"""Contiguous flat-array packing of a fitted tree ensemble.
+
+A fitted forest holds ``n_estimators`` independent :class:`Tree` objects;
+predicting with a Python loop over them costs one full vectorized descent
+per tree.  :class:`PackedForest` concatenates all node arrays into one
+arena (child indices shifted by per-tree offsets) and descends **all
+trees for all query rows simultaneously**: the work array holds one
+current-node entry per (row, tree) pair, and each iteration of the
+traversal loop advances every pair that has not yet reached a leaf.  The
+interpreter cost is ``O(max_tree_depth)`` NumPy calls for the whole
+ensemble instead of ``O(n_estimators * max_depth)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import _NO_CHILD, Tree
+
+__all__ = ["PackedForest"]
+
+
+class PackedForest:
+    """Flat single-arena view of a list of fitted :class:`Tree` objects."""
+
+    def __init__(self, trees: list[Tree]) -> None:
+        if not trees:
+            raise ValueError("PackedForest needs at least one tree")
+        counts = np.array([t.node_count for t in trees], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        self.n_trees = len(trees)
+        self.roots = offsets
+        self.feature = np.concatenate([t.feature for t in trees])
+        self.threshold = np.concatenate([t.threshold for t in trees])
+        self.value = np.concatenate([t.value for t in trees])
+        self.left = np.concatenate([
+            np.where(t.left != _NO_CHILD, t.left + off, _NO_CHILD)
+            for t, off in zip(trees, offsets)
+        ])
+        self.right = np.concatenate([
+            np.where(t.right != _NO_CHILD, t.right + off, _NO_CHILD)
+            for t, off in zip(trees, offsets)
+        ])
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes across all packed trees."""
+        return len(self.feature)
+
+    def predict_all(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree leaf values: ``(n_samples, n_trees)``, one descent for all."""
+        n = X.shape[0]
+        T = self.n_trees
+        nodes = np.tile(self.roots, n)  # flat (n*T,), row-major (row, tree)
+        active = self.feature[nodes] != _NO_CHILD
+        while True:
+            idx = np.nonzero(active)[0]
+            if idx.size == 0:
+                break
+            cur = nodes[idx]
+            rows = idx // T
+            go_left = X[rows, self.feature[cur]] <= self.threshold[cur]
+            nxt = np.where(go_left, self.left[cur], self.right[cur])
+            nodes[idx] = nxt
+            active[idx] = self.feature[nxt] != _NO_CHILD
+        return self.value[nodes].reshape(n, T)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Ensemble mean prediction."""
+        return self.predict_all(X).mean(axis=1)
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample standard deviation across trees."""
+        return self.predict_all(X).std(axis=1)

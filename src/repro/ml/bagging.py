@@ -95,7 +95,7 @@ class BaggingRegressor(BaseEstimator, RegressorMixin):
             return est.fit(X[np.ix_(idx, feats)], y[idx])
 
         self.estimators_ = parallel_map(_fit_one, range(self.n_estimators),
-                                        n_jobs=self.n_jobs)
+                                        n_jobs=self.n_jobs, chunked=True)
         self.estimators_features_ = feature_sets
         return self
 

@@ -1,0 +1,93 @@
+"""Process-wide selection of the tree/forest construction engines.
+
+The ML substrate ships three tree-construction engines:
+
+* ``"legacy"`` — the original recursive per-node builder (kept as the
+  reference implementation and for benchmarking the engine redesign);
+* ``"stack"`` — an explicit work-stack builder with a fit-time feature
+  presort, bit-identical to ``"legacy"`` (same node numbering, same RNG
+  stream, same floating-point results) but without the per-node
+  ``argsort`` and Python recursion;
+* ``"batched"`` — a level-synchronous builder that grows *all* trees of a
+  forest together, scoring every frontier node in a few vectorized passes
+  per depth level.  It draws its random numbers per tree per level, so it
+  is deterministic under a fixed seed but follows a different (documented)
+  RNG protocol than the recursive builders: trees are statistically
+  equivalent, not bit-identical, to ``"legacy"`` ones.
+
+Estimators accept an ``engine`` parameter; ``None`` (the default) resolves
+to the module-wide defaults below, which :func:`use_engines` can override
+temporarily (used by the performance benchmarks to time the seed
+implementation against the vectorized one in the same process).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = [
+    "TREE_ENGINES",
+    "FOREST_ENGINES",
+    "get_default_engines",
+    "set_default_engines",
+    "use_engines",
+    "resolve_tree_engine",
+    "resolve_forest_engine",
+]
+
+#: Engines understood by :class:`~repro.ml.tree.DecisionTreeRegressor`.
+TREE_ENGINES = ("legacy", "stack", "batched")
+
+#: Engines understood by the forest estimators.
+FOREST_ENGINES = ("legacy", "stack", "batched")
+
+_defaults = {"tree": "stack", "forest": "batched"}
+
+
+def get_default_engines() -> dict:
+    """Current process-wide default engines, as ``{"tree": ..., "forest": ...}``."""
+    return dict(_defaults)
+
+
+def set_default_engines(*, tree: str | None = None, forest: str | None = None) -> dict:
+    """Set the process-wide default engines; returns the previous defaults."""
+    previous = dict(_defaults)
+    if tree is not None:
+        if tree not in TREE_ENGINES:
+            raise ValueError(f"tree engine must be one of {TREE_ENGINES}, got {tree!r}")
+        _defaults["tree"] = tree
+    if forest is not None:
+        if forest not in FOREST_ENGINES:
+            raise ValueError(
+                f"forest engine must be one of {FOREST_ENGINES}, got {forest!r}"
+            )
+        _defaults["forest"] = forest
+    return previous
+
+
+@contextmanager
+def use_engines(*, tree: str | None = None, forest: str | None = None):
+    """Temporarily override the default engines (benchmarking helper)."""
+    previous = set_default_engines(tree=tree, forest=forest)
+    try:
+        yield
+    finally:
+        set_default_engines(**previous)
+
+
+def resolve_tree_engine(engine: str | None) -> str:
+    """Resolve an estimator-level ``engine`` value to a concrete tree engine."""
+    engine = _defaults["tree"] if engine is None else engine
+    if engine not in TREE_ENGINES:
+        raise ValueError(f"engine must be None or one of {TREE_ENGINES}, got {engine!r}")
+    return engine
+
+
+def resolve_forest_engine(engine: str | None) -> str:
+    """Resolve an estimator-level ``engine`` value to a concrete forest engine."""
+    engine = _defaults["forest"] if engine is None else engine
+    if engine not in FOREST_ENGINES:
+        raise ValueError(
+            f"engine must be None or one of {FOREST_ENGINES}, got {engine!r}"
+        )
+    return engine

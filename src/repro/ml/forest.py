@@ -12,13 +12,24 @@ instances; they differ in how individual trees are randomized:
 
 Extra trees is the model the paper selects for its hybrid approach after
 the comparison in Figure 3.
+
+Fitting defaults to the level-synchronous ``"batched"`` engine
+(:mod:`repro.ml._batched`), which grows all trees together one depth
+level at a time; prediction always goes through a :class:`PackedForest`
+(:mod:`repro.ml._packed`), descending every tree for every query row in a
+single vectorized traversal.  The per-tree engines (``"stack"``,
+``"legacy"``) remain available through the ``engine`` parameter; the
+``"legacy"`` engine also restores the original Python prediction loop so
+benchmarks can time the seed implementation end to end.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.ml._packed import PackedForest
 from repro.ml.base import BaseEstimator, RegressorMixin
+from repro.ml.engine import resolve_forest_engine
 from repro.ml.tree import DecisionTreeRegressor
 from repro.parallel.threadpool import parallel_map
 from repro.utils.rng import check_random_state, spawn_seeds
@@ -46,6 +57,7 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
         oob_score: bool = False,
         n_jobs: int = 1,
         random_state=None,
+        engine: str | None = None,
     ) -> None:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -56,7 +68,9 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
         self.oob_score = oob_score
         self.n_jobs = n_jobs
         self.random_state = random_state
+        self.engine = engine
         self.estimators_: list[DecisionTreeRegressor] | None = None
+        self.packed_: PackedForest | None = None
         self.n_features_in_: int | None = None
         self.oob_prediction_: np.ndarray | None = None
         self.oob_score_: float | None = None
@@ -67,6 +81,7 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
         X, y = check_X_y(X, y)
         if self.n_estimators < 1:
             raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        engine = resolve_forest_engine(self.engine)
         self.n_features_in_ = X.shape[1]
         bootstrap = self._default_bootstrap if self.bootstrap is None else self.bootstrap
         if self.oob_score and not bootstrap:
@@ -84,24 +99,53 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
             else:
                 sample_sets.append(np.arange(n))
 
-        def _fit_one(i: int) -> DecisionTreeRegressor:
-            tree = DecisionTreeRegressor(
+        if engine == "batched":
+            from repro.ml._batched import build_forest_batched
+
+            template = DecisionTreeRegressor(max_features=self.max_features)
+            trees = build_forest_batched(
+                X, y,
+                sample_sets=sample_sets,
+                seeds=tree_seeds,
+                splitter=self._splitter,
                 max_depth=self.max_depth,
                 min_samples_split=self.min_samples_split,
                 min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                splitter=self._splitter,
-                random_state=tree_seeds[i],
+                max_features=template._resolve_max_features(X.shape[1]),
+                min_impurity_decrease=0.0,
             )
-            idx = sample_sets[i]
-            return tree.fit(X[idx], y[idx])
+            self.estimators_ = []
+            for i, tree in enumerate(trees):
+                shell = self._make_tree(tree_seeds[i])
+                shell.tree_ = tree
+                shell.n_features_in_ = X.shape[1]
+                self.estimators_.append(shell)
+        else:
+            def _fit_one(i: int) -> DecisionTreeRegressor:
+                tree = self._make_tree(tree_seeds[i], engine=engine)
+                idx = sample_sets[i]
+                return tree.fit(X[idx], y[idx])
 
-        self.estimators_ = parallel_map(_fit_one, range(self.n_estimators),
-                                        n_jobs=self.n_jobs)
+            self.estimators_ = parallel_map(_fit_one, range(self.n_estimators),
+                                            n_jobs=self.n_jobs, chunked=True)
+
+        self.packed_ = None if engine == "legacy" else PackedForest(
+            [est.tree_ for est in self.estimators_])
 
         if self.oob_score:
             self._compute_oob(X, y, sample_sets)
         return self
+
+    def _make_tree(self, seed, engine: str | None = None) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            splitter=self._splitter,
+            random_state=seed,
+            engine=engine,
+        )
 
     def predict(self, X) -> np.ndarray:
         """Average the predictions of all trees."""
@@ -112,6 +156,8 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
                 f"X has {X.shape[1]} features, but the forest was fitted with "
                 f"{self.n_features_in_}"
             )
+        if self.packed_ is not None:
+            return self.packed_.predict(X)
         preds = np.zeros(X.shape[0], dtype=np.float64)
         for tree in self.estimators_:
             preds += tree.tree_.predict(X)
@@ -121,6 +167,8 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
         """Per-sample standard deviation across trees (ensemble uncertainty)."""
         check_is_fitted(self, "estimators_")
         X = check_array(X)
+        if self.packed_ is not None:
+            return self.packed_.predict_std(X)
         all_preds = np.stack([tree.tree_.predict(X) for tree in self.estimators_])
         return all_preds.std(axis=0)
 
@@ -141,15 +189,22 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
         from repro.ml.metrics import r2_score
 
         n = X.shape[0]
-        sums = np.zeros(n)
-        counts = np.zeros(n)
-        for tree, idx in zip(self.estimators_, sample_sets):
-            mask = np.ones(n, dtype=bool)
-            mask[idx] = False
-            if not np.any(mask):
-                continue
-            sums[mask] += tree.tree_.predict(X[mask])
-            counts[mask] += 1
+        oob_mask = np.ones((n, len(self.estimators_)), dtype=bool)
+        for i, idx in enumerate(sample_sets):
+            oob_mask[idx, i] = False
+        if self.packed_ is not None:
+            all_preds = self.packed_.predict_all(X)
+            sums = np.where(oob_mask, all_preds, 0.0).sum(axis=1)
+            counts = oob_mask.sum(axis=1).astype(np.float64)
+        else:
+            sums = np.zeros(n)
+            counts = np.zeros(n)
+            for i, tree in enumerate(self.estimators_):
+                mask = oob_mask[:, i]
+                if not np.any(mask):
+                    continue
+                sums[mask] += tree.tree_.predict(X[mask])
+                counts[mask] += 1
         covered = counts > 0
         oob = np.full(n, np.nan)
         oob[covered] = sums[covered] / counts[covered]
@@ -191,6 +246,7 @@ class ExtraTreesRegressor(BaseForestRegressor):
         oob_score: bool = False,
         n_jobs: int = 1,
         random_state=None,
+        engine: str | None = None,
     ) -> None:
         super().__init__(
             n_estimators=n_estimators,
@@ -202,4 +258,5 @@ class ExtraTreesRegressor(BaseForestRegressor):
             oob_score=oob_score,
             n_jobs=n_jobs,
             random_state=random_state,
+            engine=engine,
         )

@@ -12,9 +12,12 @@ provided:
   :class:`repro.ml.forest.ExtraTreesRegressor`, the best performing model
   in the paper's Figure 3).
 
-The implementation is fully vectorized per node: candidate-split scoring
-uses cumulative sums over the sorted targets, so building a tree costs
-``O(n_features * n log n)`` per level, and prediction descends all query
+Three construction engines are available (see :mod:`repro.ml.engine`):
+the original recursive builder (``"legacy"``), a bit-identical presorted
+work-stack builder (``"stack"``, the default — no per-node ``argsort``, no
+Python recursion), and the level-synchronous ``"batched"`` builder shared
+with the forest estimators.  Candidate-split scoring is vectorized with
+cumulative sums over the sorted targets, and prediction descends all query
 rows through the flat node arrays simultaneously.
 """
 
@@ -25,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.base import BaseEstimator, RegressorMixin
+from repro.ml.engine import resolve_tree_engine
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_array, check_X_y, check_is_fitted
 
@@ -73,13 +77,22 @@ class Tree:
 
     @property
     def max_depth(self) -> int:
-        """Depth of the deepest leaf (root = depth 0)."""
-        depth = np.zeros(self.node_count, dtype=np.int64)
-        for node in range(self.node_count):
-            for child in (self.left[node], self.right[node]):
-                if child != _NO_CHILD:
-                    depth[child] = depth[node] + 1
-        return int(depth.max()) if self.node_count else 0
+        """Depth of the deepest leaf (root = depth 0).
+
+        Computed by a vectorized breadth-first frontier walk: one NumPy
+        step per tree level instead of a Python loop over every node.
+        """
+        if not self.node_count:
+            return 0
+        depth = 0
+        frontier = np.array([0], dtype=np.int64)
+        while True:
+            children = np.concatenate((self.left[frontier], self.right[frontier]))
+            children = children[children != _NO_CHILD]
+            if children.size == 0:
+                return depth
+            depth += 1
+            frontier = children
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Return the leaf value for every row of *X*."""
@@ -119,7 +132,7 @@ class Tree:
 
 
 class _TreeBuilder:
-    """Depth-first recursive builder shared by both splitters."""
+    """Depth-first recursive builder (the ``"legacy"`` reference engine)."""
 
     def __init__(
         self,
@@ -293,6 +306,157 @@ class _TreeBuilder:
         return sse, threshold
 
 
+class _StackTreeBuilder(_TreeBuilder):
+    """Work-stack builder with a fit-time feature presort (``"stack"`` engine).
+
+    Bit-identical to :class:`_TreeBuilder`: nodes are created in the same
+    depth-first pre-order, the RNG is consumed in the same sequence, and
+    every floating-point quantity (thresholds, impurities, split scores)
+    is computed from the same arrays in the same order.  The differences
+    are purely mechanical:
+
+    * the per-node ``argsort`` of the ``"best"`` splitter is replaced by
+      one stable ``argsort`` per feature at fit time, maintained through
+      splits with stable index partitioning (a stable partition of a
+      stably sorted sequence stays stably sorted);
+    * the Python recursion of ``_grow`` is replaced by an explicit
+      LIFO work stack (right child pushed first so the left subtree is
+      processed next, exactly like the recursive pre-order).
+    """
+
+    def build(self, X: np.ndarray, y: np.ndarray) -> Tree:
+        presort = self.splitter == "best"
+        # Column f of ``sorted_cols`` holds the node's sample indices
+        # ordered by feature f (stable, so ties keep ascending index order
+        # — the same order the per-node mergesort argsort produced).
+        root_sorted = np.argsort(X, axis=0, kind="stable") if presort else None
+        root = np.arange(X.shape[0])
+        stack = [(root, root_sorted, 0, -1, False)]
+        while stack:
+            indices, sorted_cols, depth, parent, is_left = stack.pop()
+            y_node = y[indices]
+            n = len(indices)
+            mean = float(y_node.mean())
+            impurity = float(y_node.var())
+            node_id = self._new_node(mean, n, impurity)
+            if parent >= 0:
+                if is_left:
+                    self._left[parent] = node_id
+                else:
+                    self._right[parent] = node_id
+
+            if (
+                depth >= self.max_depth
+                or n < self.min_samples_split
+                or n < 2 * self.min_samples_leaf
+                or impurity <= 1e-15
+            ):
+                continue
+
+            split = self._find_split_presorted(X, y, indices, sorted_cols, impurity)
+            if split is None:
+                continue
+            feature, threshold, left, right = split
+            self._feature[node_id] = feature
+            self._threshold[node_id] = threshold
+            stack.append((*right, depth + 1, node_id, False))
+            stack.append((*left, depth + 1, node_id, True))
+
+        return Tree(
+            feature=np.asarray(self._feature, dtype=np.int64),
+            threshold=np.asarray(self._threshold, dtype=np.float64),
+            left=np.asarray(self._left, dtype=np.int64),
+            right=np.asarray(self._right, dtype=np.int64),
+            value=np.asarray(self._value, dtype=np.float64),
+            n_samples=np.asarray(self._n_samples, dtype=np.int64),
+            impurity=np.asarray(self._impurity, dtype=np.float64),
+        )
+
+    def _find_split_presorted(self, X, y, indices, sorted_cols, parent_impurity):
+        n = len(indices)
+        n_features = X.shape[1]
+        features = self.rng.permutation(n_features)
+
+        best = None  # (score, feature, threshold)
+        n_visited_with_candidates = 0
+        y_node = y[indices]
+        parent_sse = parent_impurity * n
+
+        for feature in features:
+            if n_visited_with_candidates >= self.max_features and best is not None:
+                break
+            if self.splitter == "random":
+                x = X[indices, feature]
+                lo, hi = x.min(), x.max()
+                if lo == hi:
+                    continue
+                n_visited_with_candidates += 1
+                candidate = self._score_random_threshold(x, y_node, lo, hi)
+            else:
+                order = sorted_cols[:, feature]
+                xs = X[order, feature]
+                if xs[0] == xs[-1]:
+                    continue
+                n_visited_with_candidates += 1
+                candidate = self._score_presorted(xs, y[order])
+            if candidate is None:
+                continue
+            score, threshold = candidate
+            if best is None or score < best[0]:
+                best = (score, int(feature), float(threshold))
+
+        if best is None:
+            return None
+        score, feature, threshold = best
+        decrease = (parent_sse - score) / n
+        if decrease < self.min_impurity_decrease - 1e-15:
+            return None
+
+        mask = X[indices, feature] <= threshold
+        left_idx = indices[mask]
+        right_idx = indices[~mask]
+        if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
+            return None
+        if sorted_cols is None:
+            return feature, threshold, (left_idx, None), (right_idx, None)
+        # Stable partition of every per-feature order by the split predicate.
+        cols_t = sorted_cols.T  # (n_features, n)
+        go_left_t = (X[sorted_cols, feature] <= threshold).T
+        left_sorted = cols_t[go_left_t].reshape(n_features, len(left_idx)).T
+        right_sorted = cols_t[~go_left_t].reshape(n_features, len(right_idx)).T
+        return feature, threshold, (left_idx, left_sorted), (right_idx, right_sorted)
+
+    def _score_presorted(self, xs: np.ndarray, ys: np.ndarray):
+        """Same scoring as ``_score_best_threshold`` on pre-sorted inputs."""
+        n = len(xs)
+        csum = np.cumsum(ys)
+        csum2 = np.cumsum(ys * ys)
+        total = csum[-1]
+        total2 = csum2[-1]
+        pos = np.arange(1, n)
+        distinct = xs[1:] != xs[:-1]
+        leaf_ok = (pos >= self.min_samples_leaf) & (n - pos >= self.min_samples_leaf)
+        valid = distinct & leaf_ok
+        if not np.any(valid):
+            return None
+        left_sum = csum[:-1]
+        left_sum2 = csum2[:-1]
+        right_sum = total - left_sum
+        right_sum2 = total2 - left_sum2
+        n_left = pos
+        n_right = n - pos
+        sse = (left_sum2 - left_sum**2 / n_left) + (right_sum2 - right_sum**2 / n_right)
+        sse = np.where(valid, sse, np.inf)
+        best_i = int(np.argmin(sse))
+        threshold = 0.5 * (xs[best_i] + xs[best_i + 1])
+        if threshold >= xs[best_i + 1]:
+            threshold = xs[best_i]
+        return float(sse[best_i]), float(threshold)
+
+
+_BUILDERS = {"legacy": _TreeBuilder, "stack": _StackTreeBuilder}
+
+
 class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
     """CART regression tree.
 
@@ -314,6 +478,9 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         Minimum weighted variance reduction required to keep a split.
     random_state:
         Seed controlling feature shuffling and random thresholds.
+    engine:
+        Construction engine: ``"legacy"``, ``"stack"`` or ``"batched"``;
+        ``None`` uses the process default (see :mod:`repro.ml.engine`).
     """
 
     def __init__(
@@ -326,6 +493,7 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         splitter: str = "best",
         min_impurity_decrease: float = 0.0,
         random_state=None,
+        engine: str | None = None,
     ) -> None:
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
@@ -334,6 +502,7 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         self.splitter = splitter
         self.min_impurity_decrease = min_impurity_decrease
         self.random_state = random_state
+        self.engine = engine
         self.tree_: Tree | None = None
         self.n_features_in_: int | None = None
 
@@ -343,15 +512,30 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         X, y = check_X_y(X, y)
         self._validate_hyperparameters()
         self.n_features_in_ = X.shape[1]
-        rng = check_random_state(self.random_state)
-        builder = _TreeBuilder(
+        engine = resolve_tree_engine(self.engine)
+        if engine == "batched":
+            from repro.ml._batched import build_forest_batched
+
+            self.tree_ = build_forest_batched(
+                X, y,
+                sample_sets=[np.arange(X.shape[0])],
+                seeds=[self.random_state],
+                splitter=self.splitter,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self._resolve_max_features(X.shape[1]),
+                min_impurity_decrease=self.min_impurity_decrease,
+            )[0]
+            return self
+        builder = _BUILDERS[engine](
             splitter=self.splitter,
             max_depth=self.max_depth,
             min_samples_split=self.min_samples_split,
             min_samples_leaf=self.min_samples_leaf,
             max_features=self._resolve_max_features(X.shape[1]),
             min_impurity_decrease=self.min_impurity_decrease,
-            rng=rng,
+            rng=check_random_state(self.random_state),
         )
         self.tree_ = builder.build(X, y)
         return self

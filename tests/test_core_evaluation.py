@@ -68,6 +68,17 @@ class TestEvaluateLearningCurve:
             evaluate_learning_curve(_et_factory, small_stencil_dataset,
                                     fractions=[0.1], n_repeats=0)
 
+    def test_n_train_matches_actual_split_size(self, small_stencil_dataset):
+        """Regression: n_train must equal the (repeat-invariant) split size,
+        recorded from the first repeat, not overwritten by the last one."""
+        dataset = small_stencil_dataset
+        fraction = 0.1
+        curve = evaluate_learning_curve(
+            _et_factory, dataset, fractions=[fraction], n_repeats=3, random_state=0)
+        expected = int(np.clip(int(round(fraction * dataset.n_samples)),
+                               3, dataset.n_samples - 1))
+        assert curve.points[0].n_train == expected
+
 
 class TestCompareModels:
     def test_common_fractions(self, small_stencil_dataset):

@@ -79,7 +79,7 @@ class TestFitPredict:
         model = HybridPerformanceModel(
             analytical_model=FmmAnalyticalModel(),
             feature_names=data.feature_names,
-            ml_model=ExtraTreesRegressor(n_estimators=10, random_state=0),
+            ml_model=ExtraTreesRegressor(n_estimators=20, random_state=0),
             random_state=0,
         ).fit(data.X[train], data.y[train])
         mape = mean_absolute_percentage_error(data.y[test], model.predict(data.X[test]))

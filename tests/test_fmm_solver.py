@@ -30,6 +30,12 @@ class TestDirectSummation:
         assert phi.shape == (1,)
         assert phi[0] > 0
 
+    def test_empty_targets_shape_and_dtype(self, small_particles):
+        phi = DirectSummation().potentials(
+            small_particles, targets=np.zeros((0, 3)))
+        assert phi.shape == (0,)
+        assert phi.dtype == np.float64
+
     def test_operation_count(self):
         assert DirectSummation().operation_count(100) == 10_000
 
