@@ -1,11 +1,22 @@
-"""Engine-redesign performance tracking.
+"""Performance-trajectory tracking.
 
-Times the vectorized tree-ensemble engine against the seed ("legacy")
-implementation *in the same process* — forest fit at the acceptance
-workload (``ExtraTreesRegressor(n_estimators=100)`` at ``n = 2000``) and
-one quick-preset Figure 3 (FMM) run — and writes the measurements to
-``BENCH_engine.json`` at the repository root so the performance
-trajectory is tracked from the engine-redesign PR onward.
+Appends one timestamped entry per benchmark run to the ``history`` list
+in ``BENCH_engine.json`` at the repository root (entries from before the
+history format are migrated in place), so the perf trajectory accumulates
+across PRs instead of each run overwriting the last.
+
+Two benchmarks are tracked:
+
+* ``engine_redesign`` — the vectorized tree-ensemble engine against the
+  seed ("legacy") implementation *in the same process*: forest fit at the
+  acceptance workload (``ExtraTreesRegressor(n_estimators=100)`` at
+  ``n = 2000``) and one quick-preset Figure 3 (FMM) run.
+* ``scheduler_speedup`` — the plan-based experiment scheduler running a
+  quick multi-experiment sweep serially vs. through the process executor
+  with ``--jobs 4`` (both against a pre-warmed dataset store, so only the
+  scheduling changes).  The speedup is recorded, not asserted: it tracks
+  the host's core count (≈1 on a single-core CI box), while the rows are
+  asserted bit-identical, which *is* hardware-independent.
 
 Scale the legacy workload down with ``REPRO_BENCH_PERF_TREES`` if a
 constrained machine cannot afford the ~1.5 minute legacy fit.
@@ -22,7 +33,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.experiments import figure3_fmm
+from repro.datasets import DatasetStore
+from repro.experiments import figure3_fmm, run_all
 from repro.experiments.runner import ExperimentSettings
 from repro.ml import ExtraTreesRegressor, use_engines
 
@@ -33,11 +45,40 @@ RESULT_PATH = REPO_ROOT / "BENCH_engine.json"
 MIN_FOREST_FIT_SPEEDUP = 5.0
 MIN_FIGURE3_SPEEDUP = 3.0
 
+#: Experiments of the scheduler-speedup sweep (several figures sharing
+#: datasets, so the store amortizes generation across them).
+SCHEDULER_SWEEP = ("figure3_stencil", "figure5", "figure6", "figure7")
+SCHEDULER_JOBS = 4
 
-def _time(func) -> float:
+
+def _time(func) -> tuple[float, object]:
     start = time.perf_counter()
-    func()
-    return time.perf_counter() - start
+    result = func()
+    return time.perf_counter() - start, result
+
+
+def _append_history(entry: dict) -> None:
+    """Append *entry* to the history list, migrating the pre-history format."""
+    history: list = []
+    if RESULT_PATH.exists():
+        stored = json.loads(RESULT_PATH.read_text())
+        if isinstance(stored, dict) and "history" in stored:
+            history = stored["history"]
+        elif stored:
+            # One flat pre-history result becomes the first history entry.
+            history = [stored]
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+             **entry}
+    history.append(entry)
+    RESULT_PATH.write_text(json.dumps({"history": history}, indent=2) + "\n")
+
+
+def _platform_fields() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+    }
 
 
 @pytest.mark.benchmark(group="engines")
@@ -58,21 +99,20 @@ def test_engine_redesign_speedups():
 
     # Vectorized engines (current defaults: batched fit + packed predict,
     # analytical caching in the experiment pipeline).
-    t_fit_new = _time(fit_forest)
-    t_fig3_new = _time(run_figure3)
+    t_fit_new, _ = _time(fit_forest)
+    t_fig3_new, _ = _time(run_figure3)
 
     # Seed implementation, same process, via the legacy engine flag.
     with use_engines(tree="legacy", forest="legacy"):
-        t_fit_legacy = _time(fit_forest)
-        t_fig3_legacy = _time(run_figure3)
+        t_fit_legacy, _ = _time(fit_forest)
+        t_fig3_legacy, _ = _time(run_figure3)
 
     fit_speedup = t_fit_legacy / t_fit_new
     fig3_speedup = t_fig3_legacy / t_fig3_new
 
-    result = {
+    entry = {
         "benchmark": "engine_redesign",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **_platform_fields(),
         "workloads": {
             "extra_trees_fit": {
                 "description": f"ExtraTreesRegressor(n_estimators={n_trees}).fit, "
@@ -91,11 +131,50 @@ def test_engine_redesign_speedups():
             },
         },
     }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    _append_history(entry)
     print()
-    print(json.dumps(result["workloads"], indent=2))
+    print(json.dumps(entry["workloads"], indent=2))
 
     assert fit_speedup >= MIN_FOREST_FIT_SPEEDUP, (
         f"forest fit speedup {fit_speedup:.1f}x below {MIN_FOREST_FIT_SPEEDUP}x")
     assert fig3_speedup >= MIN_FIGURE3_SPEEDUP, (
         f"figure3 speedup {fig3_speedup:.1f}x below {MIN_FIGURE3_SPEEDUP}x")
+
+
+@pytest.mark.benchmark(group="scheduler")
+def test_scheduler_speedup(tmp_path):
+    settings = ExperimentSettings.quick()
+    store_dir = tmp_path / "store"
+
+    # Pre-warm the store so dataset generation and analytical warm-up are
+    # shared, identical costs for both executors.
+    run_all(settings, SCHEDULER_SWEEP, store=DatasetStore(store_dir))
+
+    t_serial, serial = _time(
+        lambda: run_all(settings, SCHEDULER_SWEEP, store=DatasetStore(store_dir)))
+    t_process, processed = _time(
+        lambda: run_all(settings, SCHEDULER_SWEEP, store=DatasetStore(store_dir),
+                        executor="process", jobs=SCHEDULER_JOBS))
+
+    for name in SCHEDULER_SWEEP:
+        assert processed[name].rows() == serial[name].rows(), (
+            f"process executor rows differ from serial for {name}")
+
+    speedup = t_serial / t_process
+    entry = {
+        "benchmark": "scheduler_speedup",
+        **_platform_fields(),
+        "workloads": {
+            "run_all_quick_sweep": {
+                "description": f"run_all({', '.join(SCHEDULER_SWEEP)}; quick, warm store) "
+                               f"serial vs process --jobs {SCHEDULER_JOBS}",
+                "serial_seconds": round(t_serial, 4),
+                "process_seconds": round(t_process, 4),
+                "jobs": SCHEDULER_JOBS,
+                "speedup": round(speedup, 2),
+            },
+        },
+    }
+    _append_history(entry)
+    print()
+    print(json.dumps(entry["workloads"], indent=2))

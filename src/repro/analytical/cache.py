@@ -77,3 +77,61 @@ class AnalyticalPredictionCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.datasets.store for the fingerprint scheme)
+    # ------------------------------------------------------------------ #
+    def state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Memoized contents as ``(rows, values)`` arrays.
+
+        ``rows`` is the ``(n_memoized, n_features)`` matrix of cached
+        feature rows (reassembled from their byte keys) and ``values`` the
+        matching predictions; together they rebuild the cache exactly.
+        """
+        d = len(self.feature_names)
+        if not self._store:
+            return (np.empty((0, d), dtype=np.float64),
+                    np.empty(0, dtype=np.float64))
+        rows = np.frombuffer(b"".join(self._store), dtype=np.float64)
+        values = np.fromiter(self._store.values(), dtype=np.float64,
+                             count=len(self._store))
+        return rows.reshape(len(self._store), d), values
+
+    def load_rows(self, rows: np.ndarray, values: np.ndarray) -> "AnalyticalPredictionCache":
+        """Insert precomputed ``(rows, values)`` pairs without touching the counters."""
+        rows = np.ascontiguousarray(np.atleast_2d(np.asarray(rows, dtype=np.float64)))
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if rows.shape[0] != values.shape[0]:
+            raise ValueError(
+                f"{rows.shape[0]} rows for {values.shape[0]} values")
+        if rows.size and rows.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"rows have {rows.shape[1]} columns but the cache is bound to "
+                f"{len(self.feature_names)} feature names")
+        for row, value in zip(rows, values):
+            self._store[row.tobytes()] = float(value)
+        return self
+
+    def save(self, path) -> None:
+        """Persist the memoized rows/values (and feature layout) to *path*."""
+        rows, values = self.state()
+        np.savez(path, rows=rows, values=values,
+                 feature_names=np.array(self.feature_names))
+
+    @classmethod
+    def load(cls, path, model: AnalyticalModel, feature_names) -> "AnalyticalPredictionCache":
+        """Rebuild a warmed cache saved by :meth:`save`, bound to *model*.
+
+        The stored feature layout must match *feature_names*; the caller
+        is responsible for pairing the file with the right model (the
+        store keys files by model key and dataset fingerprint).
+        """
+        cache = cls(model, feature_names)
+        with np.load(path, allow_pickle=False) as data:
+            stored = [str(n) for n in data["feature_names"]]
+            if stored != cache.feature_names:
+                raise ValueError(
+                    f"cache file has feature layout {stored}, expected "
+                    f"{cache.feature_names}")
+            cache.load_rows(data["rows"], data["values"])
+        return cache

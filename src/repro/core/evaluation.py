@@ -5,12 +5,29 @@ function of the training-set size (a percentage of the full dataset), as a
 distribution over repeated uniform random samplings.  This module
 implements that protocol once, for any model factory, so every
 experiment and benchmark shares the same code path.
+
+The protocol is decomposed into three pure stages so any executor (one
+process, a thread pool, a process pool) produces bit-identical curves:
+
+1. :func:`plan_learning_curve` expands ``(fractions, n_repeats,
+   random_state)`` into a list of :class:`EvalCell` tasks.  Seed
+   derivation happens entirely at planning time (one sequential RNG
+   stream, exactly as the original serial loop drew it), so a cell's
+   outcome depends only on the cell itself, never on evaluation order.
+2. :func:`evaluate_cell` runs one ``(fraction, repeat)`` fit and returns a
+   :class:`CellResult`.  Both dataclasses are picklable and hold only
+   primitives, so cells can cross process boundaries.
+3. :func:`merge_cell_results` folds results back into a
+   :class:`LearningCurve` in plan order, making the merge deterministic
+   regardless of the order results arrived in.
+
+:func:`evaluate_learning_curve` is the serial composition of the three.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -18,7 +35,17 @@ from repro.core.features import PerformanceDataset
 from repro.ml.metrics import mean_absolute_percentage_error
 from repro.utils.rng import check_random_state, spawn_seeds
 
-__all__ = ["LearningCurvePoint", "LearningCurve", "evaluate_learning_curve", "compare_models"]
+__all__ = [
+    "LearningCurvePoint",
+    "LearningCurve",
+    "EvalCell",
+    "CellResult",
+    "plan_learning_curve",
+    "evaluate_cell",
+    "merge_cell_results",
+    "evaluate_learning_curve",
+    "compare_models",
+]
 
 
 @dataclass
@@ -90,6 +117,157 @@ class LearningCurve:
         ]
 
 
+@dataclass(frozen=True)
+class EvalCell:
+    """One ``(series, fraction, repeat)`` unit of learning-curve work.
+
+    A cell is *pure*: evaluating it requires only the dataset it names,
+    a model factory resolved from :attr:`factory_key`, and the fields
+    below — no shared RNG, no mutable experiment state.  All fields are
+    primitives, so cells pickle cheaply across process boundaries.
+
+    Attributes
+    ----------
+    series:
+        Label of the learning curve the cell belongs to.
+    factory_key:
+        Key under which the scheduling layer resolves the model factory
+        (the evaluation layer treats it as opaque; inline callers may
+        leave it empty).
+    fraction:
+        Training fraction of the cell.
+    repeat:
+        Repeat index within the fraction (``0 .. n_repeats - 1``).
+    seed:
+        Seed derived at planning time; drives both the train/test split
+        and the model's randomness, exactly as the serial loop did.
+    min_train:
+        Lower bound on the number of training samples.
+    dataset_fingerprint:
+        Optional fingerprint of the dataset the cell evaluates on (used
+        by the scheduling layer to resolve datasets in worker processes).
+    """
+
+    series: str
+    factory_key: str
+    fraction: float
+    repeat: int
+    seed: int
+    min_train: int = 3
+    dataset_fingerprint: str = ""
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one :class:`EvalCell`: the split size and held-out MAPE."""
+
+    series: str
+    fraction: float
+    repeat: int
+    n_train: int
+    mape: float
+
+
+def plan_learning_curve(
+    fractions: Sequence[float],
+    n_repeats: int,
+    *,
+    series: str = "model",
+    factory_key: str = "",
+    min_train: int = 3,
+    random_state=0,
+    dataset_fingerprint: str = "",
+) -> list[EvalCell]:
+    """Expand a learning-curve evaluation into independent :class:`EvalCell` tasks.
+
+    Seeds are drawn from one sequential stream (``n_repeats`` per
+    fraction, fractions in order), which reproduces exactly the seeds the
+    original serial loop consumed — so a plan evaluated cell-by-cell in
+    any order merges into the same curve the serial code produced.
+    """
+    if not fractions:
+        raise ValueError("fractions must be non-empty")
+    if n_repeats < 1:
+        raise ValueError("n_repeats must be >= 1")
+    rng = check_random_state(random_state)
+    cells: list[EvalCell] = []
+    for fraction in fractions:
+        seeds = spawn_seeds(rng, n_repeats)
+        for repeat, seed in enumerate(seeds):
+            cells.append(EvalCell(
+                series=series,
+                factory_key=factory_key,
+                fraction=float(fraction),
+                repeat=repeat,
+                seed=seed,
+                min_train=min_train,
+                dataset_fingerprint=dataset_fingerprint,
+            ))
+    return cells
+
+
+def evaluate_cell(
+    cell: EvalCell,
+    model_factory: Callable[[int], object],
+    dataset: PerformanceDataset,
+) -> CellResult:
+    """Evaluate one cell: split, fit a fresh model, score held-out MAPE."""
+    train_idx, test_idx = dataset.train_test_indices(
+        train_fraction=cell.fraction, min_train=cell.min_train,
+        random_state=cell.seed,
+    )
+    model = model_factory(cell.seed)
+    model.fit(dataset.X[train_idx], dataset.y[train_idx])
+    predictions = model.predict(dataset.X[test_idx])
+    return CellResult(
+        series=cell.series,
+        fraction=cell.fraction,
+        repeat=cell.repeat,
+        n_train=len(train_idx),
+        mape=mean_absolute_percentage_error(dataset.y[test_idx], predictions),
+    )
+
+
+def merge_cell_results(
+    plan: Sequence[EvalCell],
+    results: Iterable[CellResult],
+    *,
+    label: str | None = None,
+) -> LearningCurve:
+    """Fold cell results into a :class:`LearningCurve`, in plan order.
+
+    The merge is deterministic: points follow the plan's fraction order
+    and each point's MAPE list follows the repeat index, so the curve is
+    identical no matter which executor produced the results or in which
+    order they arrived.
+    """
+    if not plan:
+        raise ValueError("plan must be non-empty")
+    by_key = {(r.series, r.fraction, r.repeat): r for r in results}
+    curve = LearningCurve(label=label if label is not None else plan[0].series)
+    point: LearningCurvePoint | None = None
+    for cell in plan:
+        try:
+            result = by_key[(cell.series, cell.fraction, cell.repeat)]
+        except KeyError:
+            raise ValueError(
+                f"missing result for cell {cell.series!r} fraction={cell.fraction} "
+                f"repeat={cell.repeat}"
+            ) from None
+        if point is None or point.fraction != cell.fraction:
+            point = LearningCurvePoint(fraction=cell.fraction, n_train=result.n_train)
+            curve.points.append(point)
+        elif result.n_train != point.n_train:
+            # The split size is a deterministic function of the fraction and
+            # dataset, so repeats must agree.
+            raise RuntimeError(
+                f"inconsistent n_train across repeats at fraction {cell.fraction}: "
+                f"{result.n_train} != {point.n_train}"
+            )
+        point.mapes.append(result.mape)
+    return curve
+
+
 def evaluate_learning_curve(
     model_factory: Callable[[int], object],
     dataset: PerformanceDataset,
@@ -126,39 +304,14 @@ def evaluate_learning_curve(
         the full dataset up front (one vectorized evaluation), so every
         ``(fraction, repeat)`` cell afterwards is pure cache hits.
     """
-    if not fractions:
-        raise ValueError("fractions must be non-empty")
-    if n_repeats < 1:
-        raise ValueError("n_repeats must be >= 1")
     if analytical_cache is not None:
         analytical_cache.warm(dataset.X)
-    rng = check_random_state(random_state)
-    curve = LearningCurve(label=label)
-    for fraction in fractions:
-        seeds = spawn_seeds(rng, n_repeats)
-        point: LearningCurvePoint | None = None
-        for seed in seeds:
-            train_idx, test_idx = dataset.train_test_indices(
-                train_fraction=float(fraction), min_train=min_train, random_state=seed
-            )
-            # The split size is a deterministic function of the fraction and
-            # dataset, so repeats must agree; record it from the first split.
-            if point is None:
-                point = LearningCurvePoint(fraction=float(fraction),
-                                           n_train=len(train_idx))
-            elif len(train_idx) != point.n_train:
-                raise RuntimeError(
-                    f"inconsistent n_train across repeats at fraction {fraction}: "
-                    f"{len(train_idx)} != {point.n_train}"
-                )
-            model = model_factory(seed)
-            model.fit(dataset.X[train_idx], dataset.y[train_idx])
-            predictions = model.predict(dataset.X[test_idx])
-            point.mapes.append(
-                mean_absolute_percentage_error(dataset.y[test_idx], predictions)
-            )
-        curve.points.append(point)
-    return curve
+    plan = plan_learning_curve(
+        fractions, n_repeats, series=label, min_train=min_train,
+        random_state=random_state,
+    )
+    results = [evaluate_cell(cell, model_factory, dataset) for cell in plan]
+    return merge_cell_results(plan, results, label=label)
 
 
 def compare_models(

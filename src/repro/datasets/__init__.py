@@ -11,6 +11,11 @@ Each generator enumerates the configuration space of one figure, obtains
 | ``grid_only_dataset``          | Fig. 5          | (I, J, K)                    |
 | ``threaded_dataset``           | Fig. 7          | (I, J, K, t)                 |
 | ``fmm_dataset``                | Fig. 3B, Fig. 8 | (t, N, q, k)                 |
+
+:mod:`repro.datasets.store` adds a fingerprint-keyed persistent layer on
+top: :class:`DatasetSpec` names a dataset recipe, :class:`DatasetStore`
+memoizes the generated arrays (and warmed analytical-prediction caches)
+to disk so they are built at most once per machine.
 """
 
 from repro.datasets.sampling import uniform_sample_indices, latin_hypercube_indices
@@ -22,8 +27,11 @@ from repro.datasets.stencil_datasets import (
 )
 from repro.datasets.fmm_datasets import fmm_dataset, fmm_dataset_from_space
 from repro.datasets.registry import DATASET_REGISTRY, load_dataset
+from repro.datasets.store import DatasetSpec, DatasetStore
 
 __all__ = [
+    "DatasetSpec",
+    "DatasetStore",
     "uniform_sample_indices",
     "latin_hypercube_indices",
     "blocked_small_grid_dataset",

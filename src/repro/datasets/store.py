@@ -1,0 +1,235 @@
+"""Fingerprint-keyed persistent dataset store.
+
+The executable FMM and stencil simulators are deterministic but not free:
+regenerating a dataset in every experiment — and, with a process-pool
+executor, in every *worker* — wastes most of a run's wall clock.
+:class:`DatasetStore` memoizes generated datasets to disk keyed by a
+:class:`DatasetSpec` fingerprint, so a dataset is simulated once per
+machine and afterwards loaded from ``.npz`` by every experiment,
+repeated invocation and worker process alike.
+
+Fingerprint scheme
+------------------
+A :class:`DatasetSpec` is the *recipe* for a dataset: the registry name
+plus the generator arguments that affect its content (``max_configs``,
+``random_state``).  Its fingerprint is the first 16 hex digits of the
+SHA-256 of the canonical JSON encoding of those fields plus a format
+version.  Two specs with the same fingerprint therefore denote the same
+arrays bit-for-bit (generation is deterministic), and bumping
+``_FORMAT_VERSION`` invalidates every stored artifact at once when the
+on-disk layout changes.
+
+On-disk layout (under the store root)::
+
+    datasets/<name>-<fingerprint>.npz    X, y, feature_names, JSON-encoded configs
+    caches/<model_key>-<fingerprint>.npz warmed analytical-prediction caches
+
+Configuration objects are serialized as JSON field dictionaries plus a
+*whitelisted* class name (never pickle), so loading a store directory can
+rebuild configs but cannot execute arbitrary code.
+
+The store also persists warmed
+:class:`~repro.analytical.cache.AnalyticalPredictionCache` contents keyed
+by ``(analytical model key, dataset fingerprint)``, so the analytical
+warm-up — one vectorized evaluation of the full dataset — happens once
+ever rather than once per experiment or per worker process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.features import PerformanceDataset
+
+__all__ = ["DatasetSpec", "DatasetStore"]
+
+#: Bump to invalidate every stored dataset/cache when the layout changes.
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Picklable recipe for one of the registry datasets.
+
+    Attributes
+    ----------
+    name:
+        Key in :data:`repro.datasets.registry.DATASET_REGISTRY`.
+    max_configs:
+        Optional uniform subsample of the configuration space.
+    random_state:
+        Seed of the optional subsample.
+    """
+
+    name: str
+    max_configs: int | None = None
+    random_state: int = 0
+
+    def canonical(self) -> str:
+        """Canonical JSON encoding (stable key order) used for fingerprinting."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "max_configs": self.max_configs,
+                "random_state": self.random_state,
+                "version": _FORMAT_VERSION,
+            },
+            sort_keys=True,
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """First 16 hex digits of the SHA-256 of :meth:`canonical`."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()[:16]
+
+    def build(self) -> PerformanceDataset:
+        """Generate the dataset from scratch (deterministic)."""
+        from repro.datasets.registry import load_dataset
+
+        return load_dataset(self.name, max_configs=self.max_configs,
+                            random_state=self.random_state)
+
+
+class DatasetStore:
+    """On-disk memo of generated datasets and warmed analytical caches.
+
+    Parameters
+    ----------
+    root:
+        Directory the store lives in (created on first write).
+
+    Attributes
+    ----------
+    hits / misses:
+        Number of :meth:`get` calls served from disk vs. generated.
+    cache_hits / cache_misses:
+        Number of :meth:`load_analytical_cache` calls that found vs.
+        missed a persisted cache file.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Datasets
+    # ------------------------------------------------------------------ #
+    def dataset_path(self, spec: DatasetSpec) -> Path:
+        """File the dataset of *spec* is (or would be) stored at."""
+        return self.root / "datasets" / f"{spec.name}-{spec.fingerprint}.npz"
+
+    def get(self, spec: DatasetSpec) -> PerformanceDataset:
+        """Load the dataset of *spec* from disk, generating (and saving) on miss."""
+        path = self.dataset_path(spec)
+        if path.exists():
+            self.hits += 1
+            return self._load_dataset(path)
+        self.misses += 1
+        dataset = spec.build()
+        self._save_dataset(path, dataset)
+        return dataset
+
+    @staticmethod
+    def _config_classes() -> dict:
+        """Whitelist of configuration classes the store may rebuild on load."""
+        from repro.fmm.config import FmmConfig
+        from repro.stencil.config import StencilConfig
+
+        return {"StencilConfig": StencilConfig, "FmmConfig": FmmConfig}
+
+    @classmethod
+    def _encode_configs(cls, configs: list) -> str:
+        if not configs:
+            return json.dumps(None)
+        class_name = type(configs[0]).__name__
+        if class_name not in cls._config_classes() or any(
+                type(c).__name__ != class_name for c in configs):
+            raise TypeError(
+                f"cannot persist configs of type {class_name!r}; storable types: "
+                f"{sorted(cls._config_classes())}")
+        return json.dumps({"class": class_name,
+                           "configs": [dataclasses.asdict(c) for c in configs]})
+
+    @classmethod
+    def _decode_configs(cls, encoded: str) -> list:
+        data = json.loads(encoded)
+        if data is None:
+            return []
+        config_cls = cls._config_classes()[data["class"]]
+        return [config_cls(**fields) for fields in data["configs"]]
+
+    @staticmethod
+    def _tmp_path(path: Path) -> Path:
+        """Per-process temp name next to *path* (np.savez insists on ``.npz``).
+
+        The pid suffix keeps concurrent writers of the same entry from
+        clobbering each other's half-written temp file; the final atomic
+        rename means the last completed writer wins with a valid file.
+        """
+        return Path(f"{path}.{os.getpid()}.tmp.npz")
+
+    @classmethod
+    def _save_dataset(cls, path: Path, dataset: PerformanceDataset) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = cls._tmp_path(path)
+        np.savez(
+            tmp,
+            name=np.array(dataset.name),
+            X=dataset.X,
+            y=dataset.y,
+            feature_names=np.array(list(dataset.feature_names)),
+            configs=np.array(cls._encode_configs(dataset.configs)),
+        )
+        tmp.replace(path)
+
+    @classmethod
+    def _load_dataset(cls, path: Path) -> PerformanceDataset:
+        with np.load(path, allow_pickle=False) as data:
+            return PerformanceDataset(
+                name=str(data["name"]),
+                X=data["X"],
+                y=data["y"],
+                feature_names=[str(n) for n in data["feature_names"]],
+                configs=cls._decode_configs(str(data["configs"])),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Analytical-prediction caches
+    # ------------------------------------------------------------------ #
+    def cache_path(self, model_key: str, spec: DatasetSpec) -> Path:
+        """File the warmed cache for ``(model_key, spec)`` is stored at."""
+        return self.root / "caches" / f"{model_key}-{spec.fingerprint}.npz"
+
+    def load_analytical_cache(self, model_key: str, spec: DatasetSpec,
+                              model, feature_names):
+        """Warmed cache for ``(model_key, spec)``, or ``None`` when not stored."""
+        from repro.analytical.cache import AnalyticalPredictionCache
+
+        path = self.cache_path(model_key, spec)
+        if not path.exists():
+            self.cache_misses += 1
+            return None
+        self.cache_hits += 1
+        return AnalyticalPredictionCache.load(path, model, feature_names)
+
+    def save_analytical_cache(self, model_key: str, spec: DatasetSpec,
+                              cache) -> Path:
+        """Persist the memoized rows of *cache* for ``(model_key, spec)``."""
+        path = self.cache_path(model_key, spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Same atomic tmp-write + rename as _save_dataset: an interrupted
+        # run must not leave a truncated cache file that poisons later loads.
+        tmp = self._tmp_path(path)
+        cache.save(tmp)
+        tmp.replace(path)
+        return path

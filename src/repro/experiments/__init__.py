@@ -9,7 +9,13 @@ resulting tables.
 
 Use :func:`~repro.experiments.runner.run_experiment` /
 :func:`~repro.experiments.runner.run_all` (or
-``python -m repro.experiments``) to execute them directly.
+``python -m repro.experiments``) to execute them directly.  Execution is
+plan-based: experiments expand into picklable ``(series, fraction,
+repeat)`` cells (:mod:`repro.experiments.plan`) dispatched through
+pluggable serial/thread/process executors
+(:mod:`repro.experiments.scheduler`) with bit-identical results, backed
+by an optional persistent dataset/cache store
+(:mod:`repro.datasets.store`).
 """
 
 from repro.experiments.runner import (
@@ -19,6 +25,15 @@ from repro.experiments.runner import (
     run_all,
     EXPERIMENTS,
 )
+from repro.experiments.plan import (
+    ExperimentPlan,
+    FactorySpec,
+    SeriesSpec,
+    experiment_plan,
+    expand_cells,
+    PLANNED_EXPERIMENTS,
+)
+from repro.experiments.scheduler import EXECUTORS, run_plan
 from repro.experiments.figures import (
     figure3_stencil,
     figure3_fmm,
@@ -42,6 +57,14 @@ __all__ = [
     "run_experiment",
     "run_all",
     "EXPERIMENTS",
+    "ExperimentPlan",
+    "FactorySpec",
+    "SeriesSpec",
+    "experiment_plan",
+    "expand_cells",
+    "PLANNED_EXPERIMENTS",
+    "EXECUTORS",
+    "run_plan",
     "figure3_stencil",
     "figure3_fmm",
     "figure5",

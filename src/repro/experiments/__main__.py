@@ -2,9 +2,16 @@
 
 Options
 -------
-``--quick``    use the cheap settings (small ensembles, subsampled datasets)
-``--full``     use the high-fidelity settings
-``names``      experiment names (default: all; see ``EXPERIMENTS``)
+``--quick``      use the cheap settings (small ensembles, subsampled datasets)
+``--full``       use the high-fidelity settings
+``--executor``   how to dispatch learning-curve cells: ``serial``, ``thread``
+                 or ``process`` — results are bit-identical; defaults to
+                 ``process`` when ``--jobs`` > 1 and ``serial`` otherwise
+``--jobs``       worker count for the thread/process executors (``-1`` = CPUs)
+``--store-dir``  persistent dataset/cache store directory: datasets are
+                 simulated and analytical caches warmed at most once, then
+                 reloaded by later invocations and worker processes
+``names``        experiment names (default: all; see ``EXPERIMENTS``)
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import sys
 
 from repro.experiments.reporting import format_result
 from repro.experiments.runner import EXPERIMENTS, ExperimentSettings, run_experiment
+from repro.experiments.scheduler import EXECUTORS
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,6 +34,13 @@ def main(argv: list[str] | None = None) -> int:
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--quick", action="store_true", help="cheap smoke-test settings")
     group.add_argument("--full", action="store_true", help="high-fidelity settings")
+    parser.add_argument("--executor", choices=EXECUTORS, default=None,
+                        help="cell executor (results are bit-identical across "
+                             "executors; default: process when --jobs > 1, else serial)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="workers for the thread/process executors (-1 = CPU count)")
+    parser.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="persistent dataset/analytical-cache store directory")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -35,8 +50,19 @@ def main(argv: list[str] | None = None) -> int:
     else:
         settings = ExperimentSettings()
 
+    executor = args.executor
+    if executor is None:
+        executor = "serial" if args.jobs == 1 else "process"
+
+    store = None
+    if args.store_dir is not None:
+        from repro.datasets.store import DatasetStore
+
+        store = DatasetStore(args.store_dir)
+
     for name in args.names:
-        result = run_experiment(name, settings=settings)
+        result = run_experiment(name, settings=settings, executor=executor,
+                                jobs=args.jobs, store=store)
         print(format_result(result))
         print()
     return 0

@@ -7,40 +7,35 @@ of the hybrid model contributes:
   aggregation (the paper's optional bagging stage) vs analytical only;
 * **analytical quality** — hybrid accuracy when the analytical model is
   replaced by a calibrated version or by a deliberately degraded one
-  (predictions raised to a power, destroying scale information);
+  (structurally blinded to blocking, or constant);
 * **sampling strategy** — uniform random vs Latin-hypercube-style
   stratified training-set selection at small fractions;
 * **ML backend** — extra trees (the paper's choice) vs random forest,
   bagged trees and k-NN as the stacked learner.
+
+The first, second and fourth are regular learning-curve grids and are
+declared as plans in :mod:`repro.experiments.plan` (so they run through
+the same pluggable scheduler as the figures); the sampling-strategy
+ablation substitutes its own training-set selector for the evaluation
+protocol's uniform split and therefore runs opaquely.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import zlib
 
 import numpy as np
 
-from repro.analytical import (
-    AnalyticalPredictionCache,
-    CalibratedModel,
-    StencilAnalyticalModel,
-)
-from repro.analytical.base import AnalyticalModel
-from repro.core.evaluation import compare_models, evaluate_learning_curve
+from repro.analytical import AnalyticalPredictionCache, StencilAnalyticalModel
+from repro.core.evaluation import LearningCurve, LearningCurvePoint
 from repro.core.hybrid import HybridPerformanceModel
 from repro.core.features import PerformanceDataset
 from repro.datasets import blocked_small_grid_dataset
 from repro.datasets.sampling import latin_hypercube_indices, uniform_sample_indices
+from repro.experiments.plan import BlockingBlindStencilModel, ConstantAnalyticalModel
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
-from repro.ml import (
-    BaggingRegressor,
-    DecisionTreeRegressor,
-    ExtraTreesRegressor,
-    KNeighborsRegressor,
-    Pipeline,
-    RandomForestRegressor,
-    StandardScaler,
-)
+from repro.experiments.scheduler import run_named_plan
+from repro.ml import ExtraTreesRegressor
 from repro.ml.metrics import mean_absolute_percentage_error
 from repro.utils.rng import spawn_seeds
 
@@ -53,96 +48,22 @@ __all__ = [
 
 _FRACTIONS = (0.01, 0.02, 0.04)
 
-
-class _BlockingBlindModel(AnalyticalModel):
-    """The stencil analytical model with the blocking information removed.
-
-    Every configuration is predicted as if it were un-blocked, so the model
-    keeps the grid-size dependence but loses the dimension that actually
-    dominates the Figure 6 dataset — a *structurally* degraded analytical
-    model (monotone transformations such as rescaling or powers would be
-    absorbed by the hybrid's log feature + standardization and change
-    nothing).
-    """
-
-    def __init__(self, base: AnalyticalModel) -> None:
-        self.base = base
-
-    def predict_config(self, config) -> float:
-        from repro.stencil.config import StencilConfig
-
-        stripped = StencilConfig(I=config.I, J=config.J, K=config.K,
-                                 unroll=config.unroll, threads=config.threads)
-        return self.base.predict_config(stripped)
-
-    def config_from_features(self, row, feature_names):
-        return self.base.config_from_features(row, feature_names)
-
-
-class _ConstantModel(AnalyticalModel):
-    """An analytical model with no information at all (constant prediction).
-
-    The hybrid built on it collapses to the pure ML model plus one useless
-    feature — the lower bound of the analytical-quality sweep.
-    """
-
-    def __init__(self, base: AnalyticalModel, value: float = 1e-3) -> None:
-        self.base = base
-        self.value = value
-
-    def predict_config(self, config) -> float:
-        return self.value
-
-    def config_from_features(self, row, feature_names):
-        return self.base.config_from_features(row, feature_names)
-
-
-def _hybrid_factory(analytical, dataset, settings, *, aggregate=False) -> Callable:
-    # One cache per factory: every (fraction, repeat) instance shares it, so
-    # each dataset row is evaluated by the analytical model at most once.
-    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
-
-    def factory(seed: int):
-        return HybridPerformanceModel(
-            analytical_model=analytical,
-            feature_names=dataset.feature_names,
-            ml_model=ExtraTreesRegressor(n_estimators=settings.n_estimators,
-                                         random_state=seed),
-            aggregate_analytical=aggregate,
-            analytical_cache=cache,
-            random_state=seed,
-        )
-
-    return factory
+# Degraded analytical models, kept under their historical (private) names
+# for callers that imported them from here.
+_BlockingBlindModel = BlockingBlindStencilModel
+_ConstantModel = ConstantAnalyticalModel
 
 
 def ablation_aggregation(settings: ExperimentSettings | None = None,
-                         dataset: PerformanceDataset | None = None) -> ExperimentResult:
+                         dataset: PerformanceDataset | None = None,
+                         **scheduler_options) -> ExperimentResult:
     """Stacking-only vs aggregation vs analytical-only on the blocked stencil dataset."""
-    settings = settings or ExperimentSettings()
-    dataset = dataset if dataset is not None else blocked_small_grid_dataset(
-        max_configs=settings.max_configs)
-    analytical = StencilAnalyticalModel()
-    factories = {
-        "hybrid_stacked_only": _hybrid_factory(analytical, dataset, settings, aggregate=False),
-        "hybrid_aggregated": _hybrid_factory(analytical, dataset, settings, aggregate=True),
-    }
-    curves = compare_models(factories, dataset, fractions=_FRACTIONS,
-                            n_repeats=settings.n_repeats,
-                            random_state=settings.random_state)
-    am_mape = mean_absolute_percentage_error(
-        dataset.y, analytical.predict(dataset.X, dataset.feature_names))
-    return ExperimentResult(
-        experiment_id="ablation_aggregation",
-        description="Effect of the optional analytical/stacked aggregation stage",
-        dataset_name=dataset.name,
-        curves=curves,
-        extra={"analytical_only_mape": am_mape},
-    )
+    return run_named_plan("ablation_aggregation", settings, dataset, **scheduler_options)
 
 
 def ablation_analytical_quality(settings: ExperimentSettings | None = None,
-                                dataset: PerformanceDataset | None = None) -> ExperimentResult:
+                                dataset: PerformanceDataset | None = None,
+                                **scheduler_options) -> ExperimentResult:
     """Hybrid accuracy as the *information content* of the analytical model varies.
 
     Three analytical models feed the same hybrid pipeline: the paper's full
@@ -154,37 +75,15 @@ def ablation_analytical_quality(settings: ExperimentSettings | None = None,
     the standalone MAPEs of the untuned and calibrated models are reported
     to quantify how much calibration would matter on its own.
     """
-    settings = settings or ExperimentSettings()
-    dataset = dataset if dataset is not None else blocked_small_grid_dataset(
-        max_configs=settings.max_configs)
-    base = StencilAnalyticalModel()
-    calibrated = CalibratedModel.fit(base, dataset.configs, dataset.y)
-    blind = _BlockingBlindModel(base)
-    constant = _ConstantModel(base)
-    factories = {
-        "hybrid_full_am": _hybrid_factory(base, dataset, settings),
-        "hybrid_blocking_blind_am": _hybrid_factory(blind, dataset, settings),
-        "hybrid_constant_am": _hybrid_factory(constant, dataset, settings),
-    }
-    curves = compare_models(factories, dataset, fractions=_FRACTIONS,
-                            n_repeats=settings.n_repeats,
-                            random_state=settings.random_state)
-    extra = {
-        "untuned_am_mape": mean_absolute_percentage_error(
-            dataset.y, base.predict(dataset.X, dataset.feature_names)),
-        "calibrated_am_mape": mean_absolute_percentage_error(
-            dataset.y, calibrated.predict(dataset.X, dataset.feature_names)),
-        "calibration_scale": calibrated.scale,
-        "blocking_blind_am_mape": mean_absolute_percentage_error(
-            dataset.y, blind.predict(dataset.X, dataset.feature_names)),
-    }
-    return ExperimentResult(
-        experiment_id="ablation_analytical_quality",
-        description="Hybrid accuracy with full, blocking-blind and uninformative analytical models",
-        dataset_name=dataset.name,
-        curves=curves,
-        extra=extra,
-    )
+    return run_named_plan("ablation_analytical_quality", settings, dataset,
+                         **scheduler_options)
+
+
+def ablation_ml_backend(settings: ExperimentSettings | None = None,
+                        dataset: PerformanceDataset | None = None,
+                        **scheduler_options) -> ExperimentResult:
+    """Different stacked learners inside the hybrid model."""
+    return run_named_plan("ablation_ml_backend", settings, dataset, **scheduler_options)
 
 
 def ablation_sampling_strategy(settings: ExperimentSettings | None = None,
@@ -196,7 +95,6 @@ def ablation_sampling_strategy(settings: ExperimentSettings | None = None,
     analytical = StencilAnalyticalModel()
     cache = AnalyticalPredictionCache(analytical, dataset.feature_names).warm(dataset.X)
     extra: dict = {}
-    from repro.core.evaluation import LearningCurve, LearningCurvePoint
 
     curves: dict[str, LearningCurve] = {}
     for strategy_name, selector in (
@@ -207,7 +105,10 @@ def ablation_sampling_strategy(settings: ExperimentSettings | None = None,
         for fraction in _FRACTIONS:
             n_train = max(3, int(round(fraction * dataset.n_samples)))
             point = LearningCurvePoint(fraction=fraction, n_train=n_train)
-            for seed in spawn_seeds(settings.random_state + hash(strategy_name) % 1000,
+            # crc32, not hash(): str hashing is salted per process, which made
+            # this experiment unreproducible across invocations.
+            strategy_offset = zlib.crc32(strategy_name.encode()) % 1000
+            for seed in spawn_seeds(settings.random_state + strategy_offset,
                                     settings.n_repeats):
                 train_idx = selector(dataset.X, n_train, seed)
                 mask = np.ones(dataset.n_samples, dtype=bool)
@@ -231,51 +132,4 @@ def ablation_sampling_strategy(settings: ExperimentSettings | None = None,
         dataset_name=dataset.name,
         curves=curves,
         extra=extra,
-    )
-
-
-def ablation_ml_backend(settings: ExperimentSettings | None = None,
-                        dataset: PerformanceDataset | None = None) -> ExperimentResult:
-    """Different stacked learners inside the hybrid model."""
-    settings = settings or ExperimentSettings()
-    dataset = dataset if dataset is not None else blocked_small_grid_dataset(
-        max_configs=settings.max_configs)
-    analytical = StencilAnalyticalModel()
-
-    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
-
-    def hybrid_with(ml_factory) -> Callable:
-        def factory(seed: int):
-            return HybridPerformanceModel(
-                analytical_model=analytical,
-                feature_names=dataset.feature_names,
-                ml_model=ml_factory(seed),
-                analytical_cache=cache,
-                random_state=seed,
-            )
-
-        return factory
-
-    factories = {
-        "hybrid_extra_trees": hybrid_with(
-            lambda seed: ExtraTreesRegressor(n_estimators=settings.n_estimators,
-                                             random_state=seed)),
-        "hybrid_random_forest": hybrid_with(
-            lambda seed: RandomForestRegressor(n_estimators=settings.n_estimators,
-                                               random_state=seed)),
-        "hybrid_bagged_tree": hybrid_with(
-            lambda seed: BaggingRegressor(estimator=DecisionTreeRegressor(),
-                                          n_estimators=max(5, settings.n_estimators // 2),
-                                          random_state=seed)),
-        "hybrid_knn": hybrid_with(lambda seed: KNeighborsRegressor(n_neighbors=5,
-                                                                   weights="distance")),
-    }
-    curves = compare_models(factories, dataset, fractions=_FRACTIONS,
-                            n_repeats=settings.n_repeats,
-                            random_state=settings.random_state)
-    return ExperimentResult(
-        experiment_id="ablation_ml_backend",
-        description="Hybrid model with different stacked ML learners",
-        dataset_name=dataset.name,
-        curves=curves,
     )

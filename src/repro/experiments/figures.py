@@ -1,39 +1,38 @@
 """One experiment definition per figure of the paper.
 
-The functions here are deliberately thin: they declare *which dataset*,
-*which models*, *which training fractions* and *which hybrid options* each
-figure uses, and delegate the evaluation protocol to
-:func:`repro.core.evaluation.compare_models`.
+The figure functions are thin wrappers over the declarative plans in
+:mod:`repro.experiments.plan`: each resolves its
+:class:`~repro.experiments.plan.ExperimentPlan` (which dataset, which
+models, which training fractions, which hybrid options) and hands it to
+:func:`~repro.experiments.scheduler.run_plan`, which owns the evaluation
+protocol, the executor choice and the persistent dataset/cache store.
+``analytical_accuracy`` reports standalone numbers rather than learning
+curves and therefore bypasses the plan machinery.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
-from repro.analytical import (
-    AnalyticalPredictionCache,
-    FmmAnalyticalModel,
-    StencilAnalyticalModel,
-)
-from repro.core.evaluation import compare_models
+from repro.analytical import FmmAnalyticalModel, StencilAnalyticalModel
 from repro.core.features import PerformanceDataset
-from repro.core.hybrid import HybridPerformanceModel
 from repro.datasets import (
     blocked_small_grid_dataset,
     fmm_dataset,
     grid_only_dataset,
     threaded_dataset,
 )
-from repro.experiments.runner import ExperimentResult, ExperimentSettings
-from repro.ml import (
-    DecisionTreeRegressor,
-    ExtraTreesRegressor,
-    Pipeline,
-    RandomForestRegressor,
-    StandardScaler,
+from repro.experiments.plan import (  # noqa: F401  (fraction constants re-exported)
+    FIG3_FMM_FRACTIONS,
+    FIG3_STENCIL_FRACTIONS,
+    FIG5_HYBRID_FRACTIONS,
+    FIG5_ML_FRACTIONS,
+    FIG6_FRACTIONS,
+    FIG7_FRACTIONS,
+    FIG8_FRACTIONS,
 )
+from repro.experiments.runner import ExperimentResult, ExperimentSettings
+from repro.experiments.scheduler import run_named_plan
 from repro.ml.metrics import mean_absolute_percentage_error
 
 __all__ = [
@@ -46,144 +45,35 @@ __all__ = [
     "analytical_accuracy",
 ]
 
-#: Training fractions used in the paper's figures.
-FIG3_STENCIL_FRACTIONS = (0.01, 0.02, 0.04, 0.06, 0.10)
-FIG3_FMM_FRACTIONS = (0.10, 0.20, 0.40, 0.60, 0.80)
-FIG5_ML_FRACTIONS = (0.10, 0.15, 0.20)
-FIG5_HYBRID_FRACTIONS = (0.01, 0.02, 0.04)
-FIG6_FRACTIONS = (0.01, 0.02, 0.04)
-FIG7_FRACTIONS = (0.01, 0.02, 0.04)
-FIG8_FRACTIONS = (0.15, 0.20, 0.25)
 
-
-# --------------------------------------------------------------------------- #
-# Model factories
-# --------------------------------------------------------------------------- #
-def _ml_pipeline_factory(estimator_cls, settings: ExperimentSettings, **kwargs) -> Callable:
-    """Factory producing a standardize+regressor pipeline per seed."""
-
-    def factory(seed: int):
-        params = dict(kwargs)
-        if estimator_cls is not DecisionTreeRegressor:
-            params.setdefault("n_estimators", settings.n_estimators)
-        return Pipeline(steps=[
-            ("scale", StandardScaler()),
-            ("model", estimator_cls(random_state=seed, **params)),
-        ])
-
-    return factory
-
-
-def _hybrid_factory(analytical_model, feature_names, settings: ExperimentSettings,
-                    *, aggregate: bool, cache: AnalyticalPredictionCache | None = None,
-                    ) -> Callable:
-    """Factory producing a hybrid (extra trees stacked on the AM) per seed.
-
-    All instances share the optional analytical-prediction *cache*: the
-    analytical model is deterministic and prediction-only, so each dataset
-    row is evaluated once per experiment regardless of how many
-    ``(fraction, repeat)`` fits the learning-curve protocol performs.
-    """
-
-    def factory(seed: int):
-        return HybridPerformanceModel(
-            analytical_model=analytical_model,
-            feature_names=feature_names,
-            ml_model=ExtraTreesRegressor(n_estimators=settings.n_estimators,
-                                         random_state=seed),
-            aggregate_analytical=aggregate,
-            analytical_cache=cache,
-            random_state=seed,
-        )
-
-    return factory
-
-
-# --------------------------------------------------------------------------- #
-# Figure 3: pure machine-learning model comparison
-# --------------------------------------------------------------------------- #
 def figure3_stencil(settings: ExperimentSettings | None = None,
-                    dataset: PerformanceDataset | None = None) -> ExperimentResult:
+                    dataset: PerformanceDataset | None = None,
+                    **scheduler_options) -> ExperimentResult:
     """Figure 3A: MAPE of DT / extra trees / random forests on the blocked stencil dataset."""
-    settings = settings or ExperimentSettings()
-    dataset = dataset if dataset is not None else blocked_small_grid_dataset(
-        max_configs=settings.max_configs)
-    factories = {
-        "decision_tree": _ml_pipeline_factory(DecisionTreeRegressor, settings),
-        "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
-        "random_forest": _ml_pipeline_factory(RandomForestRegressor, settings),
-    }
-    curves = compare_models(factories, dataset, fractions=FIG3_STENCIL_FRACTIONS,
-                            n_repeats=settings.n_repeats,
-                            random_state=settings.random_state)
-    return ExperimentResult(
-        experiment_id="figure3A",
-        description="ML model comparison on the stencil (grid sizes + blocking) dataset",
-        dataset_name=dataset.name,
-        curves=curves,
-    )
+    return run_named_plan("figure3_stencil", settings, dataset, **scheduler_options)
 
 
 def figure3_fmm(settings: ExperimentSettings | None = None,
-                dataset: PerformanceDataset | None = None) -> ExperimentResult:
+                dataset: PerformanceDataset | None = None,
+                **scheduler_options) -> ExperimentResult:
     """Figure 3B: MAPE of DT / extra trees / random forests on the FMM dataset."""
-    settings = settings or ExperimentSettings()
-    dataset = dataset if dataset is not None else fmm_dataset(max_configs=settings.max_configs)
-    factories = {
-        "decision_tree": _ml_pipeline_factory(DecisionTreeRegressor, settings),
-        "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
-        "random_forest": _ml_pipeline_factory(RandomForestRegressor, settings),
-    }
-    curves = compare_models(factories, dataset, fractions=FIG3_FMM_FRACTIONS,
-                            n_repeats=settings.n_repeats,
-                            random_state=settings.random_state)
-    return ExperimentResult(
-        experiment_id="figure3B",
-        description="ML model comparison on the FMM (t, N, q, k) dataset",
-        dataset_name=dataset.name,
-        curves=curves,
-    )
+    return run_named_plan("figure3_fmm", settings, dataset, **scheduler_options)
 
 
-# --------------------------------------------------------------------------- #
-# Figures 5-7: hybrid vs pure ML on the stencil
-# --------------------------------------------------------------------------- #
 def figure5(settings: ExperimentSettings | None = None,
-            dataset: PerformanceDataset | None = None) -> ExperimentResult:
+            dataset: PerformanceDataset | None = None,
+            **scheduler_options) -> ExperimentResult:
     """Figure 5: accurate-analytical-model region (grid sizes only).
 
     The pure extra-trees model trains on 10/15/20% of the dataset, the
     hybrid model on only 1/2/4%.
     """
-    settings = settings or ExperimentSettings()
-    dataset = dataset if dataset is not None else grid_only_dataset(
-        max_configs=settings.max_configs)
-    analytical = StencilAnalyticalModel()
-    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
-    factories = {
-        "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
-        "hybrid": _hybrid_factory(analytical, dataset.feature_names, settings,
-                                  aggregate=False, cache=cache),
-    }
-    curves = compare_models(
-        factories, dataset,
-        fractions_by_model={"extra_trees": FIG5_ML_FRACTIONS,
-                            "hybrid": FIG5_HYBRID_FRACTIONS},
-        n_repeats=settings.n_repeats, random_state=settings.random_state,
-        analytical_cache=cache,
-    )
-    am_mape = mean_absolute_percentage_error(dataset.y, cache.predict(dataset.X))
-    return ExperimentResult(
-        experiment_id="figure5",
-        description="Hybrid (1-4% training) vs extra trees (10-20%) on grid-size-only stencil",
-        dataset_name=dataset.name,
-        curves=curves,
-        extra={"analytical_mape": am_mape},
-    )
+    return run_named_plan("figure5", settings, dataset, **scheduler_options)
 
 
 def figure6(settings: ExperimentSettings | None = None,
-            dataset: PerformanceDataset | None = None) -> ExperimentResult:
+            dataset: PerformanceDataset | None = None,
+            **scheduler_options) -> ExperimentResult:
     """Figure 6: inaccurate analytical model (blocking added, untuned).
 
     Both models train on 1/2/4% of the dataset.  The hybrid stacks the
@@ -193,93 +83,30 @@ def figure6(settings: ExperimentSettings | None = None,
     aggregation variant is evaluated separately in
     :func:`repro.experiments.ablations.ablation_aggregation`.
     """
-    settings = settings or ExperimentSettings()
-    dataset = dataset if dataset is not None else blocked_small_grid_dataset(
-        max_configs=settings.max_configs)
-    analytical = StencilAnalyticalModel()
-    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
-    factories = {
-        "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
-        "hybrid": _hybrid_factory(analytical, dataset.feature_names, settings,
-                                  aggregate=False, cache=cache),
-    }
-    curves = compare_models(factories, dataset, fractions=FIG6_FRACTIONS,
-                            n_repeats=settings.n_repeats,
-                            random_state=settings.random_state,
-                            analytical_cache=cache)
-    am_mape = mean_absolute_percentage_error(dataset.y, cache.predict(dataset.X))
-    return ExperimentResult(
-        experiment_id="figure6",
-        description="Hybrid vs extra trees at 1-4% training on the blocked stencil dataset",
-        dataset_name=dataset.name,
-        curves=curves,
-        extra={"analytical_mape": am_mape},
-    )
+    return run_named_plan("figure6", settings, dataset, **scheduler_options)
 
 
 def figure7(settings: ExperimentSettings | None = None,
-            dataset: PerformanceDataset | None = None) -> ExperimentResult:
+            dataset: PerformanceDataset | None = None,
+            **scheduler_options) -> ExperimentResult:
     """Figure 7: region not covered by the analytical model (multi-threading).
 
     The serial analytical model is coupled with extra trees; as in the
     paper, the analytical and stacked predictions are *not* aggregated
     because the analytical model does not capture parallelism.
     """
-    settings = settings or ExperimentSettings()
-    dataset = dataset if dataset is not None else threaded_dataset(
-        max_configs=settings.max_configs)
-    analytical = StencilAnalyticalModel()
-    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
-    factories = {
-        "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
-        "hybrid": _hybrid_factory(analytical, dataset.feature_names, settings,
-                                  aggregate=False, cache=cache),
-    }
-    curves = compare_models(factories, dataset, fractions=FIG7_FRACTIONS,
-                            n_repeats=settings.n_repeats,
-                            random_state=settings.random_state,
-                            analytical_cache=cache)
-    am_mape = mean_absolute_percentage_error(dataset.y, cache.predict(dataset.X))
-    return ExperimentResult(
-        experiment_id="figure7",
-        description="Hybrid (serial AM) vs extra trees on the multithreaded stencil dataset",
-        dataset_name=dataset.name,
-        curves=curves,
-        extra={"analytical_mape": am_mape},
-    )
+    return run_named_plan("figure7", settings, dataset, **scheduler_options)
 
 
-# --------------------------------------------------------------------------- #
-# Figure 8: hybrid vs pure ML on the FMM
-# --------------------------------------------------------------------------- #
 def figure8(settings: ExperimentSettings | None = None,
-            dataset: PerformanceDataset | None = None) -> ExperimentResult:
+            dataset: PerformanceDataset | None = None,
+            **scheduler_options) -> ExperimentResult:
     """Figure 8: FMM parameter tuning with an untuned analytical model."""
-    settings = settings or ExperimentSettings()
-    dataset = dataset if dataset is not None else fmm_dataset(max_configs=settings.max_configs)
-    analytical = FmmAnalyticalModel()
-    cache = AnalyticalPredictionCache(analytical, dataset.feature_names)
-    factories = {
-        "extra_trees": _ml_pipeline_factory(ExtraTreesRegressor, settings),
-        "hybrid": _hybrid_factory(analytical, dataset.feature_names, settings,
-                                  aggregate=False, cache=cache),
-    }
-    curves = compare_models(factories, dataset, fractions=FIG8_FRACTIONS,
-                            n_repeats=settings.n_repeats,
-                            random_state=settings.random_state,
-                            analytical_cache=cache)
-    am_mape = mean_absolute_percentage_error(dataset.y, cache.predict(dataset.X))
-    return ExperimentResult(
-        experiment_id="figure8",
-        description="Hybrid vs extra trees at 15-25% training on the FMM dataset",
-        dataset_name=dataset.name,
-        curves=curves,
-        extra={"analytical_mape": am_mape},
-    )
+    return run_named_plan("figure8", settings, dataset, **scheduler_options)
 
 
 # --------------------------------------------------------------------------- #
-# In-text analytical-model accuracy numbers
+# In-text analytical-model accuracy numbers (no learning curves — no plan)
 # --------------------------------------------------------------------------- #
 def analytical_accuracy(settings: ExperimentSettings | None = None) -> ExperimentResult:
     """Standalone analytical-model MAPE on every dataset (paper: 42% and 84.5%)."""

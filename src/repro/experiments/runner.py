@@ -1,4 +1,17 @@
-"""Experiment settings, results container and the top-level runner."""
+"""Experiment settings, results container and the top-level runner.
+
+``run_experiment`` / ``run_all`` are built on the plan/scheduler
+architecture: experiments that expand into independent ``(series,
+fraction, repeat)`` cells (see :mod:`repro.experiments.plan`) are
+dispatched through a pluggable executor (``serial`` / ``thread`` /
+``process``, see :mod:`repro.experiments.scheduler`) with results
+bit-identical across executors; the two irregular experiments
+(``analytical_accuracy``, ``ablation_sampling_strategy``) fall back to
+their plain functions.  A persistent
+:class:`~repro.datasets.store.DatasetStore` can be shared across the run
+so datasets are simulated and analytical caches warmed at most once per
+machine.
+"""
 
 from __future__ import annotations
 
@@ -75,6 +88,17 @@ class ExperimentResult:
         return format_result(self)
 
 
+def _resolve_store(store):
+    """Accept a DatasetStore, a directory path, or None."""
+    if store is None:
+        return None
+    from repro.datasets.store import DatasetStore
+
+    if isinstance(store, DatasetStore):
+        return store
+    return DatasetStore(store)
+
+
 def _experiment_registry() -> dict:
     from repro.experiments import ablations, figures
 
@@ -97,20 +121,67 @@ def _experiment_registry() -> dict:
 EXPERIMENTS = tuple(_experiment_registry().keys())
 
 
-def run_experiment(name: str, settings: ExperimentSettings | None = None) -> ExperimentResult:
-    """Run one experiment by name."""
+def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
+                   executor: str = "serial", jobs: int = 1,
+                   store=None) -> ExperimentResult:
+    """Run one experiment by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`EXPERIMENTS`.
+    settings:
+        Quality/cost knobs (default :class:`ExperimentSettings()`).
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"`` — how the experiment's
+        ``(series, fraction, repeat)`` cells are dispatched.  Results are
+        bit-identical across executors.
+    jobs:
+        Worker count for the thread/process executors (``-1`` = CPU count).
+    store:
+        Optional persistent dataset/cache store — a
+        :class:`~repro.datasets.store.DatasetStore` or a directory path.
+
+    The two plan-less experiments (``analytical_accuracy``,
+    ``ablation_sampling_strategy``) always run serially in-process and
+    build their datasets directly (the store is not consulted); executor
+    and jobs are still validated so invalid values fail uniformly.
+    """
     registry = _experiment_registry()
     try:
         func = registry[name]
     except KeyError:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(registry)}") from None
-    return func(settings=settings or ExperimentSettings())
+    from repro.experiments.scheduler import EXECUTORS, _resolve_jobs
+
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    _resolve_jobs(jobs)
+    settings = settings or ExperimentSettings()
+    from repro.experiments.plan import experiment_plan
+
+    plan = experiment_plan(name, settings)
+    if plan is None:
+        return func(settings=settings)
+    from repro.experiments.scheduler import run_plan
+
+    return run_plan(plan, executor=executor, jobs=jobs,
+                    store=_resolve_store(store))
 
 
 def run_all(settings: ExperimentSettings | None = None,
-            names: tuple[str, ...] | None = None) -> dict[str, ExperimentResult]:
-    """Run several (default: all) experiments and return their results by name."""
+            names: tuple[str, ...] | None = None, *,
+            executor: str = "serial", jobs: int = 1,
+            store=None) -> dict[str, ExperimentResult]:
+    """Run several (default: all) experiments and return their results by name.
+
+    The optional *store* is shared across all experiments of the run, so
+    e.g. the blocked-stencil dataset is generated once for figure 3, 6
+    and the ablations instead of once each.
+    """
+    store = _resolve_store(store)
     results: dict[str, ExperimentResult] = {}
     for name in (names or EXPERIMENTS):
-        results[name] = run_experiment(name, settings=settings)
+        results[name] = run_experiment(name, settings=settings,
+                                       executor=executor, jobs=jobs, store=store)
     return results

@@ -1,0 +1,228 @@
+"""Pluggable execution of experiment plans.
+
+:func:`run_plan` takes an :class:`~repro.experiments.plan.ExperimentPlan`,
+expands it into :class:`~repro.core.evaluation.EvalCell` tasks and
+dispatches them through one of three executors:
+
+* ``"serial"`` — the cells run in plan order in the calling process;
+* ``"thread"`` — a ``ThreadPoolExecutor`` (tree fitting spends its time in
+  NumPy kernels that release the GIL, so threads give real concurrency);
+* ``"process"`` — a ``ProcessPoolExecutor``; cells are pickled to worker
+  processes in balanced contiguous batches.  Workers rebuild (or, with a
+  :class:`~repro.datasets.store.DatasetStore`, load from disk) the
+  dataset and analytical caches once per plan and keep them in a
+  per-process memo across batches.
+
+Because seeds are derived at planning time and the merge is performed in
+plan order, the three executors produce **bit-identical**
+:class:`~repro.experiments.runner.ExperimentResult` rows; the executor is
+purely a throughput knob.
+
+When a store is supplied the parent process resolves (and persists) the
+dataset and warmed analytical caches *before* dispatch, so worker
+processes hit the on-disk artifacts instead of re-simulating datasets or
+re-warming caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.analytical import AnalyticalPredictionCache
+from repro.core.evaluation import CellResult, evaluate_cell, merge_cell_results
+from repro.core.features import PerformanceDataset
+from repro.datasets.store import DatasetStore
+from repro.experiments.plan import (
+    ExperimentPlan,
+    build_analytical,
+    build_factory,
+    compute_extras,
+    expand_cells,
+    experiment_plan,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSettings,
+    _resolve_store,
+)
+from repro.parallel.threadpool import chunk_indices
+
+__all__ = ["EXECUTORS", "run_plan", "run_named_plan"]
+
+#: Valid values of the ``executor`` argument / ``--executor`` CLI flag.
+EXECUTORS = ("serial", "thread", "process")
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 1:
+        raise ValueError(f"jobs must be -1 or >= 1, got {jobs}")
+    return jobs
+
+
+def _resolve_data(plan: ExperimentPlan, store: DatasetStore | None,
+                  dataset: PerformanceDataset | None = None,
+                  ) -> tuple[PerformanceDataset, dict[str, AnalyticalPredictionCache]]:
+    """Dataset and warmed analytical caches for *plan*.
+
+    With a *store* (and no explicit dataset override) both the dataset and
+    the warmed caches are read from / written to disk, so the expensive
+    work happens at most once per machine.  An explicit *dataset* override
+    (used by tests and notebooks) bypasses the store entirely — its
+    content has no registered fingerprint.
+    """
+    use_store = store is not None and dataset is None
+    if dataset is None:
+        dataset = store.get(plan.dataset) if store is not None else plan.dataset.build()
+    caches: dict[str, AnalyticalPredictionCache] = {}
+    for key in plan.cache_keys():
+        cache = None
+        if use_store:
+            cache = store.load_analytical_cache(key, plan.dataset,
+                                                build_analytical(key),
+                                                dataset.feature_names)
+        if cache is None:
+            cache = AnalyticalPredictionCache(build_analytical(key),
+                                              dataset.feature_names)
+            cache.warm(dataset.X)
+            if use_store:
+                store.save_analytical_cache(key, plan.dataset, cache)
+        caches[key] = cache
+    return dataset, caches
+
+
+def _series_factories(plan: ExperimentPlan, dataset: PerformanceDataset,
+                      caches: dict[str, AnalyticalPredictionCache]) -> dict:
+    return {
+        spec.label: build_factory(spec.factory, dataset,
+                                  caches.get(spec.factory.analytical))
+        for spec in plan.series
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool worker side
+# --------------------------------------------------------------------------- #
+#: Per-process memo of resolved plan state, so one worker handling several
+#: cell batches of the same plan loads the dataset and caches only once.
+_WORKER_STATE: dict = {}
+
+
+def _evaluate_batch(plan: ExperimentPlan, cells: list, store_root: str | None,
+                    dataset: PerformanceDataset | None = None) -> list[CellResult]:
+    """Evaluate one batch of cells (runs inside a worker process).
+
+    Module-level (and with picklable arguments) so ``ProcessPoolExecutor``
+    can ship it.  The serial/thread paths evaluate cells directly in
+    :func:`run_plan` against the parent-resolved state; divergence is
+    impossible because both paths reduce to the same
+    :func:`~repro.core.evaluation.evaluate_cell` call per cell and the
+    merge is plan-ordered.
+    """
+    if dataset is not None:
+        # Override datasets have no registered fingerprint; key the memo by
+        # content so a worker handling several batches warms caches once.
+        digest = hashlib.sha256(dataset.X.tobytes() + dataset.y.tobytes()).hexdigest()
+        key = (plan, "override", digest)
+    else:
+        key = (plan, store_root)
+    state = _WORKER_STATE.get(key)
+    if state is None:
+        if dataset is not None:
+            resolved, caches = _resolve_data(plan, None, dataset)
+        else:
+            store = DatasetStore(store_root) if store_root is not None else None
+            resolved, caches = _resolve_data(plan, store)
+        state = (resolved, _series_factories(plan, resolved, caches))
+        _WORKER_STATE[key] = state
+    resolved, factories = state
+    return [evaluate_cell(cell, factories[cell.factory_key], resolved)
+            for cell in cells]
+
+
+# --------------------------------------------------------------------------- #
+# The scheduler proper
+# --------------------------------------------------------------------------- #
+def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
+             store: DatasetStore | None = None,
+             dataset: PerformanceDataset | None = None) -> ExperimentResult:
+    """Execute *plan* and merge the cell results into an :class:`ExperimentResult`.
+
+    Parameters
+    ----------
+    plan:
+        The experiment plan to execute.
+    executor:
+        One of :data:`EXECUTORS`.  All three produce bit-identical rows.
+    jobs:
+        Worker count for the thread/process executors (``-1`` = CPU count).
+    store:
+        Optional persistent :class:`DatasetStore`: datasets and warmed
+        analytical caches are loaded from (and saved to) disk, shared
+        across experiments, invocations and worker processes.
+    dataset:
+        Explicit dataset override (tests/notebooks); bypasses the store.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    jobs = _resolve_jobs(jobs)
+    resolved, caches = _resolve_data(plan, store, dataset)
+    cells = expand_cells(plan)
+
+    if executor == "serial" or jobs == 1 or len(cells) <= 1:
+        factories = _series_factories(plan, resolved, caches)
+        results = [evaluate_cell(cell, factories[cell.factory_key], resolved)
+                   for cell in cells]
+    elif executor == "thread":
+        factories = _series_factories(plan, resolved, caches)
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(
+                lambda cell: evaluate_cell(cell, factories[cell.factory_key], resolved),
+                cells))
+    else:  # process
+        store_root = str(store.root) if (store is not None and dataset is None) else None
+        # With a store, workers load the persisted dataset/caches from disk;
+        # without one, ship the parent-resolved dataset instead of letting
+        # every worker re-simulate it from the spec.
+        shipped = None if store_root is not None else resolved
+        batches = [[cells[i] for i in chunk] for chunk in chunk_indices(len(cells), jobs)]
+        with ProcessPoolExecutor(max_workers=len(batches)) as pool:
+            futures = [pool.submit(_evaluate_batch, plan, batch, store_root, shipped)
+                       for batch in batches]
+            results = [r for future in futures for r in future.result()]
+
+    by_series: dict[str, list[CellResult]] = {}
+    for result in results:
+        by_series.setdefault(result.series, []).append(result)
+    curves = {}
+    for spec in plan.series:
+        series_cells = [c for c in cells if c.series == spec.label]
+        curves[spec.label] = merge_cell_results(
+            series_cells, by_series.get(spec.label, []), label=spec.label)
+
+    return ExperimentResult(
+        experiment_id=plan.experiment_id,
+        description=plan.description,
+        dataset_name=resolved.name,
+        curves=curves,
+        extra=compute_extras(plan, resolved, caches),
+    )
+
+
+def run_named_plan(name: str, settings: ExperimentSettings | None = None,
+                   dataset: PerformanceDataset | None = None, *,
+                   executor: str = "serial", jobs: int = 1,
+                   store=None) -> ExperimentResult:
+    """Resolve the plan of experiment *name* and execute it.
+
+    The shared backend of the thin per-figure / per-ablation wrappers
+    (``store`` may be a :class:`DatasetStore` or a directory path).
+    """
+    plan = experiment_plan(name, settings or ExperimentSettings())
+    if plan is None:
+        raise KeyError(f"experiment {name!r} has no plan (runs opaquely)")
+    return run_plan(plan, dataset=dataset, executor=executor, jobs=jobs,
+                    store=_resolve_store(store))

@@ -10,12 +10,21 @@ The paper's hybrid model is a special case in which one of the "base
 models" is an *analytical* model that needs no training; that case is
 implemented directly in :class:`repro.core.hybrid.HybridPerformanceModel`,
 which re-uses the passthrough/meta-feature conventions established here.
+
+At the end of ``fit`` every tree-backed base model (single CART trees and
+forest ensembles) contributes its fitted trees to one shared
+:class:`~repro.ml._packed.PackedForest` arena; ``transform``/``predict``
+then obtain those meta-feature columns from a single vectorized descent
+of all trees instead of looping over base estimators in Python (only
+non-tree bases, e.g. linear models or k-NN, are still called
+individually).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.ml._packed import PackedForest
 from repro.ml.base import BaseEstimator, RegressorMixin, clone
 from repro.ml.model_selection import KFold
 from repro.utils.validation import check_array, check_X_y, check_is_fitted
@@ -60,6 +69,8 @@ class StackingRegressor(BaseEstimator, RegressorMixin):
         self.final_estimator_: BaseEstimator | None = None
         self.named_estimators_: dict[str, BaseEstimator] | None = None
         self.n_features_in_: int | None = None
+        self.packed_bases_: PackedForest | None = None
+        self._packed_slices_: list[tuple[int, slice]] | None = None
 
     # ------------------------------------------------------------------ #
     def fit(self, X, y) -> "StackingRegressor":
@@ -96,11 +107,43 @@ class StackingRegressor(BaseEstimator, RegressorMixin):
         self.named_estimators_ = {
             name: model for (name, _), model in zip(self.estimators, self.estimators_)
         }
+        self._pack_tree_bases()
 
         Z = np.hstack([meta, X]) if self.passthrough else meta
         self.final_estimator_ = clone(self.final_estimator)
         self.final_estimator_.fit(Z, y)
         return self
+
+    @staticmethod
+    def _fitted_trees(est) -> list | None:
+        """The fitted :class:`Tree` objects behind *est*, or ``None`` if not tree-backed."""
+        from repro.ml.forest import BaseForestRegressor
+        from repro.ml.tree import DecisionTreeRegressor
+
+        if isinstance(est, DecisionTreeRegressor) and est.tree_ is not None:
+            return [est.tree_]
+        if isinstance(est, BaseForestRegressor) and est.estimators_:
+            return [tree.tree_ for tree in est.estimators_]
+        return None
+
+    def _pack_tree_bases(self) -> None:
+        """Collect every tree-backed base model's trees into one packed arena.
+
+        ``_packed_slices_`` records, per packed estimator, its meta-feature
+        column and the slice of arena trees whose leaf values average into
+        that column (a single tree for CART bases, the whole ensemble for
+        forest bases — the same mean the estimator itself would take).
+        """
+        trees: list = []
+        slices: list[tuple[int, slice]] = []
+        for column, est in enumerate(self.estimators_):
+            est_trees = self._fitted_trees(est)
+            if est_trees is None:
+                continue
+            slices.append((column, slice(len(trees), len(trees) + len(est_trees))))
+            trees.extend(est_trees)
+        self.packed_bases_ = PackedForest(trees) if trees else None
+        self._packed_slices_ = slices
 
     def transform(self, X) -> np.ndarray:
         """Return the meta-feature matrix for *X* (base predictions [+ X])."""
@@ -111,7 +154,20 @@ class StackingRegressor(BaseEstimator, RegressorMixin):
                 f"X has {X.shape[1]} features, but the stack was fitted with "
                 f"{self.n_features_in_}"
             )
-        meta = np.column_stack([est.predict(X) for est in self.estimators_])
+        # getattr: instances unpickled from before packing existed restore
+        # their __dict__ without the packed attributes at all.
+        packed = getattr(self, "packed_bases_", None)
+        if packed is None:
+            meta = np.column_stack([est.predict(X) for est in self.estimators_])
+        else:
+            packed_columns = {column for column, _ in self._packed_slices_}
+            meta = np.empty((X.shape[0], len(self.estimators_)), dtype=np.float64)
+            values = packed.predict_all(X)
+            for column, tree_slice in self._packed_slices_:
+                meta[:, column] = values[:, tree_slice].mean(axis=1)
+            for column, est in enumerate(self.estimators_):
+                if column not in packed_columns:
+                    meta[:, column] = est.predict(X)
         return np.hstack([meta, X]) if self.passthrough else meta
 
     def predict(self, X) -> np.ndarray:

@@ -1,5 +1,7 @@
 """Tests for repro.core.evaluation."""
 
+import random
+
 import numpy as np
 import pytest
 
@@ -7,7 +9,10 @@ from repro.core.evaluation import (
     LearningCurve,
     LearningCurvePoint,
     compare_models,
+    evaluate_cell,
     evaluate_learning_curve,
+    merge_cell_results,
+    plan_learning_curve,
 )
 from repro.ml import ExtraTreesRegressor, LinearRegression, Pipeline, StandardScaler
 
@@ -78,6 +83,58 @@ class TestEvaluateLearningCurve:
         expected = int(np.clip(int(round(fraction * dataset.n_samples)),
                                3, dataset.n_samples - 1))
         assert curve.points[0].n_train == expected
+
+
+class TestCellDecomposition:
+    def test_plan_is_deterministic_and_fraction_major(self):
+        plan = plan_learning_curve([0.1, 0.2], 3, series="et", random_state=7)
+        again = plan_learning_curve([0.1, 0.2], 3, series="et", random_state=7)
+        assert plan == again
+        assert len(plan) == 6
+        assert [(c.fraction, c.repeat) for c in plan] == [
+            (0.1, 0), (0.1, 1), (0.1, 2), (0.2, 0), (0.2, 1), (0.2, 2)]
+        assert len({c.seed for c in plan}) == 6
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            plan_learning_curve([], 1)
+        with pytest.raises(ValueError):
+            plan_learning_curve([0.1], 0)
+
+    def test_evaluate_cell_is_pure(self, small_stencil_dataset):
+        cell = plan_learning_curve([0.1], 1, series="et", random_state=3)[0]
+        first = evaluate_cell(cell, _et_factory, small_stencil_dataset)
+        second = evaluate_cell(cell, _et_factory, small_stencil_dataset)
+        assert first == second
+        assert first.series == "et" and first.repeat == 0
+
+    def test_merge_is_order_independent(self, small_stencil_dataset):
+        plan = plan_learning_curve([0.05, 0.15], 2, series="et", random_state=0)
+        results = [evaluate_cell(c, _et_factory, small_stencil_dataset) for c in plan]
+        reference = merge_cell_results(plan, results)
+        shuffled = list(results)
+        random.Random(4).shuffle(shuffled)
+        merged = merge_cell_results(plan, shuffled)
+        assert merged.label == reference.label
+        assert [(p.fraction, p.n_train, p.mapes) for p in merged.points] == \
+               [(p.fraction, p.n_train, p.mapes) for p in reference.points]
+
+    def test_merge_matches_serial_evaluation(self, small_stencil_dataset):
+        curve = evaluate_learning_curve(
+            _et_factory, small_stencil_dataset,
+            fractions=[0.05, 0.15], n_repeats=2, label="et", random_state=0)
+        plan = plan_learning_curve([0.05, 0.15], 2, series="et", random_state=0)
+        results = [evaluate_cell(c, _et_factory, small_stencil_dataset) for c in plan]
+        merged = merge_cell_results(plan, results)
+        assert [p.mapes for p in merged.points] == [p.mapes for p in curve.points]
+
+    def test_merge_missing_result_raises(self, small_stencil_dataset):
+        plan = plan_learning_curve([0.1], 2, series="et", random_state=0)
+        results = [evaluate_cell(plan[0], _et_factory, small_stencil_dataset)]
+        with pytest.raises(ValueError, match="missing result"):
+            merge_cell_results(plan, results)
+        with pytest.raises(ValueError):
+            merge_cell_results([], [])
 
 
 class TestCompareModels:

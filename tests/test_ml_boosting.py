@@ -72,6 +72,32 @@ class TestGradientBoosting:
         with pytest.raises(ValueError):
             GradientBoostingRegressor(**kwargs).fit(Xtr, ytr)
 
+    def test_packed_predict_matches_stage_loop(self, data):
+        """The packed-arena predict equals the per-stage Python loop."""
+        Xtr, ytr, Xte, _ = data
+        model = GradientBoostingRegressor(n_estimators=30, random_state=1).fit(Xtr, ytr)
+        assert model.packed_.n_trees == 30
+        loop = np.full(Xte.shape[0], model.init_prediction_)
+        for tree in model.estimators_:
+            loop += model.learning_rate * tree.tree_.predict(Xte)
+        np.testing.assert_allclose(model.predict(Xte), loop, rtol=1e-12, atol=1e-12)
+
+    def test_packed_staged_predict_matches_stage_loop(self, data):
+        Xtr, ytr, Xte, _ = data
+        model = GradientBoostingRegressor(n_estimators=12, random_state=2).fit(Xtr, ytr)
+        loop = np.full(Xte.shape[0], model.init_prediction_)
+        for staged, tree in zip(model.staged_predict(Xte), model.estimators_):
+            loop = loop + model.learning_rate * tree.tree_.predict(Xte)
+            np.testing.assert_allclose(staged, loop, rtol=1e-12, atol=1e-12)
+
+    def test_unpacked_fallback_matches_packed(self, data):
+        """Instances without a packed arena (e.g. old pickles) still predict."""
+        Xtr, ytr, Xte, _ = data
+        model = GradientBoostingRegressor(n_estimators=15, random_state=3).fit(Xtr, ytr)
+        packed = model.predict(Xte)
+        model.packed_ = None
+        np.testing.assert_allclose(model.predict(Xte), packed, rtol=1e-12, atol=1e-12)
+
     def test_works_inside_hybrid_model(self, small_stencil_dataset):
         from repro.analytical import StencilAnalyticalModel
         from repro.core import HybridPerformanceModel

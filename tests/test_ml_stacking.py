@@ -95,3 +95,37 @@ class TestStackingRegressor:
             cv=3, random_state=0,
         ).fit(Xtr, ytr)
         assert r2_score(yte, model.predict(Xte)) > 0.85
+
+    def test_packed_transform_matches_estimator_loop(self, data):
+        """Tree-backed meta columns from the packed arena equal per-estimator predicts."""
+        Xtr, ytr, Xte, _ = data
+        model = StackingRegressor(
+            estimators=[
+                ("tree", DecisionTreeRegressor(max_depth=5, random_state=0)),
+                ("et", ExtraTreesRegressor(n_estimators=7, random_state=1)),
+                ("linear", LinearRegression()),
+            ],
+            final_estimator=Ridge(alpha=1e-3), cv=3, random_state=0,
+        ).fit(Xtr, ytr)
+        # One tree from the CART base + seven from the forest share the arena;
+        # the linear model stays on the Python path.
+        assert model.packed_bases_ is not None
+        assert model.packed_bases_.n_trees == 8
+        assert [column for column, _ in model._packed_slices_] == [0, 1]
+        Z = model.transform(Xte)
+        loop = np.column_stack([est.predict(Xte) for est in model.estimators_])
+        np.testing.assert_allclose(Z, loop, rtol=1e-12, atol=1e-12)
+        # The single-tree and forest columns are bit-identical to the loop path.
+        np.testing.assert_array_equal(Z[:, 0], model.estimators_[0].predict(Xte))
+        np.testing.assert_array_equal(Z[:, 1], model.estimators_[1].predict(Xte))
+
+    def test_no_tree_bases_keeps_loop_path(self, data):
+        Xtr, ytr, Xte, _ = data
+        model = StackingRegressor(
+            estimators=[("linear", LinearRegression()), ("ridge", Ridge(alpha=1.0))],
+            final_estimator=Ridge(alpha=1e-3), cv=3, random_state=0,
+        ).fit(Xtr, ytr)
+        assert model.packed_bases_ is None
+        Z = model.transform(Xte)
+        loop = np.column_stack([est.predict(Xte) for est in model.estimators_])
+        np.testing.assert_array_equal(Z, loop)
