@@ -1,0 +1,121 @@
+"""CI performance gate over the ``BENCH_engine.json`` history.
+
+The benchmark suite (``benchmarks/test_bench_perf.py``) appends one
+timestamped entry per benchmark per run to the ``history`` list in
+``BENCH_engine.json``.  This script is the enforcement point: after the
+benchmarks have run in CI it compares, for every *gated* benchmark, each
+tracked speedup ratio in the newest history entry against the previous
+entry of the same benchmark, and fails (exit code 1) if any ratio
+regressed by more than :data:`TOLERANCE`.
+
+Speedup ratios compare two engines in the same process on the same
+machine, so they are largely hardware-independent and comparable across
+the heterogeneous machines that contribute history entries.  A workload
+counts as *tracked* when it records both a ``speedup`` and an acceptance
+``threshold`` — ratios the benchmark suite itself asserts.  Purely
+informational ratios (the hist engine's extra-trees fit, which hovers
+around 1x and would flap a relative gate) and the ``scheduler_speedup``
+benchmark (its ratio tracks the host's core count, ~1 on a small CI
+runner) are reported by the suite but not gated.
+
+Usage::
+
+    python benchmarks/bench_gate.py [path/to/BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Maximum tolerated relative drop of a speedup ratio vs the previous entry.
+TOLERANCE = 0.25
+
+#: Benchmarks whose ``speedup`` fields are gated (hardware-independent
+#: engine-vs-engine ratios).  ``scheduler_speedup`` tracks core count and
+#: is informational only.
+GATED_BENCHMARKS = ("engine_redesign", "hist_engine")
+
+DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _tracked(entry: dict) -> dict[str, dict]:
+    """``workload name -> fields`` for every *tracked* workload.
+
+    Tracked = the workload records both a speedup and an acceptance
+    threshold (see module docstring); threshold-less ratios are
+    informational and excluded from the gate.
+    """
+    return {
+        name: fields
+        for name, fields in entry.get("workloads", {}).items()
+        if "speedup" in fields and "threshold" in fields
+    }
+
+
+def _baseline_for(entries: list[dict], name: str, scale) -> float | None:
+    """Most recent prior speedup of workload *name* at the same scale.
+
+    Workload sizes are tunable per environment (``REPRO_BENCH_PERF_TREES``
+    scales CI down); comparing a 30-tree ratio against a 100-tree ratio
+    would gate noise, so a baseline must record the same ``n_trees`` as
+    the current entry (both absent counts as a match).
+    """
+    for prev in reversed(entries):
+        fields = _tracked(prev).get(name)
+        if fields is not None and fields.get("n_trees") == scale:
+            return float(fields["speedup"])
+    return None
+
+
+def check_history(history: list[dict]) -> list[str]:
+    """Return a list of human-readable gate failures (empty = pass)."""
+    failures: list[str] = []
+    for benchmark in GATED_BENCHMARKS:
+        entries = [e for e in history if e.get("benchmark") == benchmark]
+        if not entries:
+            print(f"[bench-gate] {benchmark}: no entries")
+            continue
+        current = entries[-1]
+        for name, fields in _tracked(current).items():
+            speedup = float(fields["speedup"])
+            baseline = _baseline_for(entries[:-1], name, fields.get("n_trees"))
+            if baseline is None:
+                print(f"[bench-gate] {benchmark}/{name}: {speedup:.2f}x, "
+                      f"no prior entry at this workload scale — skipped")
+                continue
+            floor = baseline * (1.0 - TOLERANCE)
+            status = "OK" if speedup >= floor else "REGRESSED"
+            print(f"[bench-gate] {benchmark}/{name}: {speedup:.2f}x vs "
+                  f"previous {baseline:.2f}x (floor {floor:.2f}x) {status}")
+            if speedup < floor:
+                failures.append(
+                    f"{benchmark}/{name}: speedup {speedup:.2f}x regressed more "
+                    f"than {TOLERANCE:.0%} below the previous {baseline:.2f}x")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    path = Path(args[0]) if args else DEFAULT_PATH
+    if not path.exists():
+        print(f"[bench-gate] {path} not found — did the benchmark suite run?")
+        return 1
+    stored = json.loads(path.read_text())
+    history = stored.get("history", []) if isinstance(stored, dict) else []
+    if not history:
+        print(f"[bench-gate] {path} has no history entries")
+        return 1
+    failures = check_history(history)
+    if failures:
+        print("[bench-gate] FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("[bench-gate] all tracked speedup ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,16 @@ Two benchmarks are tracked:
   scheduling changes).  The speedup is recorded, not asserted: it tracks
   the host's core count (≈1 on a single-core CI box), while the rows are
   asserted bit-identical, which *is* hardware-independent.
+* ``hist_engine`` — the histogram-binned ``"hist"`` splitter against the
+  exact ``"batched"`` engine on a full registry dataset
+  (``stencil-blocked``, n=3364): RandomForest fit speedup (asserted
+  >= 2x), ExtraTrees fit speedup (recorded), and the quick Figure-5
+  quality check (held-out R^2 of the binned extra-trees model within
+  0.02 of the exact engine's, plus both engines' learning-curve MAPEs).
 
-Scale the legacy workload down with ``REPRO_BENCH_PERF_TREES`` if a
-constrained machine cannot afford the ~1.5 minute legacy fit.
+Scale the legacy workload down with ``REPRO_BENCH_PERF_TREES`` (and the
+hist workload with ``REPRO_BENCH_HIST_TREES``) if a constrained machine
+cannot afford the ~1.5 minute legacy fit.
 """
 
 from __future__ import annotations
@@ -34,9 +41,12 @@ import numpy as np
 import pytest
 
 from repro.datasets import DatasetStore
-from repro.experiments import figure3_fmm, run_all
+from repro.datasets.registry import load_dataset
+from repro.experiments import figure5, figure3_fmm, run_all
 from repro.experiments.runner import ExperimentSettings
-from repro.ml import ExtraTreesRegressor, use_engines
+from repro.ml import ExtraTreesRegressor, RandomForestRegressor, use_engines
+from repro.ml.metrics import r2_score
+from repro.ml.model_selection import train_test_split
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULT_PATH = REPO_ROOT / "BENCH_engine.json"
@@ -44,6 +54,11 @@ RESULT_PATH = REPO_ROOT / "BENCH_engine.json"
 #: Acceptance thresholds of the engine-redesign PR.
 MIN_FOREST_FIT_SPEEDUP = 5.0
 MIN_FIGURE3_SPEEDUP = 3.0
+
+#: Acceptance thresholds of the histogram-engine PR.
+MIN_HIST_FIT_SPEEDUP = 2.0
+MAX_HIST_R2_GAP = 0.02
+HIST_DATASET = "stencil-blocked"  # full registry dataset, n = 3364 >= 2000
 
 #: Experiments of the scheduler-speedup sweep (several figures sharing
 #: datasets, so the store amortizes generation across them).
@@ -55,6 +70,11 @@ def _time(func) -> tuple[float, object]:
     start = time.perf_counter()
     result = func()
     return time.perf_counter() - start, result
+
+
+def _best_of(func, reps: int = 2) -> float:
+    """Best wall-clock of *reps* runs (tames scheduler noise on CI boxes)."""
+    return min(_time(func)[0] for _ in range(reps))
 
 
 def _append_history(entry: dict) -> None:
@@ -117,6 +137,7 @@ def test_engine_redesign_speedups():
             "extra_trees_fit": {
                 "description": f"ExtraTreesRegressor(n_estimators={n_trees}).fit, "
                                f"n={n}, d=6",
+                "n_trees": n_trees,
                 "legacy_seconds": round(t_fit_legacy, 4),
                 "vectorized_seconds": round(t_fit_new, 4),
                 "speedup": round(fit_speedup, 2),
@@ -139,6 +160,105 @@ def test_engine_redesign_speedups():
         f"forest fit speedup {fit_speedup:.1f}x below {MIN_FOREST_FIT_SPEEDUP}x")
     assert fig3_speedup >= MIN_FIGURE3_SPEEDUP, (
         f"figure3 speedup {fig3_speedup:.1f}x below {MIN_FIGURE3_SPEEDUP}x")
+
+
+@pytest.mark.benchmark(group="engines")
+def test_hist_engine_speedup():
+    """Histogram-binned split search vs the exact batched engine.
+
+    The asserted workload is the acceptance criterion of the hist-engine
+    PR: a RandomForest fit on a full registry dataset (n >= 2000) at
+    least twice as fast as the exact batched engine, with the binned
+    extra-trees model's held-out R^2 on the quick Figure-5 dataset
+    within 0.02 of the exact engine's.
+    """
+    n_trees = int(os.environ.get("REPRO_BENCH_HIST_TREES", "100"))
+    dataset = load_dataset(HIST_DATASET)
+    X, y = dataset.X, dataset.y
+
+    def fit_rf(tree_method):
+        return lambda: RandomForestRegressor(
+            n_estimators=n_trees, random_state=0, tree_method=tree_method,
+        ).fit(X, y)
+
+    def fit_et(tree_method):
+        return lambda: ExtraTreesRegressor(
+            n_estimators=n_trees, random_state=0, tree_method=tree_method,
+        ).fit(X, y)
+
+    t_rf_exact = _best_of(fit_rf("exact"))
+    t_rf_hist = _best_of(fit_rf("hist"))
+    t_et_exact = _best_of(fit_et("exact"))
+    t_et_hist = _best_of(fit_et("hist"))
+    rf_speedup = t_rf_exact / t_rf_hist
+    et_speedup = t_et_exact / t_et_hist
+
+    # Quick Figure-5 quality: the binned engine must reproduce the
+    # learning-curve experiment.  R^2 is compared at the curve's largest
+    # ML training fraction; both engines' MAPE curves are recorded.
+    settings = ExperimentSettings.quick()
+    fig5_exact = figure5(settings=settings)
+    with use_engines(tree="hist", forest="hist"):
+        fig5_hist = figure5(settings=settings)
+    curves = {
+        label: {
+            "exact": [round(p.mean, 3) for p in fig5_exact.curves[label].points],
+            "hist": [round(p.mean, 3) for p in fig5_hist.curves[label].points],
+        }
+        for label in fig5_exact.curves
+    }
+    fig5_ds = load_dataset("stencil-grid-only", max_configs=settings.max_configs,
+                           random_state=0)
+    Xtr, Xte, ytr, yte = train_test_split(fig5_ds.X, fig5_ds.y, test_size=0.25,
+                                          random_state=0)
+    r2_exact = r2_score(yte, ExtraTreesRegressor(
+        n_estimators=settings.n_estimators, random_state=0,
+        tree_method="exact").fit(Xtr, ytr).predict(Xte))
+    r2_hist = r2_score(yte, ExtraTreesRegressor(
+        n_estimators=settings.n_estimators, random_state=0,
+        tree_method="hist").fit(Xtr, ytr).predict(Xte))
+
+    entry = {
+        "benchmark": "hist_engine",
+        **_platform_fields(),
+        "workloads": {
+            "random_forest_fit": {
+                "description": f"RandomForestRegressor(n_estimators={n_trees}).fit "
+                               f"on {HIST_DATASET} (n={X.shape[0]}), hist vs batched",
+                "n_trees": n_trees,
+                "exact_seconds": round(t_rf_exact, 4),
+                "hist_seconds": round(t_rf_hist, 4),
+                "speedup": round(rf_speedup, 2),
+                "threshold": MIN_HIST_FIT_SPEEDUP,
+            },
+            "extra_trees_fit": {
+                "description": f"ExtraTreesRegressor(n_estimators={n_trees}).fit "
+                               f"on {HIST_DATASET} (n={X.shape[0]}), hist vs batched",
+                "n_trees": n_trees,
+                "exact_seconds": round(t_et_exact, 4),
+                "hist_seconds": round(t_et_hist, 4),
+                "speedup": round(et_speedup, 2),
+            },
+            "figure5_quick_quality": {
+                "description": "figure5(quick): hist vs exact engines",
+                "r2_exact": round(r2_exact, 4),
+                "r2_hist": round(r2_hist, 4),
+                "r2_gap": round(abs(r2_exact - r2_hist), 4),
+                "threshold": MAX_HIST_R2_GAP,
+                "mape_curves": curves,
+            },
+        },
+    }
+    _append_history(entry)
+    print()
+    print(json.dumps(entry["workloads"], indent=2))
+
+    assert rf_speedup >= MIN_HIST_FIT_SPEEDUP, (
+        f"hist RandomForest fit speedup {rf_speedup:.2f}x below "
+        f"{MIN_HIST_FIT_SPEEDUP}x")
+    assert abs(r2_exact - r2_hist) <= MAX_HIST_R2_GAP, (
+        f"hist R^2 {r2_hist:.4f} deviates from exact {r2_exact:.4f} by more "
+        f"than {MAX_HIST_R2_GAP}")
 
 
 @pytest.mark.benchmark(group="scheduler")

@@ -1,12 +1,33 @@
-"""Setuptools shim.
+"""Package metadata for the conf_ipps_IbeidMDOG19 reproduction.
 
-The target environment ships setuptools without the ``wheel`` package, so
-PEP 660 editable installs (``pip install -e .``) cannot build the editable
-wheel.  This shim lets ``python setup.py develop`` (or a plain
-``pip install .``) work offline; all project metadata lives in
-``pyproject.toml``.
+All metadata lives here (there is deliberately no ``pyproject.toml``):
+the target environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs cannot build the editable wheel — keeping
+the legacy ``setup.py`` path lets ``pip install -e .`` (and plain
+``pip install .``) work offline.  CI installs the package with
+``pip install -e .`` instead of exporting ``PYTHONPATH=src``, so a
+packaging break (a module missing from the ``src`` layout, a bad
+``package_dir`` mapping, an unsatisfied requirement) fails the build.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ipps-ibeid-hybrid-perf",
+    version="0.3.0",
+    description=(
+        "Reproduction of conf_ipps_IbeidMDOG19: hybrid analytical/ML "
+        "performance modeling for FMM and stencil kernels"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Intended Audience :: Science/Research",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -48,6 +48,7 @@ from repro.experiments.ablations import (
     ablation_analytical_quality,
     ablation_sampling_strategy,
     ablation_ml_backend,
+    ablation_tree_method,
 )
 from repro.experiments.reporting import format_curves, format_result, results_to_markdown
 
@@ -76,6 +77,7 @@ __all__ = [
     "ablation_analytical_quality",
     "ablation_sampling_strategy",
     "ablation_ml_backend",
+    "ablation_tree_method",
     "format_curves",
     "format_result",
     "results_to_markdown",

@@ -44,6 +44,7 @@ __all__ = [
     "ablation_analytical_quality",
     "ablation_sampling_strategy",
     "ablation_ml_backend",
+    "ablation_tree_method",
 ]
 
 _FRACTIONS = (0.01, 0.02, 0.04)
@@ -84,6 +85,20 @@ def ablation_ml_backend(settings: ExperimentSettings | None = None,
                         **scheduler_options) -> ExperimentResult:
     """Different stacked learners inside the hybrid model."""
     return run_named_plan("ablation_ml_backend", settings, dataset, **scheduler_options)
+
+
+def ablation_tree_method(settings: ExperimentSettings | None = None,
+                         dataset: PerformanceDataset | None = None,
+                         **scheduler_options) -> ExperimentResult:
+    """Exact vs histogram-binned split search for the ML and hybrid models.
+
+    The ``"hist"`` tree engine quantizes features to quantile bins at fit
+    time (see :mod:`repro.ml._hist`); this ablation verifies that the
+    learning curves it produces are statistically indistinguishable from
+    the exact engines' on the blocked-stencil dataset.
+    """
+    return run_named_plan("ablation_tree_method", settings, dataset,
+                          **scheduler_options)
 
 
 def ablation_sampling_strategy(settings: ExperimentSettings | None = None,

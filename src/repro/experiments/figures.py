@@ -22,15 +22,6 @@ from repro.datasets import (
     grid_only_dataset,
     threaded_dataset,
 )
-from repro.experiments.plan import (  # noqa: F401  (fraction constants re-exported)
-    FIG3_FMM_FRACTIONS,
-    FIG3_STENCIL_FRACTIONS,
-    FIG5_HYBRID_FRACTIONS,
-    FIG5_ML_FRACTIONS,
-    FIG6_FRACTIONS,
-    FIG7_FRACTIONS,
-    FIG8_FRACTIONS,
-)
 from repro.experiments.runner import ExperimentResult, ExperimentSettings
 from repro.experiments.scheduler import run_named_plan
 from repro.ml.metrics import mean_absolute_percentage_error

@@ -144,11 +144,15 @@ class EstimatorSpec:
     """Recipe for one ML regressor (the per-seed randomness stays outside).
 
     ``n_estimators`` is ignored by estimators that have no ensemble size
-    (decision tree, k-NN).
+    (decision tree, k-NN).  ``tree_method`` selects the split-search
+    backend of tree-based estimators (``None`` defers to the process
+    engine defaults, ``"exact"`` / ``"hist"`` force one — see
+    :mod:`repro.ml.engine`); non-tree estimators ignore it.
     """
 
     name: str
     n_estimators: int = 0
+    tree_method: str | None = None
 
 
 @dataclass(frozen=True)
@@ -209,13 +213,15 @@ class ExperimentPlan:
 
 def _build_estimator(spec: EstimatorSpec, seed: int):
     if spec.name == "decision_tree":
-        return DecisionTreeRegressor(random_state=seed)
+        return DecisionTreeRegressor(random_state=seed, tree_method=spec.tree_method)
     if spec.name == "extra_trees":
-        return ExtraTreesRegressor(n_estimators=spec.n_estimators, random_state=seed)
+        return ExtraTreesRegressor(n_estimators=spec.n_estimators, random_state=seed,
+                                   tree_method=spec.tree_method)
     if spec.name == "random_forest":
-        return RandomForestRegressor(n_estimators=spec.n_estimators, random_state=seed)
+        return RandomForestRegressor(n_estimators=spec.n_estimators, random_state=seed,
+                                     tree_method=spec.tree_method)
     if spec.name == "bagged_tree":
-        return BaggingRegressor(estimator=DecisionTreeRegressor(),
+        return BaggingRegressor(estimator=DecisionTreeRegressor(tree_method=spec.tree_method),
                                 n_estimators=spec.n_estimators, random_state=seed)
     if spec.name == "knn":
         return KNeighborsRegressor(n_neighbors=5, weights="distance")
@@ -416,6 +422,28 @@ def experiment_plan(name: str,
                         _hybrid("stencil_constant", s), ABLATION_FRACTIONS)),
             analytical="stencil", extras=("analytical_quality",),
         )
+    if name == "ablation_tree_method":
+        def _et(method: str | None) -> EstimatorSpec:
+            return EstimatorSpec("extra_trees", s.n_estimators, tree_method=method)
+
+        return _plan(
+            "ablation_tree_method",
+            "Exact vs histogram-binned split search for the ML and hybrid models",
+            "stencil-blocked",
+            (SeriesSpec("extra_trees_exact",
+                        FactorySpec(kind="ml_pipeline", estimator=_et("exact")),
+                        ABLATION_FRACTIONS),
+             SeriesSpec("extra_trees_hist",
+                        FactorySpec(kind="ml_pipeline", estimator=_et("hist")),
+                        ABLATION_FRACTIONS),
+             SeriesSpec("hybrid_exact",
+                        _hybrid("stencil", s, estimator=_et("exact")),
+                        ABLATION_FRACTIONS),
+             SeriesSpec("hybrid_hist",
+                        _hybrid("stencil", s, estimator=_et("hist")),
+                        ABLATION_FRACTIONS)),
+            analytical="stencil",
+        )
     if name == "ablation_ml_backend":
         return _plan(
             "ablation_ml_backend",
@@ -446,5 +474,5 @@ def experiment_plan(name: str,
 PLANNED_EXPERIMENTS = (
     "figure3_stencil", "figure3_fmm", "figure5", "figure6", "figure7",
     "figure8", "ablation_aggregation", "ablation_analytical_quality",
-    "ablation_ml_backend",
+    "ablation_ml_backend", "ablation_tree_method",
 )

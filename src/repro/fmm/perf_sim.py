@@ -29,7 +29,7 @@ full (t, N, q, k) dataset.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,7 +12,7 @@ a given word size because the paper's equations are written in elements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["CacheLevel", "MemoryLevel", "CacheHierarchy"]
 

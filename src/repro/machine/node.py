@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.machine.cache import CacheHierarchy, CacheLevel, MemoryLevel
+from repro.machine.cache import CacheHierarchy
 
 __all__ = ["MachineSpec"]
 

@@ -43,17 +43,26 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
         Minimum samples per leaf of the base trees.
     random_state:
         Seed for the per-stage subsampling and tree randomness.
+    tree_method:
+        ``None`` (defer to the engine defaults), ``"exact"`` or
+        ``"hist"`` — forwarded to every stage's base tree (see
+        :class:`~repro.ml.tree.DecisionTreeRegressor`).
+    max_bins:
+        Quantile bins per feature for ``tree_method="hist"``.
     """
 
     def __init__(self, *, n_estimators: int = 100, learning_rate: float = 0.1,
                  max_depth: int = 3, subsample: float = 1.0,
-                 min_samples_leaf: int = 1, random_state=None) -> None:
+                 min_samples_leaf: int = 1, random_state=None,
+                 tree_method: str | None = None, max_bins: int = 256) -> None:
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.max_depth = max_depth
         self.subsample = subsample
         self.min_samples_leaf = min_samples_leaf
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
         self.estimators_: list[DecisionTreeRegressor] | None = None
         self.packed_: PackedForest | None = None
         self.init_prediction_: float | None = None
@@ -80,6 +89,16 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
         self.train_score_ = []
         n_sub = max(1, int(round(self.subsample * n)))
 
+        # With histogram stage trees, quantize the feature matrix once up
+        # front instead of once per stage (residuals change, X does not).
+        from repro.ml.engine import resolve_build_engine
+
+        binned = None
+        if resolve_build_engine(self.tree_method, None, kind="tree") == "hist":
+            from repro.ml._hist import bin_dataset
+
+            binned = bin_dataset(X, self.max_bins)
+
         for stage in range(self.n_estimators):
             residual = y - current
             rng = np.random.default_rng(seeds[stage])
@@ -88,8 +107,11 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 random_state=seeds[stage],
+                tree_method=self.tree_method,
+                max_bins=self.max_bins,
             )
-            tree.fit(X[idx], residual[idx])
+            prebinned = (binned[0][idx], binned[1]) if binned is not None else None
+            tree.fit(X[idx], residual[idx], _hist_prebinned=prebinned)
             current = current + self.learning_rate * tree.tree_.predict(X)
             self.estimators_.append(tree)
             self.train_score_.append(float(np.mean((y - current) ** 2)))

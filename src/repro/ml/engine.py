@@ -1,6 +1,6 @@
 """Process-wide selection of the tree/forest construction engines.
 
-The ML substrate ships three tree-construction engines:
+The ML substrate ships four tree-construction engines:
 
 * ``"legacy"`` — the original recursive per-node builder (kept as the
   reference implementation and for benchmarking the engine redesign);
@@ -14,11 +14,24 @@ The ML substrate ships three tree-construction engines:
   is deterministic under a fixed seed but follows a different (documented)
   RNG protocol than the recursive builders: trees are statistically
   equivalent, not bit-identical, to ``"legacy"`` ones.
+* ``"hist"`` — the batched builder's histogram-binned sibling
+  (:mod:`repro.ml._hist`): features are quantized to at most ``max_bins``
+  quantile bins at fit time and split search scans bin boundaries instead
+  of distinct thresholds.  Statistically equivalent to ``"batched"``
+  (identical candidate thresholds whenever a feature has no more distinct
+  values than bins) and substantially faster on large datasets.
+
+``"legacy"``, ``"stack"`` and ``"batched"`` are the *exact* engines (they
+scan true distinct thresholds); ``"hist"`` is selected either directly or
+through the estimator-level ``tree_method="hist"`` knob.
 
 Estimators accept an ``engine`` parameter; ``None`` (the default) resolves
 to the module-wide defaults below, which :func:`use_engines` can override
-temporarily (used by the performance benchmarks to time the seed
-implementation against the vectorized one in the same process).
+temporarily (used by the performance benchmarks to time one engine against
+another in the same process).  The estimator-level ``tree_method``
+parameter rides on top: ``None`` defers to the engine resolution (the
+defaults are exact, so seed results are unchanged), ``"exact"`` insists on
+an exact engine, and ``"hist"`` forces the histogram engine.
 """
 
 from __future__ import annotations
@@ -28,18 +41,29 @@ from contextlib import contextmanager
 __all__ = [
     "TREE_ENGINES",
     "FOREST_ENGINES",
+    "TREE_METHODS",
     "get_default_engines",
     "set_default_engines",
     "use_engines",
     "resolve_tree_engine",
     "resolve_forest_engine",
+    "resolve_build_engine",
+    "get_batched_builder",
 ]
 
 #: Engines understood by :class:`~repro.ml.tree.DecisionTreeRegressor`.
-TREE_ENGINES = ("legacy", "stack", "batched")
+TREE_ENGINES = ("legacy", "stack", "batched", "hist")
 
 #: Engines understood by the forest estimators.
-FOREST_ENGINES = ("legacy", "stack", "batched")
+FOREST_ENGINES = ("legacy", "stack", "batched", "hist")
+
+#: Valid values of the estimator-level ``tree_method`` parameter
+#: (``None`` defers to the engine resolution).
+TREE_METHODS = (None, "exact", "hist")
+
+#: Fallback exact engine per estimator kind when ``tree_method="exact"``
+#: meets a process-wide ``"hist"`` default.
+_EXACT_FALLBACK = {"tree": "stack", "forest": "batched"}
 
 _defaults = {"tree": "stack", "forest": "batched"}
 
@@ -91,3 +115,62 @@ def resolve_forest_engine(engine: str | None) -> str:
             f"engine must be None or one of {FOREST_ENGINES}, got {engine!r}"
         )
     return engine
+
+
+def resolve_build_engine(tree_method: str | None, engine: str | None,
+                         *, kind: str) -> str:
+    """Resolve the ``(tree_method, engine)`` pair to the engine to build with.
+
+    Parameters
+    ----------
+    tree_method:
+        ``None`` (defer to the engine resolution), ``"exact"`` (insist on
+        an exact-threshold engine) or ``"hist"`` (histogram binning).
+    engine:
+        The estimator's ``engine`` parameter (``None`` = process default).
+    kind:
+        ``"tree"`` or ``"forest"`` — which default table applies.
+
+    ``tree_method="hist"`` conflicts with an explicit exact ``engine``;
+    ``tree_method="exact"`` combined with an explicit ``engine="hist"``
+    is equally contradictory.  When an *implicit* (process-default)
+    engine disagrees with an explicit ``tree_method``, the tree method
+    wins — ``"hist"`` selects the histogram engine, ``"exact"`` falls
+    back to the kind's default exact engine.
+    """
+    if kind not in _EXACT_FALLBACK:
+        raise ValueError(f"kind must be 'tree' or 'forest', got {kind!r}")
+    if tree_method not in TREE_METHODS:
+        raise ValueError(
+            f"tree_method must be one of {TREE_METHODS}, got {tree_method!r}")
+    if tree_method is not None and engine is not None:
+        exact_engine = engine != "hist"
+        if (tree_method == "hist") == exact_engine:
+            raise ValueError(
+                f"tree_method={tree_method!r} conflicts with engine={engine!r}")
+    if tree_method == "hist":
+        return "hist"
+    resolved = (resolve_tree_engine(engine) if kind == "tree"
+                else resolve_forest_engine(engine))
+    if tree_method == "exact" and resolved == "hist":
+        return _EXACT_FALLBACK[kind]
+    return resolved
+
+
+def get_batched_builder(engine: str, max_bins: int):
+    """The whole-forest builder for a level-synchronous *engine*.
+
+    Returns ``(build, extra_kwargs)`` where ``build`` has the shared
+    ``build_forest_batched`` signature and ``extra_kwargs`` carries the
+    engine-specific arguments — the single dispatch point used by both
+    the tree and the forest ``fit`` paths.
+    """
+    if engine == "batched":
+        from repro.ml._batched import build_forest_batched
+
+        return build_forest_batched, {}
+    if engine == "hist":
+        from repro.ml._hist import build_forest_hist
+
+        return build_forest_hist, {"max_bins": max_bins}
+    raise ValueError(f"no batched builder for engine {engine!r}")

@@ -15,12 +15,15 @@ the comparison in Figure 3.
 
 Fitting defaults to the level-synchronous ``"batched"`` engine
 (:mod:`repro.ml._batched`), which grows all trees together one depth
-level at a time; prediction always goes through a :class:`PackedForest`
-(:mod:`repro.ml._packed`), descending every tree for every query row in a
-single vectorized traversal.  The per-tree engines (``"stack"``,
-``"legacy"``) remain available through the ``engine`` parameter; the
-``"legacy"`` engine also restores the original Python prediction loop so
-benchmarks can time the seed implementation end to end.
+level at a time; ``tree_method="hist"`` selects its histogram-binned
+sibling (:mod:`repro.ml._hist`) that scans quantile-bin boundaries
+instead of distinct thresholds.  Prediction always goes through a
+:class:`PackedForest` (:mod:`repro.ml._packed`), descending every tree
+for every query row in a single vectorized traversal.  The per-tree
+engines (``"stack"``, ``"legacy"``) remain available through the
+``engine`` parameter; the ``"legacy"`` engine also restores the original
+Python prediction loop so benchmarks can time the seed implementation
+end to end.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ import numpy as np
 
 from repro.ml._packed import PackedForest
 from repro.ml.base import BaseEstimator, RegressorMixin
-from repro.ml.engine import resolve_forest_engine
+from repro.ml.engine import get_batched_builder, resolve_build_engine
 from repro.ml.tree import DecisionTreeRegressor
 from repro.parallel.threadpool import parallel_map
 from repro.utils.rng import check_random_state, spawn_seeds
@@ -58,6 +61,8 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
         n_jobs: int = 1,
         random_state=None,
         engine: str | None = None,
+        tree_method: str | None = None,
+        max_bins: int = 256,
     ) -> None:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -69,6 +74,8 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
         self.n_jobs = n_jobs
         self.random_state = random_state
         self.engine = engine
+        self.tree_method = tree_method
+        self.max_bins = max_bins
         self.estimators_: list[DecisionTreeRegressor] | None = None
         self.packed_: PackedForest | None = None
         self.n_features_in_: int | None = None
@@ -81,7 +88,7 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
         X, y = check_X_y(X, y)
         if self.n_estimators < 1:
             raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
-        engine = resolve_forest_engine(self.engine)
+        engine = resolve_build_engine(self.tree_method, self.engine, kind="forest")
         self.n_features_in_ = X.shape[1]
         bootstrap = self._default_bootstrap if self.bootstrap is None else self.bootstrap
         if self.oob_score and not bootstrap:
@@ -99,11 +106,11 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
             else:
                 sample_sets.append(np.arange(n))
 
-        if engine == "batched":
-            from repro.ml._batched import build_forest_batched
-
-            template = DecisionTreeRegressor(max_features=self.max_features)
-            trees = build_forest_batched(
+        if engine in ("batched", "hist"):
+            build, extra = get_batched_builder(engine, self.max_bins)
+            template = DecisionTreeRegressor(max_features=self.max_features,
+                                             max_bins=self.max_bins)
+            trees = build(
                 X, y,
                 sample_sets=sample_sets,
                 seeds=tree_seeds,
@@ -113,6 +120,7 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=template._resolve_max_features(X.shape[1]),
                 min_impurity_decrease=0.0,
+                **extra,
             )
             self.estimators_ = []
             for i, tree in enumerate(trees):
@@ -145,6 +153,7 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
             splitter=self._splitter,
             random_state=seed,
             engine=engine,
+            max_bins=self.max_bins,
         )
 
     def predict(self, X) -> np.ndarray:
@@ -247,6 +256,8 @@ class ExtraTreesRegressor(BaseForestRegressor):
         n_jobs: int = 1,
         random_state=None,
         engine: str | None = None,
+        tree_method: str | None = None,
+        max_bins: int = 256,
     ) -> None:
         super().__init__(
             n_estimators=n_estimators,
@@ -259,4 +270,6 @@ class ExtraTreesRegressor(BaseForestRegressor):
             n_jobs=n_jobs,
             random_state=random_state,
             engine=engine,
+            tree_method=tree_method,
+            max_bins=max_bins,
         )

@@ -12,11 +12,13 @@ provided:
   :class:`repro.ml.forest.ExtraTreesRegressor`, the best performing model
   in the paper's Figure 3).
 
-Three construction engines are available (see :mod:`repro.ml.engine`):
+Four construction engines are available (see :mod:`repro.ml.engine`):
 the original recursive builder (``"legacy"``), a bit-identical presorted
 work-stack builder (``"stack"``, the default — no per-node ``argsort``, no
-Python recursion), and the level-synchronous ``"batched"`` builder shared
-with the forest estimators.  Candidate-split scoring is vectorized with
+Python recursion), the level-synchronous ``"batched"`` builder shared
+with the forest estimators, and its histogram-binned sibling (``"hist"``,
+also selectable via ``tree_method="hist"``).  Candidate-split scoring is
+vectorized with
 cumulative sums over the sorted targets, and prediction descends all query
 rows through the flat node arrays simultaneously.
 """
@@ -28,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.base import BaseEstimator, RegressorMixin
-from repro.ml.engine import resolve_tree_engine
+from repro.ml.engine import get_batched_builder, resolve_build_engine
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_array, check_X_y, check_is_fitted
 
@@ -479,8 +481,16 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
     random_state:
         Seed controlling feature shuffling and random thresholds.
     engine:
-        Construction engine: ``"legacy"``, ``"stack"`` or ``"batched"``;
-        ``None`` uses the process default (see :mod:`repro.ml.engine`).
+        Construction engine: ``"legacy"``, ``"stack"``, ``"batched"`` or
+        ``"hist"``; ``None`` uses the process default (see
+        :mod:`repro.ml.engine`).
+    tree_method:
+        ``None`` (defer to *engine*), ``"exact"`` (insist on exact
+        threshold search) or ``"hist"`` (histogram-binned split search,
+        see :mod:`repro.ml._hist`).
+    max_bins:
+        Quantile bins per feature for the ``"hist"`` method (ignored by
+        the exact engines).
     """
 
     def __init__(
@@ -494,6 +504,8 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         min_impurity_decrease: float = 0.0,
         random_state=None,
         engine: str | None = None,
+        tree_method: str | None = None,
+        max_bins: int = 256,
     ) -> None:
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
@@ -503,20 +515,30 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         self.min_impurity_decrease = min_impurity_decrease
         self.random_state = random_state
         self.engine = engine
+        self.tree_method = tree_method
+        self.max_bins = max_bins
         self.tree_: Tree | None = None
         self.n_features_in_: int | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, X, y) -> "DecisionTreeRegressor":
-        """Grow the tree on the training data."""
+    def fit(self, X, y, _hist_prebinned=None) -> "DecisionTreeRegressor":
+        """Grow the tree on the training data.
+
+        ``_hist_prebinned`` optionally carries ``(codes, edges_pad)``
+        from :func:`repro.ml._hist.bin_dataset` for the rows of *X*, so
+        callers fitting many hist trees on the same feature matrix
+        (gradient boosting) quantize it once instead of per tree.
+        """
         X, y = check_X_y(X, y)
         self._validate_hyperparameters()
         self.n_features_in_ = X.shape[1]
-        engine = resolve_tree_engine(self.engine)
-        if engine == "batched":
-            from repro.ml._batched import build_forest_batched
+        engine = resolve_build_engine(self.tree_method, self.engine, kind="tree")
+        if engine in ("batched", "hist"):
+            build, extra = get_batched_builder(engine, self.max_bins)
+            if engine == "hist" and _hist_prebinned is not None:
+                extra["prebinned"] = _hist_prebinned
 
-            self.tree_ = build_forest_batched(
+            self.tree_ = build(
                 X, y,
                 sample_sets=[np.arange(X.shape[0])],
                 seeds=[self.random_state],
@@ -526,6 +548,7 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self._resolve_max_features(X.shape[1]),
                 min_impurity_decrease=self.min_impurity_decrease,
+                **extra,
             )[0]
             return self
         builder = _BUILDERS[engine](
@@ -606,6 +629,8 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
             raise ValueError(f"splitter must be 'best' or 'random', got {self.splitter!r}")
         if self.min_impurity_decrease < 0:
             raise ValueError("min_impurity_decrease must be >= 0")
+        if self.max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {self.max_bins}")
 
     def _resolve_max_features(self, n_features: int) -> int:
         mf = self.max_features

@@ -11,7 +11,7 @@ deterministic and cheap.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 __all__ = ["parallel_map", "chunk_indices"]
 

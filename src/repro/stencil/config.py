@@ -13,7 +13,7 @@ configurations to the numeric feature matrices the ML layer consumes.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np

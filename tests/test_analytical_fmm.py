@@ -5,7 +5,6 @@ import pytest
 
 from repro.analytical.fmm_model import FmmAnalyticalModel
 from repro.fmm.config import FmmConfig
-from repro.machine import blue_waters_xe6
 
 
 @pytest.fixture(scope="module")

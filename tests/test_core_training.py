@@ -1,7 +1,5 @@
 """Tests for repro.core.training."""
 
-import pytest
-
 from repro.analytical import StencilAnalyticalModel
 from repro.core.training import TrainedModel, train_hybrid_model, train_ml_model
 from repro.ml import KNeighborsRegressor

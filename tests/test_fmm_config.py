@@ -1,6 +1,5 @@
 """Tests for repro.fmm.config."""
 
-import numpy as np
 import pytest
 
 from repro.fmm.config import FmmConfig, FmmConfigSpace

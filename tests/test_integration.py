@@ -7,12 +7,11 @@ experiments and of the examples shipped in ``examples/``.
 """
 
 import numpy as np
-import pytest
 
 from repro.analytical import FmmAnalyticalModel, StencilAnalyticalModel
 from repro.core import HybridPerformanceModel, train_hybrid_model, train_ml_model
 from repro.datasets import load_dataset
-from repro.fmm import DirectSummation, Fmm, FmmConfig, FmmPerformanceSimulator, random_cube
+from repro.fmm import Fmm, FmmConfig, FmmPerformanceSimulator, random_cube
 from repro.ml import ExtraTreesRegressor
 from repro.ml.metrics import mean_absolute_percentage_error
 from repro.stencil import StencilConfig, StencilExecutor, StencilPerformanceSimulator

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ml.base import BaseEstimator, clone
+from repro.ml.base import clone
 from repro.ml.forest import ExtraTreesRegressor
 from repro.ml.linear import Ridge
 from repro.ml.stacking import StackingRegressor

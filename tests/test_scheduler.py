@@ -25,7 +25,6 @@ from repro.experiments import (
     experiment_plan,
     run_all,
     run_experiment,
-    run_plan,
 )
 from repro.experiments.plan import build_analytical, build_factory
 from repro.utils.rng import check_random_state, spawn_seeds
