@@ -42,7 +42,7 @@ import pytest
 
 from repro.datasets import DatasetStore
 from repro.datasets.registry import load_dataset
-from repro.experiments import figure5, figure3_fmm, run_all
+from repro.experiments import figure3_fmm, figure5, run_all
 from repro.experiments.runner import ExperimentSettings
 from repro.ml import ExtraTreesRegressor, RandomForestRegressor, use_engines
 from repro.ml.metrics import r2_score

@@ -14,7 +14,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ipps-ibeid-hybrid-perf",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of conf_ipps_IbeidMDOG19: hybrid analytical/ML "
         "performance modeling for FMM and stencil kernels"
@@ -25,6 +25,13 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.22"],
+    entry_points={
+        "console_scripts": [
+            # Fleet-worker host side of the distributed remote executor
+            # (equivalent to `python -m repro.distributed.worker`).
+            "repro-fleet-worker=repro.distributed.worker:main",
+        ],
+    },
     classifiers=[
         "Programming Language :: Python :: 3",
         "Intended Audience :: Science/Research",

@@ -21,14 +21,14 @@ a predicted execution time using closed-form expressions:
 
 from repro.analytical.base import AnalyticalModel, roofline_time
 from repro.analytical.cache import AnalyticalPredictionCache
-from repro.analytical.stencil_model import StencilAnalyticalModel
-from repro.analytical.fmm_model import FmmAnalyticalModel
-from repro.analytical.calibration import calibrate_scale, CalibratedModel
+from repro.analytical.calibration import CalibratedModel, calibrate_scale
 from repro.analytical.communication import (
     AlphaBetaNetwork,
-    stencil_halo_exchange_time,
     fmm_communication_time,
+    stencil_halo_exchange_time,
 )
+from repro.analytical.fmm_model import FmmAnalyticalModel
+from repro.analytical.stencil_model import StencilAnalyticalModel
 
 __all__ = [
     "AnalyticalModel",

@@ -22,15 +22,15 @@ Public API
   fraction, repeated over sampling seeds).
 """
 
+from repro.core.evaluation import (
+    LearningCurve,
+    LearningCurvePoint,
+    compare_models,
+    evaluate_learning_curve,
+)
 from repro.core.features import PerformanceDataset
 from repro.core.hybrid import HybridPerformanceModel
 from repro.core.training import TrainedModel, train_hybrid_model, train_ml_model
-from repro.core.evaluation import (
-    LearningCurvePoint,
-    LearningCurve,
-    evaluate_learning_curve,
-    compare_models,
-)
 
 __all__ = [
     "PerformanceDataset",

@@ -156,6 +156,16 @@ class EvalCell:
     min_train: int = 3
     dataset_fingerprint: str = ""
 
+    @property
+    def key(self) -> tuple[str, float, int]:
+        """Identity of the cell within its plan: ``(series, fraction, repeat)``.
+
+        The shared join key between cells and results — the merge, the
+        process executor's bookkeeping and the distributed coordinator's
+        lease/requeue/dedupe tracking all match on it.
+        """
+        return (self.series, self.fraction, self.repeat)
+
 
 @dataclass(frozen=True)
 class CellResult:
@@ -166,6 +176,11 @@ class CellResult:
     repeat: int
     n_train: int
     mape: float
+
+    @property
+    def key(self) -> tuple[str, float, int]:
+        """Join key matching :attr:`EvalCell.key` of the producing cell."""
+        return (self.series, self.fraction, self.repeat)
 
 
 def plan_learning_curve(
@@ -243,12 +258,12 @@ def merge_cell_results(
     """
     if not plan:
         raise ValueError("plan must be non-empty")
-    by_key = {(r.series, r.fraction, r.repeat): r for r in results}
+    by_key = {r.key: r for r in results}
     curve = LearningCurve(label=label if label is not None else plan[0].series)
     point: LearningCurvePoint | None = None
     for cell in plan:
         try:
-            result = by_key[(cell.series, cell.fraction, cell.repeat)]
+            result = by_key[cell.key]
         except KeyError:
             raise ValueError(
                 f"missing result for cell {cell.series!r} fraction={cell.fraction} "

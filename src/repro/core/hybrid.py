@@ -29,7 +29,7 @@ from repro.ml.bagging import BaggingRegressor
 from repro.ml.base import BaseEstimator, RegressorMixin, clone
 from repro.ml.forest import ExtraTreesRegressor
 from repro.ml.preprocessing import StandardScaler
-from repro.utils.validation import check_array, check_X_y, check_is_fitted
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 __all__ = ["HybridPerformanceModel"]
 

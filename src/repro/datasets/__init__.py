@@ -18,15 +18,15 @@ memoizes the generated arrays (and warmed analytical-prediction caches)
 to disk so they are built at most once per machine.
 """
 
-from repro.datasets.sampling import uniform_sample_indices, latin_hypercube_indices
+from repro.datasets.fmm_datasets import fmm_dataset, fmm_dataset_from_space
+from repro.datasets.registry import DATASET_REGISTRY, load_dataset
+from repro.datasets.sampling import latin_hypercube_indices, uniform_sample_indices
 from repro.datasets.stencil_datasets import (
     blocked_small_grid_dataset,
     grid_only_dataset,
-    threaded_dataset,
     stencil_dataset_from_space,
+    threaded_dataset,
 )
-from repro.datasets.fmm_datasets import fmm_dataset, fmm_dataset_from_space
-from repro.datasets.registry import DATASET_REGISTRY, load_dataset
 from repro.datasets.store import DatasetSpec, DatasetStore
 
 __all__ = [

@@ -14,10 +14,14 @@ A :class:`DatasetSpec` is the *recipe* for a dataset: the registry name
 plus the generator arguments that affect its content (``max_configs``,
 ``random_state``).  Its fingerprint is the first 16 hex digits of the
 SHA-256 of the canonical JSON encoding of those fields plus a format
-version.  Two specs with the same fingerprint therefore denote the same
-arrays bit-for-bit (generation is deterministic), and bumping
-``_FORMAT_VERSION`` invalidates every stored artifact at once when the
-on-disk layout changes.
+version plus the *simulator versions* (the ``SIMULATOR_VERSION``
+constants of :mod:`repro.fmm.perf_sim` and
+:mod:`repro.stencil.perf_sim`).  Two specs with the same fingerprint
+therefore denote the same arrays bit-for-bit (generation is
+deterministic), bumping a simulator version automatically invalidates
+every dataset that simulator produced, and bumping ``_FORMAT_VERSION``
+invalidates every stored artifact at once when the on-disk layout
+changes.
 
 On-disk layout (under the store root)::
 
@@ -39,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import json
 import os
 from dataclasses import dataclass
@@ -51,7 +56,25 @@ from repro.core.features import PerformanceDataset
 __all__ = ["DatasetSpec", "DatasetStore"]
 
 #: Bump to invalidate every stored dataset/cache when the layout changes.
-_FORMAT_VERSION = 1
+#: Version 2 added the simulator-version token to the fingerprint recipe.
+_FORMAT_VERSION = 2
+
+
+def _simulator_versions() -> str:
+    """Version token covering every executable performance simulator.
+
+    Stored datasets are simulator *output*: a behavioural change to
+    :mod:`repro.fmm.perf_sim` or :mod:`repro.stencil.perf_sim` makes every
+    memoized dataset stale even though the recipe fields are unchanged.
+    Folding the simulators' ``SIMULATOR_VERSION`` constants into the
+    fingerprint invalidates stored artifacts automatically when either is
+    bumped.  (Looked up at call time, not import time, so a bump is
+    honored by already-constructed specs too.)
+    """
+    from repro.fmm import perf_sim as fmm_sim
+    from repro.stencil import perf_sim as stencil_sim
+
+    return f"fmm{fmm_sim.SIMULATOR_VERSION}-stencil{stencil_sim.SIMULATOR_VERSION}"
 
 
 @dataclass(frozen=True)
@@ -80,6 +103,7 @@ class DatasetSpec:
                 "max_configs": self.max_configs,
                 "random_state": self.random_state,
                 "version": _FORMAT_VERSION,
+                "simulators": _simulator_versions(),
             },
             sort_keys=True,
         )
@@ -180,21 +204,12 @@ class DatasetStore:
 
     @classmethod
     def _save_dataset(cls, path: Path, dataset: PerformanceDataset) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = cls._tmp_path(path)
-        np.savez(
-            tmp,
-            name=np.array(dataset.name),
-            X=dataset.X,
-            y=dataset.y,
-            feature_names=np.array(list(dataset.feature_names)),
-            configs=np.array(cls._encode_configs(dataset.configs)),
-        )
-        tmp.replace(path)
+        cls._write_bytes(path, cls.encode_dataset(dataset))
 
     @classmethod
-    def _load_dataset(cls, path: Path) -> PerformanceDataset:
-        with np.load(path, allow_pickle=False) as data:
+    def _load_dataset(cls, source) -> PerformanceDataset:
+        """Rebuild a dataset from a stored ``.npz`` path or file object."""
+        with np.load(source, allow_pickle=False) as data:
             return PerformanceDataset(
                 name=str(data["name"]),
                 X=data["X"],
@@ -202,6 +217,48 @@ class DatasetStore:
                 feature_names=[str(n) for n in data["feature_names"]],
                 configs=cls._decode_configs(str(data["configs"])),
             )
+
+    @classmethod
+    def encode_dataset(cls, dataset: PerformanceDataset) -> bytes:
+        """The dataset as raw ``.npz`` bytes (the store's on-disk format).
+
+        The byte form doubles as the wire format of the distributed
+        fleet's store bootstrap: the coordinator ships exactly what the
+        worker's store would hold, so a downloaded blob round-trips
+        through :meth:`put_dataset_bytes` + :meth:`get` bit-for-bit.
+        """
+        buf = io.BytesIO()
+        np.savez(
+            buf,
+            name=np.array(dataset.name),
+            X=dataset.X,
+            y=dataset.y,
+            feature_names=np.array(list(dataset.feature_names)),
+            configs=np.array(cls._encode_configs(dataset.configs)),
+        )
+        return buf.getvalue()
+
+    @classmethod
+    def decode_dataset_bytes(cls, data: bytes) -> PerformanceDataset:
+        """Inverse of :meth:`encode_dataset` (store-less workers use this)."""
+        return cls._load_dataset(io.BytesIO(data))
+
+    @classmethod
+    def _write_bytes(cls, path: Path, data: bytes) -> Path:
+        """Atomically place *data* at *path* (same tmp+rename as datasets)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = cls._tmp_path(path)
+        tmp.write_bytes(data)
+        tmp.replace(path)
+        return path
+
+    def dataset_bytes(self, spec: DatasetSpec) -> bytes:
+        """Raw stored bytes of the dataset of *spec* (must exist)."""
+        return self.dataset_path(spec).read_bytes()
+
+    def put_dataset_bytes(self, spec: DatasetSpec, data: bytes) -> Path:
+        """Install pre-encoded dataset bytes under the fingerprint of *spec*."""
+        return self._write_bytes(self.dataset_path(spec), data)
 
     # ------------------------------------------------------------------ #
     # Analytical-prediction caches
@@ -233,3 +290,42 @@ class DatasetStore:
         cache.save(tmp)
         tmp.replace(path)
         return path
+
+    def cache_bytes(self, model_key: str, spec: DatasetSpec) -> bytes:
+        """Raw stored bytes of the ``(model_key, spec)`` cache (must exist)."""
+        return self.cache_path(model_key, spec).read_bytes()
+
+    def put_cache_bytes(self, model_key: str, spec: DatasetSpec,
+                        data: bytes) -> Path:
+        """Install pre-encoded cache bytes under ``(model_key, spec)``."""
+        return self._write_bytes(self.cache_path(model_key, spec), data)
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+    def prune(self, keep_fingerprints) -> list[Path]:
+        """Delete every stored artifact whose fingerprint is not kept.
+
+        Long-lived stores accumulate entries for retired settings,
+        subsample sizes and simulator versions (each fingerprint change
+        *adds* files, it never removes the stale ones).  ``prune`` walks
+        the ``datasets/`` and ``caches/`` directories, parses the
+        fingerprint out of each ``<name>-<fingerprint>.npz`` filename and
+        unlinks files whose fingerprint is not in *keep_fingerprints*
+        (leftover ``*.tmp.npz`` files from interrupted writes never parse
+        to a kept fingerprint and are collected too).  Returns the removed
+        paths.  Not safe against concurrent writers of the entries being
+        pruned.
+        """
+        keep = set(keep_fingerprints)
+        removed: list[Path] = []
+        for subdir in ("datasets", "caches"):
+            directory = self.root / subdir
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.npz")):
+                fingerprint = path.stem.rsplit("-", 1)[-1]
+                if fingerprint not in keep:
+                    path.unlink()
+                    removed.append(path)
+        return removed

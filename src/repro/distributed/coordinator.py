@@ -1,0 +1,530 @@
+"""TCP coordinator: leases cell batches to a worker fleet, requeues on death.
+
+:class:`Coordinator` owns one listening socket for the lifetime of a run
+(one CLI invocation, one test); each :meth:`execute` call activates one
+plan at a time, so a fleet of long-lived workers serves a whole sequence
+of experiments over the same connections.  Per-connection reader threads
+handle the request/reply protocol of :mod:`repro.distributed.protocol`;
+:meth:`execute` blocks in a condition-variable loop until every cell of
+the plan has a result (or a cell exhausts its retry budget).
+
+Fault tolerance
+---------------
+Work is handed out in small *leased* batches.  A lease is released when
+the worker returns its results; if the worker's connection drops (EOF,
+reset — a ``SIGKILL``'d process closes its sockets immediately) or its
+heartbeat goes silent for longer than ``heartbeat_timeout``, every
+unfinished cell of the lease is requeued at the front of the queue.  Each
+cell tolerates ``max_retries`` requeues; one cell exceeding the budget
+fails the whole plan with a hard error (a cell is deterministic, so
+repeated failure means the fleet — not the data — is broken).  A worker
+wrongly presumed dead may still return results later; completed-cell
+bookkeeping dedupes them, and because cells are pure either copy of a
+result is bit-identical.
+
+Store bootstrap
+---------------
+The coordinator snapshots the resolved dataset and every warmed
+analytical cache as raw ``.npz`` blobs (read from the parent store when
+present, encoded in memory otherwise) and serves them to workers whose
+``--store-dir`` misses the fingerprint, so cold workers download instead
+of re-simulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from collections import deque
+from pathlib import Path
+
+from repro.core.evaluation import CellResult
+from repro.datasets.store import _FORMAT_VERSION, DatasetStore, _simulator_versions
+from repro.distributed import protocol
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    Ack,
+    Batch,
+    CacheBlob,
+    ConnectionClosed,
+    DatasetBlob,
+    FetchCache,
+    FetchDataset,
+    GetBatch,
+    GetPlan,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    Idle,
+    NoPlan,
+    PlanAssignment,
+    PlanDone,
+    Reject,
+    Results,
+    Welcome,
+)
+
+__all__ = ["Coordinator"]
+
+
+class _WorkerInfo:
+    """Coordinator-side record of one connected worker."""
+
+    def __init__(self, conn, addr, worker_id: str, pid: int, now: float) -> None:
+        self.conn = conn
+        self.addr = addr
+        self.worker_id = worker_id
+        self.pid = pid
+        self.last_seen = now
+        self.lease: list = []
+        self.lease_plan_id: str | None = None
+
+
+class _Job:
+    """One plan's in-flight state: queue, completed results, retry counts."""
+
+    def __init__(self, plan, plan_id: str, cells: list,
+                 dataset_blob: bytes, cache_blobs: dict[str, bytes],
+                 store_ok: bool) -> None:
+        self.plan = plan
+        self.plan_id = plan_id
+        self.store_ok = store_ok
+        self.cells = cells
+        self.queue = deque(cells)
+        self.completed: dict[tuple, CellResult] = {}
+        self.retries: dict[tuple, int] = {}
+        self.dataset_blob = dataset_blob
+        self.cache_blobs = cache_blobs
+        self.failure: str | None = None
+
+    @property
+    def finished(self) -> bool:
+        return len(self.completed) == len(self.cells)
+
+
+class Coordinator:
+    """Serve :class:`ExperimentPlan` cells to a TCP worker fleet.
+
+    Parameters
+    ----------
+    bind:
+        ``(host, port)`` listen address; the default binds an ephemeral
+        loopback port (see :attr:`address`).  Bind a routable interface to
+        accept workers from other hosts — the protocol is pickle-based and
+        unauthenticated, so only on a trusted network.
+    heartbeat_timeout:
+        Seconds of silence after which a worker is presumed dead and its
+        leased cells are requeued.  Workers heartbeat every
+        ``heartbeat_interval`` (default 1s) even while computing, so the
+        timeout trades failover latency against false positives only.
+    batch_size:
+        Cells per lease.  Small batches bound both the requeue cost of a
+        dead worker and fleet idle time at the tail of a plan.
+    max_retries:
+        Requeue budget per cell; exceeding it fails the plan.
+    """
+
+    def __init__(self, bind: tuple[str, int] = ("127.0.0.1", 0), *,
+                 heartbeat_timeout: float = 15.0, batch_size: int = 4,
+                 max_retries: int = 3) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.heartbeat_timeout = heartbeat_timeout
+        self.batch_size = batch_size
+        self.max_retries = max_retries
+        self.coordinator_id = uuid.uuid4().hex[:12]
+        self.stats = {
+            "results_received": 0,
+            "duplicate_results": 0,
+            "requeued_cells": 0,
+            "workers_failed": 0,
+            "rejected_handshakes": 0,
+            "datasets_served": 0,
+            "caches_served": 0,
+        }
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._workers: dict[str, _WorkerInfo] = {}
+        self._job: _Job | None = None
+        self._closing = False
+        self._procs: list[subprocess.Popen] = []
+        self._threads: list[threading.Thread] = []
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(bind)
+        self._listener.listen(64)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fleet-accept", daemon=True)
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Public surface
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` the coordinator is listening on."""
+        return self._listener.getsockname()[:2]
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def spawn_local_workers(self, n: int, *, store_dir=None,
+                            cell_delay: float | None = None) -> list[subprocess.Popen]:
+        """Spawn *n* localhost worker processes connected to this coordinator.
+
+        The single-command convenience mode: ``--executor remote --jobs N``
+        without an external fleet.  The workers inherit the environment
+        plus a ``PYTHONPATH`` entry for this package, so they import the
+        same code whether it is installed or run from a source tree.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        host, port = self.address
+        env = os.environ.copy()
+        src_root = str(Path(__file__).resolve().parent.parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+        cmd = [sys.executable, "-m", "repro.distributed.worker",
+               "--connect", f"{host}:{port}"]
+        if store_dir is not None:
+            cmd += ["--store-dir", str(store_dir)]
+        if cell_delay is not None:
+            cmd += ["--cell-delay", str(cell_delay)]
+        procs = [subprocess.Popen(cmd, env=env) for _ in range(n)]
+        with self._lock:
+            self._procs.extend(procs)
+        return procs
+
+    def worker_snapshot(self) -> list[dict]:
+        """Connected workers and their current lease sizes (monitoring/tests)."""
+        with self._lock:
+            return [
+                {"worker_id": info.worker_id, "pid": info.pid,
+                 "addr": info.addr, "lease": len(info.lease)}
+                for info in self._workers.values()
+            ]
+
+    def execute(self, plan, cells: list, dataset, caches: dict, *,
+                store: DatasetStore | None = None,
+                dataset_override: bool = False) -> list[CellResult]:
+        """Run every cell of *plan* on the fleet; results in plan order.
+
+        *dataset* and *caches* are the parent-resolved plan state (the
+        same objects the other executors use); *store*, when given, is the
+        parent's persistent store whose on-disk artifacts back the
+        bootstrap blobs (otherwise the blobs are encoded in memory).
+
+        *dataset_override* marks *dataset* as an explicit content
+        override (the test/notebook path): its bytes have no registered
+        fingerprint, so the plan id is extended with a content digest
+        (distinct worker memo entry) and workers are told to bypass their
+        persistent stores and always fetch the coordinator's blobs.
+        """
+        plan_id = plan.fingerprint
+        if dataset_override:
+            digest = hashlib.sha256(
+                dataset.X.tobytes() + dataset.y.tobytes()).hexdigest()[:16]
+            plan_id = f"{plan_id}-override-{digest}"
+            store = None
+        job = _Job(plan, plan_id, cells,
+                   self._dataset_blob(plan, dataset, store),
+                   self._cache_blobs(plan, caches, store),
+                   store_ok=not dataset_override)
+        with self._cond:
+            if self._closing:
+                raise RuntimeError("coordinator is closed")
+            if self._job is not None:
+                raise RuntimeError("coordinator is already executing a plan")
+            self._job = job
+            self._cond.notify_all()
+        try:
+            with self._cond:
+                while job.failure is None and not job.finished:
+                    self._expire_silent_workers()
+                    self._check_fleet_alive(job)
+                    self._cond.wait(timeout=0.1)
+        finally:
+            with self._cond:
+                self._job = None
+                self._cond.notify_all()
+        if job.failure is not None:
+            raise RuntimeError(f"plan {plan.name!r} failed on the fleet: {job.failure}")
+        return [job.completed[cell.key] for cell in cells]
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Shut the fleet down: Goodbye to polling workers, reap local ones."""
+        with self._cond:
+            if self._closing:
+                return
+            self._closing = True
+            self._cond.notify_all()
+            procs = list(self._procs)
+        deadline = time.monotonic() + timeout
+        # Local workers poll GetPlan between plans and receive Goodbye on
+        # the next poll; give them the grace window, then escalate.
+        for proc in procs:
+            try:
+                proc.wait(timeout=max(0.0, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            workers = list(self._workers.values())
+        for info in workers:
+            self._sever(info)
+        self._accept_thread.join(timeout=2.0)
+        for thread in list(self._threads):
+            thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------------ #
+    # Blob snapshots
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _dataset_blob(plan, dataset, store: DatasetStore | None) -> bytes:
+        if store is not None and store.dataset_path(plan.dataset).exists():
+            return store.dataset_bytes(plan.dataset)
+        return DatasetStore.encode_dataset(dataset)
+
+    @staticmethod
+    def _cache_blobs(plan, caches: dict, store: DatasetStore | None) -> dict[str, bytes]:
+        blobs: dict[str, bytes] = {}
+        for key, cache in caches.items():
+            if store is not None and store.cache_path(key, plan.dataset).exists():
+                blobs[key] = store.cache_bytes(key, plan.dataset)
+                continue
+            buf = io.BytesIO()
+            cache.save(buf)
+            blobs[key] = buf.getvalue()
+        return blobs
+
+    # ------------------------------------------------------------------ #
+    # Fleet liveness
+    # ------------------------------------------------------------------ #
+    def _expire_silent_workers(self) -> None:
+        """Requeue and sever workers whose heartbeat went silent (lock held)."""
+        now = time.monotonic()
+        for info in list(self._workers.values()):
+            if now - info.last_seen > self.heartbeat_timeout:
+                self._workers.pop(info.worker_id, None)
+                self._requeue_lease(info, reason="heartbeat timeout")
+                self._sever(info)
+
+    def _check_fleet_alive(self, job: _Job) -> None:
+        """Fail fast when a purely-local fleet has no survivors (lock held).
+
+        An external fleet (workers we did not spawn) may legitimately have
+        nobody connected yet, so the check only fires when every spawned
+        local worker has exited and no connection remains.
+        """
+        if self._workers or not self._procs:
+            return
+        if all(proc.poll() is not None for proc in self._procs):
+            job.failure = ("all local fleet workers exited "
+                           f"({len(self._procs)} spawned, none connected)")
+            self._cond.notify_all()
+
+    @staticmethod
+    def _sever(info: _WorkerInfo) -> None:
+        try:
+            info.conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            info.conn.close()
+        except OSError:
+            pass
+
+    def _requeue_lease(self, info: _WorkerInfo, *, reason: str) -> None:
+        """Return a dead worker's unfinished leased cells to the queue (lock held)."""
+        job = self._job
+        lease, info.lease = info.lease, []
+        if job is None or not lease or info.lease_plan_id != job.plan_id:
+            return
+        self.stats["workers_failed"] += 1
+        for cell in reversed(lease):
+            if cell.key in job.completed:
+                continue
+            attempts = job.retries.get(cell.key, 0) + 1
+            job.retries[cell.key] = attempts
+            if attempts > self.max_retries:
+                job.failure = (
+                    f"cell {cell.key} requeued {attempts} times "
+                    f"(> max_retries={self.max_retries}); last worker "
+                    f"{info.worker_id} at {info.addr} died: {reason}")
+            else:
+                job.queue.appendleft(cell)
+                self.stats["requeued_cells"] += 1
+        self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn, addr),
+                name=f"fleet-conn-{addr[0]}:{addr[1]}", daemon=True)
+            with self._lock:
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn, addr) -> None:
+        info: _WorkerInfo | None = None
+        try:
+            while True:
+                message = protocol.recv_message(conn)
+                now = time.monotonic()
+                if isinstance(message, Hello):
+                    info = self._handshake(conn, addr, message, now)
+                    if info is None:
+                        return
+                    continue
+                if info is None:
+                    protocol.send_message(
+                        conn, Reject("handshake required before any other message"))
+                    return
+                with self._lock:
+                    info.last_seen = now
+                if isinstance(message, Heartbeat):
+                    continue
+                protocol.send_message(conn, self._reply(info, message))
+        except (ConnectionClosed, ConnectionError, OSError):
+            pass
+        finally:
+            with self._cond:
+                if info is not None:
+                    # Pop only if the registry still maps the id to *this*
+                    # connection — a reconnect may have replaced it.
+                    if self._workers.get(info.worker_id) is info:
+                        self._workers.pop(info.worker_id)
+                    self._requeue_lease(info, reason="connection lost")
+                    self._cond.notify_all()
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._threads = [t for t in self._threads
+                                 if t is not threading.current_thread()]
+
+    def _handshake(self, conn, addr, hello: Hello, now: float) -> _WorkerInfo | None:
+        reason = None
+        if hello.protocol_version != PROTOCOL_VERSION:
+            reason = (f"protocol version mismatch: worker speaks "
+                      f"{hello.protocol_version}, coordinator {PROTOCOL_VERSION}")
+        elif hello.store_format_version != _FORMAT_VERSION:
+            reason = (f"store fingerprint format mismatch: worker uses "
+                      f"version {hello.store_format_version}, coordinator "
+                      f"{_FORMAT_VERSION} — artifacts would not be shareable")
+        elif hello.simulator_versions != _simulator_versions():
+            # Fingerprints fold in the simulator versions: a skewed worker
+            # would store the coordinator's blobs under keys its own local
+            # runs compute differently, silently serving stale data later.
+            reason = (f"simulator version mismatch: worker has "
+                      f"{hello.simulator_versions!r}, coordinator "
+                      f"{_simulator_versions()!r} — fingerprints would not agree")
+        if reason is not None:
+            with self._lock:
+                self.stats["rejected_handshakes"] += 1
+            protocol.send_message(conn, Reject(reason))
+            return None
+        info = _WorkerInfo(conn, addr, hello.worker_id, hello.pid, now)
+        with self._cond:
+            # A worker restarted with a stable --worker-id may reconnect
+            # while its old connection lingers: requeue the old lease and
+            # sever it, so the id maps to exactly one live connection.
+            old = self._workers.get(hello.worker_id)
+            if old is not None:
+                self._requeue_lease(old, reason="worker id reconnected")
+                self._sever(old)
+            self._workers[hello.worker_id] = info
+            self._cond.notify_all()
+        protocol.send_message(conn, Welcome(self.coordinator_id))
+        return info
+
+    def _reply(self, info: _WorkerInfo, message):
+        """Compute the reply to one worker request (takes the lock itself)."""
+        with self._cond:
+            job = self._job
+            if isinstance(message, GetPlan):
+                if self._closing:
+                    return Goodbye()
+                if job is not None and job.failure is None and not job.finished:
+                    return PlanAssignment(job.plan_id, job.plan, job.store_ok)
+                return NoPlan()
+            if isinstance(message, FetchDataset):
+                if job is None or job.plan_id != message.plan_id:
+                    return PlanDone(message.plan_id)
+                self.stats["datasets_served"] += 1
+                return DatasetBlob(job.plan_id, job.dataset_blob)
+            if isinstance(message, FetchCache):
+                if job is None or job.plan_id != message.plan_id:
+                    return PlanDone(message.plan_id)
+                self.stats["caches_served"] += 1
+                return CacheBlob(job.plan_id, message.model_key,
+                                 job.cache_blobs[message.model_key])
+            if isinstance(message, GetBatch):
+                return self._lease_batch(info, job, message)
+            if isinstance(message, Results):
+                self._record_results(info, job, message)
+                return Ack()
+        raise protocol.ProtocolError(
+            f"unexpected message {type(message).__name__} from {info.worker_id}")
+
+    def _lease_batch(self, info: _WorkerInfo, job: _Job | None, message: GetBatch):
+        if job is None or job.plan_id != message.plan_id or job.failure is not None:
+            return PlanDone(message.plan_id)
+        lease: list = []
+        while job.queue and len(lease) < self.batch_size:
+            cell = job.queue.popleft()
+            # A requeued cell may have been completed after all by a
+            # worker that was wrongly presumed dead; skip stale copies.
+            if cell.key in job.completed:
+                continue
+            lease.append(cell)
+        if lease:
+            info.lease = lease
+            info.lease_plan_id = job.plan_id
+            return Batch(job.plan_id, tuple(lease))
+        if job.finished:
+            return PlanDone(job.plan_id)
+        return Idle()
+
+    def _record_results(self, info: _WorkerInfo, job: _Job | None,
+                        message: Results) -> None:
+        if job is None or job.plan_id != message.plan_id:
+            return  # stale results from a previous plan: ack and discard
+        for result in message.results:
+            if result.key in job.completed:
+                self.stats["duplicate_results"] += 1
+            else:
+                job.completed[result.key] = result
+                self.stats["results_received"] += 1
+        if info.lease_plan_id == message.plan_id:
+            info.lease = []
+        self._cond.notify_all()

@@ -1,0 +1,303 @@
+"""Versioned wire protocol of the distributed worker fleet.
+
+Framing
+-------
+Every message is one *frame*: an 8-byte big-endian length prefix followed
+by that many bytes of pickle payload.  Frames are written atomically under
+a caller-supplied lock (the worker's heartbeat thread shares its socket
+with the request loop), and :func:`recv_message` reads exactly one frame,
+so the stream never needs resynchronization.
+
+Message flow
+------------
+The conversation is worker-driven: apart from the reply to each request,
+the coordinator never pushes anything, so a worker that sends a request
+reads exactly one reply (heartbeats are fire-and-forget in the other
+direction and get no reply).
+
+1. handshake — :class:`Hello` (protocol version, store-fingerprint format
+   version, worker identity) answered by :class:`Welcome` or, on any
+   version mismatch, :class:`Reject` followed by a close;
+2. plan manifest — :class:`GetPlan` answered by :class:`PlanAssignment`
+   (the full :class:`~repro.experiments.plan.ExperimentPlan`, which is a
+   frozen dataclass of primitives and pickles unchanged), :class:`NoPlan`
+   (poll again later) or :class:`Goodbye` (fleet shutting down);
+3. store bootstrap — :class:`FetchDataset` / :class:`FetchCache` answered
+   by :class:`DatasetBlob` / :class:`CacheBlob` (raw ``.npz`` bytes), so a
+   cold worker store downloads artifacts instead of re-simulating;
+4. work loop — :class:`GetBatch` answered by :class:`Batch`,
+   :class:`Idle` (cells in flight elsewhere, poll again) or
+   :class:`PlanDone`; :class:`Results` answered by :class:`Ack`;
+5. liveness — :class:`Heartbeat`, sent on an interval by a worker-side
+   daemon thread even while cells compute.
+
+Trust model
+-----------
+Payloads are **pickle**: the protocol authenticates nothing and must only
+run on trusted networks (the coordinator binds loopback by default).
+This mirrors the trust model of ``multiprocessing``'s own socket
+transport that the single-host ``process`` executor already relies on.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ConnectionClosed",
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+    "parse_address",
+    "Hello",
+    "Welcome",
+    "Reject",
+    "GetPlan",
+    "PlanAssignment",
+    "NoPlan",
+    "Goodbye",
+    "FetchDataset",
+    "DatasetBlob",
+    "FetchCache",
+    "CacheBlob",
+    "GetBatch",
+    "Batch",
+    "Idle",
+    "PlanDone",
+    "Results",
+    "Ack",
+    "Heartbeat",
+]
+
+#: Bump on any incompatible change to the message set or framing; the
+#: HELLO handshake rejects workers whose version differs.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame (a defensive cap, far above any real
+#: dataset blob; a corrupt or foreign length prefix fails fast instead of
+#: attempting a multi-gigabyte read).
+MAX_FRAME_BYTES = 1 << 31
+
+_HEADER = struct.Struct(">Q")
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection mid-frame (or before one started)."""
+
+
+class ProtocolError(RuntimeError):
+    """The peer violated the framing or message protocol."""
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(f"peer closed with {remaining} of {n} bytes unread")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message, lock: threading.Lock | None = None) -> None:
+    """Pickle *message* and write it as one length-prefixed frame.
+
+    With *lock* the header+payload write is atomic with respect to other
+    senders on the same socket (the worker's heartbeat thread).
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    frame = _HEADER.pack(len(payload)) + payload
+    if lock is not None:
+        with lock:
+            sock.sendall(frame)
+    else:
+        sock.sendall(frame)
+
+
+def recv_message(sock: socket.socket):
+    """Read exactly one frame and unpickle it.
+
+    Raises :class:`ConnectionClosed` on EOF and :class:`ProtocolError` on
+    an implausible length prefix.
+    """
+    (length,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    return pickle.loads(_recv_exactly(sock, length))
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` string into a socket address tuple."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must be HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+# --------------------------------------------------------------------------- #
+# Handshake
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Hello:
+    """Worker → coordinator: identity plus the compatibility versions.
+
+    ``store_format_version`` (the worker's
+    :data:`repro.datasets.store._FORMAT_VERSION`) and
+    ``simulator_versions`` (its
+    :func:`~repro.datasets.store._simulator_versions` token) must both
+    match the coordinator's: they are fingerprint ingredients, so a skew
+    would let bootstrap blobs land under keys the other side never looks
+    up — or worse, let one side's store serve the other side's stale
+    simulator output.
+    """
+
+    protocol_version: int
+    store_format_version: int
+    worker_id: str
+    pid: int
+    simulator_versions: str = ""
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Coordinator → worker: handshake accepted."""
+
+    coordinator_id: str
+
+
+@dataclass(frozen=True)
+class Reject:
+    """Coordinator → worker: handshake refused (version mismatch); closes."""
+
+    reason: str
+
+
+# --------------------------------------------------------------------------- #
+# Plan manifests
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GetPlan:
+    worker_id: str
+
+
+@dataclass(frozen=True)
+class PlanAssignment:
+    """The plan manifest: the full plan plus its content-hash identity.
+
+    ``plan_id`` (:attr:`ExperimentPlan.fingerprint`, extended with a
+    content digest when the coordinator runs an explicit dataset
+    override) scopes every later message, so results or fetches from a
+    worker still chewing on a previous plan are recognized as stale
+    instead of corrupting the current one.  ``store_ok`` is ``False``
+    when the plan runs on an override dataset whose content has no
+    registered fingerprint: the worker must then fetch the blobs and keep
+    them out of its persistent store.
+    """
+
+    plan_id: str
+    plan: object
+    store_ok: bool = True
+
+
+@dataclass(frozen=True)
+class NoPlan:
+    """No plan is active; poll again after *delay* seconds."""
+
+    delay: float = 0.2
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """The fleet is shutting down; the worker should exit cleanly."""
+
+    reason: str = "shutdown"
+
+
+# --------------------------------------------------------------------------- #
+# Store bootstrap
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FetchDataset:
+    plan_id: str
+
+
+@dataclass(frozen=True)
+class DatasetBlob:
+    """Raw ``.npz`` bytes of the plan's resolved dataset."""
+
+    plan_id: str
+    data: bytes = field(repr=False)
+
+
+@dataclass(frozen=True)
+class FetchCache:
+    plan_id: str
+    model_key: str
+
+
+@dataclass(frozen=True)
+class CacheBlob:
+    """Raw ``.npz`` bytes of one warmed analytical-prediction cache."""
+
+    plan_id: str
+    model_key: str
+    data: bytes = field(repr=False)
+
+
+# --------------------------------------------------------------------------- #
+# The work loop
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GetBatch:
+    plan_id: str
+    worker_id: str
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A leased batch of cells; the lease is released by :class:`Results`
+    or requeued when the worker dies."""
+
+    plan_id: str
+    cells: tuple
+
+
+@dataclass(frozen=True)
+class Idle:
+    """Queue empty but results still outstanding; poll again after *delay*."""
+
+    delay: float = 0.05
+
+
+@dataclass(frozen=True)
+class PlanDone:
+    """The plan (by id) is complete or no longer active."""
+
+    plan_id: str
+
+
+@dataclass(frozen=True)
+class Results:
+    plan_id: str
+    worker_id: str
+    results: tuple
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Coordinator → worker: results recorded."""
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Fire-and-forget liveness signal; resets the coordinator's lease timer."""
+
+    worker_id: str

@@ -1,0 +1,298 @@
+"""Fleet worker: pulls cell batches from a coordinator, streams results back.
+
+Runnable as ``python -m repro.distributed.worker --connect HOST:PORT
+[--store-dir DIR]`` (also exposed as ``python -m repro.experiments
+fleet-worker ...``).  A worker is a long-lived client: it serves every
+plan the coordinator runs over one connection and exits when the
+coordinator says :class:`~repro.distributed.protocol.Goodbye` or goes
+away.
+
+Per-plan state follows the same memo discipline as the process executor:
+the dataset, warmed analytical caches and series factories are resolved
+once per plan fingerprint and reused across batches.  Resolution never
+simulates: a worker with a ``--store-dir`` loads artifacts whose
+fingerprint file exists and *downloads* the rest from the coordinator
+(saving them, so the store warms for future runs); a store-less worker
+keeps the downloaded blobs in memory.
+
+A daemon thread heartbeats on an interval even while cells compute, so
+the coordinator can tell "slow" from "dead" without bounding cell cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import os
+import socket
+import sys
+import threading
+import time
+import uuid
+
+from repro.analytical.cache import AnalyticalPredictionCache
+from repro.core.evaluation import evaluate_cell
+from repro.datasets.store import _FORMAT_VERSION, DatasetStore, _simulator_versions
+from repro.distributed import protocol
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    Batch,
+    CacheBlob,
+    ConnectionClosed,
+    DatasetBlob,
+    FetchCache,
+    FetchDataset,
+    GetBatch,
+    GetPlan,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    Idle,
+    NoPlan,
+    PlanAssignment,
+    PlanDone,
+    Reject,
+    Results,
+    parse_address,
+)
+
+__all__ = ["FleetWorker", "HandshakeRejected", "main"]
+
+
+class HandshakeRejected(RuntimeError):
+    """The coordinator refused the HELLO handshake (version mismatch)."""
+
+
+class _StalePlan(Exception):
+    """The coordinator moved on from the plan being bootstrapped."""
+
+
+class FleetWorker:
+    """One fleet worker: connect, handshake, serve plans until Goodbye.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` of the coordinator.
+    store:
+        Optional persistent :class:`DatasetStore` (or directory path).
+        Artifacts present under the plan's fingerprint are loaded from
+        disk; missing ones are downloaded from the coordinator and saved.
+        Without a store the downloads stay in memory.
+    connect_timeout:
+        Seconds to keep retrying the initial connection (workers are
+        typically started before, or racing with, the coordinator).
+    heartbeat_interval:
+        Seconds between liveness heartbeats; must be well under the
+        coordinator's ``heartbeat_timeout``.
+    cell_delay:
+        Artificial per-cell sleep in seconds (fault-injection knob for
+        tests and demos; defaults to ``$REPRO_FLEET_CELL_DELAY`` or 0).
+    """
+
+    def __init__(self, address: tuple[str, int], *, store=None,
+                 worker_id: str | None = None, connect_timeout: float = 20.0,
+                 heartbeat_interval: float = 1.0,
+                 cell_delay: float | None = None) -> None:
+        self.address = address
+        self.store = DatasetStore(store) if isinstance(store, (str, os.PathLike)) else store
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}")
+        self.connect_timeout = connect_timeout
+        self.heartbeat_interval = heartbeat_interval
+        if cell_delay is None:
+            cell_delay = float(os.environ.get("REPRO_FLEET_CELL_DELAY", "0") or 0)
+        self.cell_delay = cell_delay
+        self.plans_served = 0
+        self.cells_evaluated = 0
+        self._send_lock = threading.Lock()
+        self._memo: dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def run(self) -> int:
+        """Serve the coordinator until Goodbye (0) or a failed start (1)."""
+        try:
+            sock = self._connect()
+        except OSError as exc:
+            print(f"fleet worker {self.worker_id}: cannot reach coordinator at "
+                  f"{self.address[0]}:{self.address[1]}: {exc}", file=sys.stderr)
+            return 1
+        stop_heartbeat = threading.Event()
+        try:
+            self._handshake(sock)
+            heartbeat = threading.Thread(
+                target=self._heartbeat_loop, args=(sock, stop_heartbeat),
+                name="fleet-heartbeat", daemon=True)
+            heartbeat.start()
+            while True:
+                reply = self._request(sock, GetPlan(self.worker_id))
+                if isinstance(reply, Goodbye):
+                    return 0
+                if isinstance(reply, NoPlan):
+                    time.sleep(reply.delay)
+                    continue
+                if isinstance(reply, PlanAssignment):
+                    try:
+                        self._serve_plan(sock, reply)
+                    except _StalePlan:
+                        continue
+        except HandshakeRejected as exc:
+            print(f"fleet worker {self.worker_id}: rejected: {exc}", file=sys.stderr)
+            return 2
+        except (ConnectionClosed, ConnectionError, OSError):
+            # The coordinator vanished — treat like Goodbye: nothing left
+            # to serve (leased cells are requeued on its side if it lives).
+            return 0
+        finally:
+            stop_heartbeat.set()
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _connect(self) -> socket.socket:
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            try:
+                return socket.create_connection(self.address, timeout=None)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.1)
+
+    def _handshake(self, sock: socket.socket) -> None:
+        reply = self._request(sock, Hello(
+            protocol_version=PROTOCOL_VERSION,
+            store_format_version=_FORMAT_VERSION,
+            worker_id=self.worker_id, pid=os.getpid(),
+            simulator_versions=_simulator_versions()))
+        if isinstance(reply, Reject):
+            raise HandshakeRejected(reply.reason)
+
+    def _heartbeat_loop(self, sock: socket.socket, stop: threading.Event) -> None:
+        beat = Heartbeat(self.worker_id)
+        while not stop.wait(self.heartbeat_interval):
+            try:
+                protocol.send_message(sock, beat, self._send_lock)
+            except OSError:
+                return
+
+    def _request(self, sock: socket.socket, message):
+        """Send one request and read its single reply.
+
+        The coordinator only ever writes replies (heartbeats go the other
+        way and are reply-less), so request/reply pairing is positional.
+        """
+        protocol.send_message(sock, message, self._send_lock)
+        return protocol.recv_message(sock)
+
+    # ------------------------------------------------------------------ #
+    # Plan serving
+    # ------------------------------------------------------------------ #
+    def _serve_plan(self, sock: socket.socket, assignment: PlanAssignment) -> None:
+        dataset, factories = self._ensure_state(sock, assignment)
+        plan_id = assignment.plan_id
+        self.plans_served += 1
+        while True:
+            reply = self._request(sock, GetBatch(plan_id, self.worker_id))
+            if isinstance(reply, PlanDone):
+                return
+            if isinstance(reply, Idle):
+                time.sleep(reply.delay)
+                continue
+            if not isinstance(reply, Batch):
+                raise protocol.ProtocolError(
+                    f"expected a batch, got {type(reply).__name__}")
+            results = []
+            for cell in reply.cells:
+                if self.cell_delay:
+                    time.sleep(self.cell_delay)
+                results.append(evaluate_cell(
+                    cell, factories[cell.factory_key], dataset))
+            self.cells_evaluated += len(results)
+            self._request(sock, Results(plan_id, self.worker_id, tuple(results)))
+
+    def _ensure_state(self, sock: socket.socket, assignment: PlanAssignment):
+        """Dataset + series factories for the plan, memoized by fingerprint."""
+        state = self._memo.get(assignment.plan_id)
+        if state is not None:
+            return state
+        from repro.experiments.plan import build_analytical
+        from repro.experiments.scheduler import _series_factories
+
+        plan = assignment.plan
+        spec = plan.dataset
+        # store_ok is False when the coordinator runs an explicit dataset
+        # override: its content has no registered fingerprint, so the
+        # local store must be bypassed in both directions.
+        store = self.store if assignment.store_ok else None
+        if store is not None and store.dataset_path(spec).exists():
+            dataset = store.get(spec)
+        else:
+            blob = self._fetch(sock, FetchDataset(assignment.plan_id), DatasetBlob)
+            if store is not None:
+                store.put_dataset_bytes(spec, blob.data)
+                dataset = store.get(spec)
+            else:
+                dataset = DatasetStore.decode_dataset_bytes(blob.data)
+        caches = {}
+        for key in plan.cache_keys():
+            model = build_analytical(key)
+            if store is not None and store.cache_path(key, spec).exists():
+                caches[key] = store.load_analytical_cache(
+                    key, spec, model, dataset.feature_names)
+                continue
+            blob = self._fetch(
+                sock, FetchCache(assignment.plan_id, key), CacheBlob)
+            if store is not None:
+                store.put_cache_bytes(key, spec, blob.data)
+                caches[key] = store.load_analytical_cache(
+                    key, spec, model, dataset.feature_names)
+            else:
+                caches[key] = AnalyticalPredictionCache.load(
+                    io.BytesIO(blob.data), model, dataset.feature_names)
+        state = (dataset, _series_factories(plan, dataset, caches))
+        self._memo[assignment.plan_id] = state
+        return state
+
+    def _fetch(self, sock: socket.socket, request, expected: type):
+        reply = self._request(sock, request)
+        if isinstance(reply, PlanDone):
+            raise _StalePlan(reply.plan_id)
+        if not isinstance(reply, expected):
+            raise protocol.ProtocolError(
+                f"expected {expected.__name__}, got {type(reply).__name__}")
+        return reply
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distributed.worker",
+        description="Fleet worker: evaluate experiment cells for a coordinator",
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address")
+    parser.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="persistent dataset/cache store; missing artifacts "
+                             "are bootstrapped from the coordinator, never re-simulated")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable identity (default: host-pid-random)")
+    parser.add_argument("--connect-timeout", type=float, default=20.0, metavar="S",
+                        help="seconds to retry the initial connection (default 20)")
+    parser.add_argument("--heartbeat-interval", type=float, default=1.0, metavar="S",
+                        help="seconds between liveness heartbeats (default 1)")
+    parser.add_argument("--cell-delay", type=float, default=None, metavar="S",
+                        help="artificial per-cell sleep (fault-injection/testing; "
+                             "default $REPRO_FLEET_CELL_DELAY or 0)")
+    args = parser.parse_args(argv)
+    worker = FleetWorker(
+        parse_address(args.connect), store=args.store_dir,
+        worker_id=args.worker_id, connect_timeout=args.connect_timeout,
+        heartbeat_interval=args.heartbeat_interval, cell_delay=args.cell_delay)
+    return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

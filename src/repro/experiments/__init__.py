@@ -18,39 +18,39 @@ by an optional persistent dataset/cache store
 (:mod:`repro.datasets.store`).
 """
 
-from repro.experiments.runner import (
-    ExperimentResult,
-    ExperimentSettings,
-    run_experiment,
-    run_all,
-    EXPERIMENTS,
+from repro.experiments.ablations import (
+    ablation_aggregation,
+    ablation_analytical_quality,
+    ablation_ml_backend,
+    ablation_sampling_strategy,
+    ablation_tree_method,
 )
-from repro.experiments.plan import (
-    ExperimentPlan,
-    FactorySpec,
-    SeriesSpec,
-    experiment_plan,
-    expand_cells,
-    PLANNED_EXPERIMENTS,
-)
-from repro.experiments.scheduler import EXECUTORS, run_plan
 from repro.experiments.figures import (
-    figure3_stencil,
+    analytical_accuracy,
     figure3_fmm,
+    figure3_stencil,
     figure5,
     figure6,
     figure7,
     figure8,
-    analytical_accuracy,
 )
-from repro.experiments.ablations import (
-    ablation_aggregation,
-    ablation_analytical_quality,
-    ablation_sampling_strategy,
-    ablation_ml_backend,
-    ablation_tree_method,
+from repro.experiments.plan import (
+    PLANNED_EXPERIMENTS,
+    ExperimentPlan,
+    FactorySpec,
+    SeriesSpec,
+    expand_cells,
+    experiment_plan,
 )
 from repro.experiments.reporting import format_curves, format_result, results_to_markdown
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ExperimentSettings,
+    run_all,
+    run_experiment,
+)
+from repro.experiments.scheduler import EXECUTORS, run_plan
 
 __all__ = [
     "ExperimentResult",

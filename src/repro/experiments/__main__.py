@@ -2,16 +2,32 @@
 
 Options
 -------
-``--quick``      use the cheap settings (small ensembles, subsampled datasets)
-``--full``       use the high-fidelity settings
-``--executor``   how to dispatch learning-curve cells: ``serial``, ``thread``
-                 or ``process`` — results are bit-identical; defaults to
-                 ``process`` when ``--jobs`` > 1 and ``serial`` otherwise
-``--jobs``       worker count for the thread/process executors (``-1`` = CPUs)
-``--store-dir``  persistent dataset/cache store directory: datasets are
-                 simulated and analytical caches warmed at most once, then
-                 reloaded by later invocations and worker processes
-``names``        experiment names (default: all; see ``EXPERIMENTS``)
+``--quick``       use the cheap settings (small ensembles, subsampled datasets)
+``--full``        use the high-fidelity settings
+``--executor``    how to dispatch learning-curve cells: ``serial``, ``thread``,
+                  ``process`` or ``remote`` (a TCP worker fleet) — results are
+                  bit-identical; defaults to ``process`` when ``--jobs`` > 1
+                  and ``serial`` otherwise
+``--jobs``        worker count for the thread/process executors (``-1`` = CPUs);
+                  for ``remote``, the size of the spawned localhost fleet
+``--bind``        remote executor: listen address for *external* fleet workers
+                  (``HOST:PORT``; default is a loopback ephemeral port)
+``--workers``     remote executor: spawn N localhost fleet workers (default:
+                  ``--jobs`` when ``--bind`` is not given, else 0)
+``--store-dir``   persistent dataset/cache store directory: datasets are
+                  simulated and analytical caches warmed at most once, then
+                  reloaded by later invocations and worker processes
+``--store-prune`` after the run, delete store entries whose fingerprint none
+                  of the executed experiments uses (stale settings, old
+                  simulator versions)
+``names``         experiment names (default: all; see ``EXPERIMENTS``)
+
+Fleet workers
+-------------
+``python -m repro.experiments fleet-worker --connect HOST:PORT
+[--store-dir DIR]`` starts a worker process for a ``--executor remote
+--bind`` coordinator on this or any other host (an alias for
+``python -m repro.distributed.worker``; see there for all options).
 """
 
 from __future__ import annotations
@@ -25,6 +41,12 @@ from repro.experiments.scheduler import EXECUTORS
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "fleet-worker":
+        from repro.distributed.worker import main as worker_main
+
+        return worker_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the figures of 'Learning with Analytical Models'",
@@ -38,9 +60,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="cell executor (results are bit-identical across "
                              "executors; default: process when --jobs > 1, else serial)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="workers for the thread/process executors (-1 = CPU count)")
+                        help="workers for the thread/process executors (-1 = CPU "
+                             "count); local fleet size for --executor remote")
+    parser.add_argument("--bind", default=None, metavar="HOST:PORT",
+                        help="remote executor: accept external fleet workers on "
+                             "this address (start them with the fleet-worker "
+                             "subcommand)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="remote executor: spawn N localhost fleet workers "
+                             "(default: --jobs without --bind, 0 with it)")
     parser.add_argument("--store-dir", default=None, metavar="DIR",
                         help="persistent dataset/analytical-cache store directory")
+    parser.add_argument("--store-prune", action="store_true",
+                        help="after the run, delete store entries not used by "
+                             "the executed experiments (requires --store-dir)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -52,7 +85,14 @@ def main(argv: list[str] | None = None) -> int:
 
     executor = args.executor
     if executor is None:
-        executor = "serial" if args.jobs == 1 else "process"
+        if args.bind is not None or args.workers is not None:
+            executor = "remote"
+        else:
+            executor = "serial" if args.jobs == 1 else "process"
+    if executor != "remote" and (args.bind is not None or args.workers is not None):
+        parser.error("--bind/--workers require --executor remote")
+    if args.store_prune and args.store_dir is None:
+        parser.error("--store-prune requires --store-dir")
 
     store = None
     if args.store_dir is not None:
@@ -60,11 +100,53 @@ def main(argv: list[str] | None = None) -> int:
 
         store = DatasetStore(args.store_dir)
 
-    for name in args.names:
-        result = run_experiment(name, settings=settings, executor=executor,
-                                jobs=args.jobs, store=store)
-        print(format_result(result))
-        print()
+    fleet = None
+    if executor == "remote":
+        from repro.distributed.coordinator import Coordinator
+        from repro.distributed.protocol import parse_address
+        from repro.experiments.scheduler import _resolve_jobs
+
+        bind = ("127.0.0.1", 0) if args.bind is None else parse_address(args.bind)
+        fleet = Coordinator(bind=bind)
+        if args.bind is not None:
+            host, port = fleet.address
+            # A wildcard bind address is not connectable from other hosts;
+            # tell workers to use this machine's name instead.
+            connect_host = host
+            if host in ("0.0.0.0", "::"):
+                import socket as _socket
+
+                connect_host = _socket.gethostname()
+            print(f"fleet coordinator listening on {host}:{port} "
+                  f"(connect workers with: python -m repro.experiments "
+                  f"fleet-worker --connect {connect_host}:{port})")
+        n_local = args.workers
+        if n_local is None:
+            n_local = 0 if args.bind is not None else _resolve_jobs(args.jobs)
+        if n_local:
+            fleet.spawn_local_workers(n_local, store_dir=args.store_dir)
+
+    try:
+        for name in args.names:
+            result = run_experiment(name, settings=settings, executor=executor,
+                                    jobs=args.jobs, store=store, fleet=fleet)
+            print(format_result(result))
+            print()
+    finally:
+        if fleet is not None:
+            fleet.close()
+
+    if args.store_prune:
+        from repro.experiments.plan import experiment_plan
+
+        keep = set()
+        for name in args.names:
+            plan = experiment_plan(name, settings)
+            if plan is not None:
+                keep.add(plan.dataset.fingerprint)
+        removed = store.prune(keep)
+        print(f"store prune: kept {len(keep)} fingerprint(s), "
+              f"removed {len(removed)} file(s)")
     return 0
 
 

@@ -28,8 +28,8 @@ import numpy as np
 
 from repro.analytical import AnalyticalPredictionCache, StencilAnalyticalModel
 from repro.core.evaluation import LearningCurve, LearningCurvePoint
-from repro.core.hybrid import HybridPerformanceModel
 from repro.core.features import PerformanceDataset
+from repro.core.hybrid import HybridPerformanceModel
 from repro.datasets import blocked_small_grid_dataset
 from repro.datasets.sampling import latin_hypercube_indices, uniform_sample_indices
 from repro.experiments.plan import BlockingBlindStencilModel, ConstantAnalyticalModel

@@ -19,6 +19,9 @@ calling their function directly.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
 
 from repro.analytical import (
@@ -199,6 +202,20 @@ class ExperimentPlan:
     min_train: int = 3
     analytical: str | None = None
     extras: tuple[str, ...] = ()
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash identifying the plan (the fleet protocol's plan id).
+
+        First 16 hex digits of the SHA-256 of the canonical JSON encoding
+        of every field (the plan is a frozen dataclass of primitives, so
+        :func:`dataclasses.asdict` is lossless).  Two equal plans — even
+        built in different processes — share the id, which is what lets a
+        fleet worker memoize per-plan state across coordinator runs and a
+        coordinator recognize stale messages from a previous plan.
+        """
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def cache_keys(self) -> tuple[str, ...]:
         """Distinct analytical-model keys the plan needs caches for."""

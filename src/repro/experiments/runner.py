@@ -99,10 +99,31 @@ def _resolve_store(store):
     return DatasetStore(store)
 
 
+#: Names of all available experiments (figures first, then ablations).
+#: A literal — not derived from :func:`_experiment_registry` — so importing
+#: this module never pulls in the figure/ablation modules (they import the
+#: plan/scheduler stack, which imports this module: the registry must stay
+#: lazy for the package to be importable in any submodule order).
+EXPERIMENTS = (
+    "figure3_stencil",
+    "figure3_fmm",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "analytical_accuracy",
+    "ablation_aggregation",
+    "ablation_analytical_quality",
+    "ablation_sampling_strategy",
+    "ablation_ml_backend",
+    "ablation_tree_method",
+)
+
+
 def _experiment_registry() -> dict:
     from repro.experiments import ablations, figures
 
-    return {
+    registry = {
         "figure3_stencil": figures.figure3_stencil,
         "figure3_fmm": figures.figure3_fmm,
         "figure5": figures.figure5,
@@ -116,15 +137,13 @@ def _experiment_registry() -> dict:
         "ablation_ml_backend": ablations.ablation_ml_backend,
         "ablation_tree_method": ablations.ablation_tree_method,
     }
-
-
-#: Names of all available experiments (figures first, then ablations).
-EXPERIMENTS = tuple(_experiment_registry().keys())
+    assert tuple(registry) == EXPERIMENTS
+    return registry
 
 
 def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
                    executor: str = "serial", jobs: int = 1,
-                   store=None) -> ExperimentResult:
+                   store=None, fleet=None) -> ExperimentResult:
     """Run one experiment by name.
 
     Parameters
@@ -134,14 +153,19 @@ def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
     settings:
         Quality/cost knobs (default :class:`ExperimentSettings()`).
     executor:
-        ``"serial"``, ``"thread"`` or ``"process"`` — how the experiment's
-        ``(series, fraction, repeat)`` cells are dispatched.  Results are
-        bit-identical across executors.
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"remote"`` — how
+        the experiment's ``(series, fraction, repeat)`` cells are
+        dispatched.  Results are bit-identical across executors.
     jobs:
-        Worker count for the thread/process executors (``-1`` = CPU count).
+        Worker count for the thread/process executors (``-1`` = CPU
+        count) or the size of the spawned local fleet for ``"remote"``.
     store:
         Optional persistent dataset/cache store — a
         :class:`~repro.datasets.store.DatasetStore` or a directory path.
+    fleet:
+        Remote executor only: an existing
+        :class:`~repro.distributed.coordinator.Coordinator` serving a
+        worker fleet (``None`` spawns a localhost fleet per plan).
 
     The two plan-less experiments (``analytical_accuracy``,
     ``ablation_sampling_strategy``) always run serially in-process and
@@ -167,22 +191,25 @@ def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
     from repro.experiments.scheduler import run_plan
 
     return run_plan(plan, executor=executor, jobs=jobs,
-                    store=_resolve_store(store))
+                    store=_resolve_store(store), fleet=fleet)
 
 
 def run_all(settings: ExperimentSettings | None = None,
             names: tuple[str, ...] | None = None, *,
             executor: str = "serial", jobs: int = 1,
-            store=None) -> dict[str, ExperimentResult]:
+            store=None, fleet=None) -> dict[str, ExperimentResult]:
     """Run several (default: all) experiments and return their results by name.
 
     The optional *store* is shared across all experiments of the run, so
     e.g. the blocked-stencil dataset is generated once for figure 3, 6
-    and the ablations instead of once each.
+    and the ablations instead of once each.  A *fleet* coordinator is
+    likewise shared: its workers stay connected (and keep their per-plan
+    memos) across the whole sequence.
     """
     store = _resolve_store(store)
     results: dict[str, ExperimentResult] = {}
     for name in (names or EXPERIMENTS):
         results[name] = run_experiment(name, settings=settings,
-                                       executor=executor, jobs=jobs, store=store)
+                                       executor=executor, jobs=jobs,
+                                       store=store, fleet=fleet)
     return results

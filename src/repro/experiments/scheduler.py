@@ -12,9 +12,16 @@ dispatches them through one of three executors:
   :class:`~repro.datasets.store.DatasetStore`, load from disk) the
   dataset and analytical caches once per plan and keep them in a
   per-process memo across batches.
+* ``"remote"`` — a TCP worker fleet (:mod:`repro.distributed`): cells are
+  leased in batches to :mod:`repro.distributed.worker` processes on any
+  number of hosts, with heartbeat/requeue fault tolerance and store
+  bootstrap for cold workers.  Pass an existing
+  :class:`~repro.distributed.coordinator.Coordinator` as ``fleet`` (the
+  CLI's ``--bind``/``--workers`` mode); without one a throwaway
+  coordinator plus ``jobs`` localhost workers is spun up per plan.
 
 Because seeds are derived at planning time and the merge is performed in
-plan order, the three executors produce **bit-identical**
+plan order, all four executors produce **bit-identical**
 :class:`~repro.experiments.runner.ExperimentResult` rows; the executor is
 purely a throughput knob.
 
@@ -52,7 +59,7 @@ from repro.parallel.threadpool import chunk_indices
 __all__ = ["EXECUTORS", "run_plan", "run_named_plan"]
 
 #: Valid values of the ``executor`` argument / ``--executor`` CLI flag.
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "remote")
 
 
 def _resolve_jobs(jobs: int) -> int:
@@ -144,11 +151,37 @@ def _evaluate_batch(plan: ExperimentPlan, cells: list, store_root: str | None,
 
 
 # --------------------------------------------------------------------------- #
+# Remote (worker-fleet) dispatch
+# --------------------------------------------------------------------------- #
+def _run_remote(plan: ExperimentPlan, cells: list, dataset: PerformanceDataset,
+                caches: dict, store: DatasetStore | None, fleet,
+                jobs: int, dataset_override: bool) -> list[CellResult]:
+    """Dispatch cells to a TCP worker fleet (see :mod:`repro.distributed`).
+
+    With an existing *fleet* coordinator the plan simply runs on it.  The
+    convenience path spawns a throwaway coordinator plus *jobs* localhost
+    workers; the workers share the parent's store directory (warm-path
+    loads, no bootstrap traffic) when one is configured.
+    """
+    from repro.distributed.coordinator import Coordinator
+
+    if fleet is not None:
+        return fleet.execute(plan, cells, dataset, caches, store=store,
+                             dataset_override=dataset_override)
+    with Coordinator() as coordinator:
+        coordinator.spawn_local_workers(
+            jobs, store_dir=None if store is None else store.root)
+        return coordinator.execute(plan, cells, dataset, caches, store=store,
+                                   dataset_override=dataset_override)
+
+
+# --------------------------------------------------------------------------- #
 # The scheduler proper
 # --------------------------------------------------------------------------- #
 def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
              store: DatasetStore | None = None,
-             dataset: PerformanceDataset | None = None) -> ExperimentResult:
+             dataset: PerformanceDataset | None = None,
+             fleet=None) -> ExperimentResult:
     """Execute *plan* and merge the cell results into an :class:`ExperimentResult`.
 
     Parameters
@@ -156,15 +189,23 @@ def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
     plan:
         The experiment plan to execute.
     executor:
-        One of :data:`EXECUTORS`.  All three produce bit-identical rows.
+        One of :data:`EXECUTORS`.  All four produce bit-identical rows.
     jobs:
-        Worker count for the thread/process executors (``-1`` = CPU count).
+        Worker count for the thread/process executors (``-1`` = CPU
+        count); for ``"remote"`` without a *fleet*, the size of the
+        spawned localhost fleet.
     store:
         Optional persistent :class:`DatasetStore`: datasets and warmed
         analytical caches are loaded from (and saved to) disk, shared
         across experiments, invocations and worker processes.
     dataset:
         Explicit dataset override (tests/notebooks); bypasses the store.
+    fleet:
+        Remote executor only: an existing
+        :class:`~repro.distributed.coordinator.Coordinator` whose workers
+        execute the plan (the coordinator outlives the call, so one fleet
+        serves a whole sequence of experiments).  ``None`` spins up a
+        local fleet of ``jobs`` workers for just this plan.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -172,7 +213,11 @@ def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
     resolved, caches = _resolve_data(plan, store, dataset)
     cells = expand_cells(plan)
 
-    if executor == "serial" or jobs == 1 or len(cells) <= 1:
+    if executor == "remote":
+        results = _run_remote(plan, cells, resolved, caches,
+                              store if dataset is None else None, fleet, jobs,
+                              dataset_override=dataset is not None)
+    elif executor == "serial" or jobs == 1 or len(cells) <= 1:
         factories = _series_factories(plan, resolved, caches)
         results = [evaluate_cell(cell, factories[cell.factory_key], resolved)
                    for cell in cells]
@@ -215,14 +260,15 @@ def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
 def run_named_plan(name: str, settings: ExperimentSettings | None = None,
                    dataset: PerformanceDataset | None = None, *,
                    executor: str = "serial", jobs: int = 1,
-                   store=None) -> ExperimentResult:
+                   store=None, fleet=None) -> ExperimentResult:
     """Resolve the plan of experiment *name* and execute it.
 
     The shared backend of the thin per-figure / per-ablation wrappers
-    (``store`` may be a :class:`DatasetStore` or a directory path).
+    (``store`` may be a :class:`DatasetStore` or a directory path;
+    ``fleet`` an existing remote-executor coordinator).
     """
     plan = experiment_plan(name, settings or ExperimentSettings())
     if plan is None:
         raise KeyError(f"experiment {name!r} has no plan (runs opaquely)")
     return run_plan(plan, dataset=dataset, executor=executor, jobs=jobs,
-                    store=_resolve_store(store))
+                    store=_resolve_store(store), fleet=fleet)

@@ -23,23 +23,23 @@ This package implements the method from scratch:
   in for Blue Waters measurements (DESIGN.md, substitution table).
 """
 
-from repro.fmm.particles import ParticleSet, random_cube, random_sphere, plummer
-from repro.fmm.octree import Octree, Cell
-from repro.fmm.expansions import MultiIndexSet, CartesianExpansion
+from repro.fmm.config import FmmConfig, FmmConfigSpace
+from repro.fmm.direct import DirectSummation
+from repro.fmm.expansions import CartesianExpansion, MultiIndexSet
 from repro.fmm.kernels import (
-    laplace_potential,
-    p2p,
-    p2m,
-    m2m,
-    m2l,
     l2l,
     l2p,
+    laplace_potential,
+    m2l,
+    m2m,
+    p2m,
+    p2p,
 )
-from repro.fmm.traversal import dual_tree_traversal, build_interaction_lists, Interactions
-from repro.fmm.solver import Fmm, FmmResult, PhaseTimings
-from repro.fmm.direct import DirectSummation
-from repro.fmm.config import FmmConfig, FmmConfigSpace
+from repro.fmm.octree import Cell, Octree
+from repro.fmm.particles import ParticleSet, plummer, random_cube, random_sphere
 from repro.fmm.perf_sim import FmmPerformanceSimulator
+from repro.fmm.solver import Fmm, FmmResult, PhaseTimings
+from repro.fmm.traversal import Interactions, build_interaction_lists, dual_tree_traversal
 
 __all__ = [
     "ParticleSet",

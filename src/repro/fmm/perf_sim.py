@@ -37,7 +37,13 @@ from repro.fmm.config import FmmConfig
 from repro.machine import MachineSpec, blue_waters_xe6
 from repro.parallel.scaling import ThreadScalingModel
 
-__all__ = ["FmmPerformanceSimulator", "SimulatedFmmRun"]
+__all__ = ["FmmPerformanceSimulator", "SimulatedFmmRun", "SIMULATOR_VERSION"]
+
+#: Bump on any change to the simulated execution times.  The constant is
+#: folded into every :class:`~repro.datasets.store.DatasetSpec`
+#: fingerprint, so stored datasets produced by an older simulator are
+#: invalidated automatically instead of silently served stale.
+SIMULATOR_VERSION = 1
 
 
 @dataclass(frozen=True)

@@ -11,14 +11,14 @@ The :mod:`repro.machine.presets` module provides the Blue Waters XE6 node
 alternative machines useful for "hardware change" experiments.
 """
 
-from repro.machine.cache import CacheLevel, MemoryLevel, CacheHierarchy
+from repro.machine.cache import CacheHierarchy, CacheLevel, MemoryLevel
 from repro.machine.node import MachineSpec
 from repro.machine.presets import (
+    MACHINE_PRESETS,
     blue_waters_xe6,
     generic_xeon_node,
-    small_embedded_node,
-    MACHINE_PRESETS,
     get_machine,
+    small_embedded_node,
 )
 
 __all__ = [

@@ -24,32 +24,32 @@ Estimators
 * :class:`~repro.ml.neighbors.KNeighborsRegressor` — distance-based baseline.
 """
 
-from repro.ml.base import BaseEstimator, RegressorMixin, TransformerMixin, clone
-from repro.ml.engine import get_default_engines, set_default_engines, use_engines
-from repro.ml.tree import DecisionTreeRegressor
-from repro.ml.forest import RandomForestRegressor, ExtraTreesRegressor
 from repro.ml._packed import PackedForest
 from repro.ml.bagging import BaggingRegressor
+from repro.ml.base import BaseEstimator, RegressorMixin, TransformerMixin, clone
 from repro.ml.boosting import GradientBoostingRegressor
-from repro.ml.stacking import StackingRegressor
+from repro.ml.engine import get_default_engines, set_default_engines, use_engines
+from repro.ml.forest import ExtraTreesRegressor, RandomForestRegressor
 from repro.ml.linear import LinearRegression, Ridge
-from repro.ml.neighbors import KNeighborsRegressor
-from repro.ml.preprocessing import StandardScaler, MinMaxScaler
-from repro.ml.pipeline import Pipeline, make_pipeline
 from repro.ml.metrics import (
-    mean_absolute_percentage_error,
     mean_absolute_error,
+    mean_absolute_percentage_error,
     mean_squared_error,
-    root_mean_squared_error,
     r2_score,
+    root_mean_squared_error,
 )
 from repro.ml.model_selection import (
-    train_test_split,
-    KFold,
-    cross_val_score,
-    ParameterGrid,
     GridSearchCV,
+    KFold,
+    ParameterGrid,
+    cross_val_score,
+    train_test_split,
 )
+from repro.ml.neighbors import KNeighborsRegressor
+from repro.ml.pipeline import Pipeline, make_pipeline
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.stacking import StackingRegressor
+from repro.ml.tree import DecisionTreeRegressor
 
 __all__ = [
     "BaseEstimator",

@@ -15,7 +15,7 @@ from repro.ml.base import BaseEstimator, RegressorMixin, clone
 from repro.ml.tree import DecisionTreeRegressor
 from repro.parallel.threadpool import parallel_map
 from repro.utils.rng import check_random_state, spawn_seeds
-from repro.utils.validation import check_array, check_X_y, check_is_fitted
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 __all__ = ["BaggingRegressor"]
 

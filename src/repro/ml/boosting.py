@@ -20,7 +20,7 @@ from repro.ml._packed import PackedForest
 from repro.ml.base import BaseEstimator, RegressorMixin
 from repro.ml.tree import DecisionTreeRegressor
 from repro.utils.rng import spawn_seeds
-from repro.utils.validation import check_array, check_X_y, check_is_fitted
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 __all__ = ["GradientBoostingRegressor"]
 

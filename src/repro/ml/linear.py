@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator, RegressorMixin
-from repro.utils.validation import check_array, check_X_y, check_is_fitted
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 __all__ = ["LinearRegression", "Ridge"]
 

@@ -27,7 +27,7 @@ import numpy as np
 from repro.ml._packed import PackedForest
 from repro.ml.base import BaseEstimator, RegressorMixin, clone
 from repro.ml.model_selection import KFold
-from repro.utils.validation import check_array, check_X_y, check_is_fitted
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 __all__ = ["StackingRegressor"]
 

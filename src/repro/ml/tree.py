@@ -32,7 +32,7 @@ import numpy as np
 from repro.ml.base import BaseEstimator, RegressorMixin
 from repro.ml.engine import get_batched_builder, resolve_build_engine
 from repro.utils.rng import check_random_state
-from repro.utils.validation import check_array, check_X_y, check_is_fitted
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 __all__ = ["DecisionTreeRegressor", "Tree"]
 

@@ -15,14 +15,14 @@ Fig. 7 explicitly exploits this).  This package provides:
   partitioning example (an MPI stand-in that requires no processes).
 """
 
-from repro.parallel.scaling import (
-    amdahl_speedup,
-    gustafson_speedup,
-    bandwidth_saturation_speedup,
-    ThreadScalingModel,
-)
-from repro.parallel.threadpool import parallel_map, chunk_indices
 from repro.parallel.communicator import SimCommunicator
+from repro.parallel.scaling import (
+    ThreadScalingModel,
+    amdahl_speedup,
+    bandwidth_saturation_speedup,
+    gustafson_speedup,
+)
+from repro.parallel.threadpool import chunk_indices, parallel_map
 
 __all__ = [
     "amdahl_speedup",

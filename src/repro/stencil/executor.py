@@ -18,9 +18,9 @@ import numpy as np
 from repro.stencil.blocking import blocked_sweep
 from repro.stencil.config import StencilConfig
 from repro.stencil.grid import Grid3D
-from repro.stencil.kernels import flops_per_point, stencil7_sweep, stencil27_sweep
-from repro.utils.timing import timeit_median
+from repro.stencil.kernels import flops_per_point, stencil27_sweep, stencil7_sweep
 from repro.utils.rng import check_random_state
+from repro.utils.timing import timeit_median
 
 __all__ = ["MeasuredRun", "StencilExecutor"]
 

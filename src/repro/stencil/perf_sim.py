@@ -38,7 +38,13 @@ from repro.stencil.blocking import block_counts
 from repro.stencil.config import StencilConfig
 from repro.stencil.kernels import flops_per_point
 
-__all__ = ["StencilPerformanceSimulator", "SimulatedStencilRun"]
+__all__ = ["StencilPerformanceSimulator", "SimulatedStencilRun", "SIMULATOR_VERSION"]
+
+#: Bump on any change to the simulated execution times.  The constant is
+#: folded into every :class:`~repro.datasets.store.DatasetSpec`
+#: fingerprint, so stored datasets produced by an older simulator are
+#: invalidated automatically instead of silently served stale.
+SIMULATOR_VERSION = 1
 
 
 @dataclass(frozen=True)

@@ -4,10 +4,10 @@ from repro.utils.rng import check_random_state
 from repro.utils.timing import Timer
 from repro.utils.validation import (
     check_array,
-    check_X_y,
-    check_positive,
     check_in_range,
     check_is_fitted,
+    check_positive,
+    check_X_y,
 )
 
 __all__ = [

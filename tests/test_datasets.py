@@ -13,9 +13,9 @@ from repro.datasets import (
     threaded_dataset,
     uniform_sample_indices,
 )
-from repro.stencil.executor import StencilExecutor
-from repro.stencil.config import StencilConfigSpace
 from repro.datasets.stencil_datasets import stencil_dataset_from_space
+from repro.stencil.config import StencilConfigSpace
+from repro.stencil.executor import StencilExecutor
 
 
 class TestSampling:

@@ -1,0 +1,436 @@
+"""Tests for the distributed worker-fleet executor (`repro.distributed`).
+
+The guarantees under test:
+
+* the ``remote`` executor produces ``ExperimentResult`` rows **bit-identical**
+  to the serial executor — for a clean fleet, for a fleet whose worker is
+  SIGKILLed mid-plan (leased cells are requeued), and for a worker whose
+  heartbeat goes silent;
+* the HELLO handshake rejects protocol-version and store-format-version
+  mismatches instead of exchanging incompatible artifacts;
+* cold-store workers bootstrap the dataset and warmed analytical caches
+  from the coordinator and never re-simulate (store hit counters);
+* a cell that exhausts its requeue budget fails the plan with a hard
+  error rather than hanging the coordinator.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.datasets.store import _FORMAT_VERSION, DatasetStore, _simulator_versions
+from repro.distributed import protocol
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.protocol import PROTOCOL_VERSION, parse_address
+from repro.distributed.worker import FleetWorker
+from repro.experiments import ExperimentSettings, run_experiment
+from repro.experiments.plan import expand_cells, experiment_plan
+from repro.experiments.scheduler import EXECUTORS, run_plan
+
+TINY = ExperimentSettings(n_estimators=4, n_repeats=2, max_configs=120, random_state=0)
+
+
+def _rows(result):
+    return (result.rows(), result.extra)
+
+
+def _raw_handshake(address, *, protocol_version=PROTOCOL_VERSION,
+                   store_format_version=_FORMAT_VERSION,
+                   simulator_versions=None, worker_id="raw-client"):
+    """Connect a bare socket and perform (a possibly broken) HELLO."""
+    sock = socket.create_connection(address, timeout=10.0)
+    protocol.send_message(sock, protocol.Hello(
+        protocol_version=protocol_version,
+        store_format_version=store_format_version,
+        worker_id=worker_id, pid=os.getpid(),
+        simulator_versions=(simulator_versions if simulator_versions is not None
+                            else _simulator_versions())))
+    return sock, protocol.recv_message(sock)
+
+
+def _await_plan(sock, worker_id="raw-client", timeout=30.0):
+    """Poll GetPlan on a raw client until a PlanAssignment arrives."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        protocol.send_message(sock, protocol.GetPlan(worker_id))
+        reply = protocol.recv_message(sock)
+        if isinstance(reply, protocol.PlanAssignment):
+            return reply
+        time.sleep(0.05)
+    raise AssertionError("no plan became active in time")
+
+
+def _run_plan_async(plan, coordinator, **kwargs):
+    """run_plan(executor='remote') in a thread; returns (thread, outcome box)."""
+    box: dict = {}
+
+    def _target():
+        try:
+            box["result"] = run_plan(plan, executor="remote", fleet=coordinator,
+                                     **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via the box
+            box["error"] = exc
+
+    thread = threading.Thread(target=_target, daemon=True)
+    thread.start()
+    return thread, box
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            messages = [
+                protocol.Hello(PROTOCOL_VERSION, _FORMAT_VERSION, "w1", 123),
+                protocol.Heartbeat("w1"),
+                protocol.DatasetBlob("abc", os.urandom(1 << 17)),
+                protocol.Results("abc", "w1", ()),
+            ]
+            lock = threading.Lock()
+            for message in messages:
+                protocol.send_message(left, message, lock)
+            for message in messages:
+                assert protocol.recv_message(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_raises_connection_closed(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(protocol.ConnectionClosed):
+                protocol.recv_message(right)
+        finally:
+            right.close()
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.1:9001") == ("10.0.0.1", 9001)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+        with pytest.raises(ValueError):
+            parse_address(":9001")
+
+
+class TestHandshake:
+    @pytest.fixture()
+    def coordinator(self):
+        with Coordinator() as coordinator:
+            yield coordinator
+
+    def test_protocol_version_mismatch_rejected(self, coordinator):
+        sock, reply = _raw_handshake(coordinator.address,
+                                     protocol_version=PROTOCOL_VERSION + 1)
+        sock.close()
+        assert isinstance(reply, protocol.Reject)
+        assert "protocol version" in reply.reason
+        assert coordinator.stats["rejected_handshakes"] == 1
+
+    def test_store_format_version_mismatch_rejected(self, coordinator):
+        sock, reply = _raw_handshake(coordinator.address,
+                                     store_format_version=_FORMAT_VERSION + 1)
+        sock.close()
+        assert isinstance(reply, protocol.Reject)
+        assert "store fingerprint format" in reply.reason
+
+    def test_simulator_version_mismatch_rejected(self, coordinator):
+        """Fingerprints fold in the simulator versions, so a skewed worker
+        must not be allowed to exchange store artifacts."""
+        sock, reply = _raw_handshake(coordinator.address,
+                                     simulator_versions="fmm999-stencil999")
+        sock.close()
+        assert isinstance(reply, protocol.Reject)
+        assert "simulator version" in reply.reason
+
+    def test_matching_versions_welcomed(self, coordinator):
+        sock, reply = _raw_handshake(coordinator.address)
+        assert isinstance(reply, protocol.Welcome)
+        assert reply.coordinator_id == coordinator.coordinator_id
+        sock.close()
+
+    def test_request_before_handshake_rejected(self, coordinator):
+        sock = socket.create_connection(coordinator.address, timeout=10.0)
+        protocol.send_message(sock, protocol.GetPlan("impatient"))
+        reply = protocol.recv_message(sock)
+        sock.close()
+        assert isinstance(reply, protocol.Reject)
+        assert "handshake" in reply.reason
+
+    def test_rejected_worker_exits_with_error(self, coordinator, monkeypatch):
+        monkeypatch.setattr("repro.distributed.worker.PROTOCOL_VERSION",
+                            PROTOCOL_VERSION + 1)
+        worker = FleetWorker(coordinator.address, connect_timeout=5.0)
+        assert worker.run() == 2
+
+
+class TestRemoteExecutor:
+    def test_remote_is_a_registered_executor(self):
+        assert "remote" in EXECUTORS
+
+    def test_in_process_fleet_bit_identical(self):
+        """Three workers over real sockets == serial, and the fleet survives
+        a second plan on the same connections (per-plan memo reuse)."""
+        serial6 = run_experiment("figure6", TINY)
+        serial8 = run_experiment("figure8", TINY)
+        with Coordinator() as coordinator:
+            workers = [FleetWorker(coordinator.address) for _ in range(3)]
+            threads = [threading.Thread(target=w.run, daemon=True) for w in workers]
+            for thread in threads:
+                thread.start()
+            remote6 = run_experiment("figure6", TINY, executor="remote",
+                                     fleet=coordinator)
+            remote8 = run_experiment("figure8", TINY, executor="remote",
+                                     fleet=coordinator)
+        for thread in threads:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        assert _rows(remote6) == _rows(serial6)
+        assert _rows(remote8) == _rows(serial8)
+        # Work was actually distributed, not funneled through one worker.
+        assert sum(w.cells_evaluated for w in workers) == 12 + 12
+        assert sum(w.plans_served > 0 for w in workers) >= 2
+
+    def test_local_subprocess_fleet_bit_identical(self, tmp_path):
+        """The acceptance criterion: `--executor remote --jobs 2` == serial."""
+        serial = run_experiment("figure5", TINY, store=str(tmp_path))
+        remote = run_experiment("figure5", TINY, executor="remote", jobs=2,
+                                store=str(tmp_path))
+        assert _rows(remote) == _rows(serial)
+
+    def test_worker_sigkill_mid_plan_requeues(self, tmp_path):
+        """Kill a worker process mid-plan: its leased cells are requeued and
+        the merged result is still bit-identical to serial."""
+        store = DatasetStore(tmp_path)
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan, store=store)
+        with Coordinator(batch_size=2, heartbeat_timeout=30.0) as coordinator:
+            procs = coordinator.spawn_local_workers(2, store_dir=tmp_path,
+                                                    cell_delay=0.4)
+            pids = {proc.pid for proc in procs}
+            killed: list[int] = []
+
+            def _assassin():
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    for worker in coordinator.worker_snapshot():
+                        if worker["pid"] in pids and worker["lease"] > 0:
+                            time.sleep(0.15)  # now provably mid-batch
+                            os.kill(worker["pid"], signal.SIGKILL)
+                            killed.append(worker["pid"])
+                            return
+                    time.sleep(0.02)
+
+            assassin = threading.Thread(target=_assassin, daemon=True)
+            assassin.start()
+            remote = run_plan(plan, executor="remote", fleet=coordinator,
+                              store=store)
+            assassin.join(timeout=5.0)
+        assert killed, "no worker held a lease to kill"
+        assert coordinator.stats["workers_failed"] >= 1
+        assert coordinator.stats["requeued_cells"] >= 1
+        assert _rows(remote) == _rows(serial)
+
+    def test_heartbeat_timeout_requeues_silent_worker(self):
+        """A worker that stops heartbeating (without dying) loses its lease."""
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan)
+        coordinator = Coordinator(batch_size=4, heartbeat_timeout=0.6)
+        try:
+            thread, box = _run_plan_async(plan, coordinator)
+            sock, welcome = _raw_handshake(coordinator.address, worker_id="silent")
+            assert isinstance(welcome, protocol.Welcome)
+            assignment = _await_plan(sock, worker_id="silent")
+            protocol.send_message(sock, protocol.GetBatch(assignment.plan_id, "silent"))
+            batch = protocol.recv_message(sock)
+            assert isinstance(batch, protocol.Batch) and batch.cells
+            # Go silent (socket stays open), then let an honest worker finish.
+            honest = FleetWorker(coordinator.address)
+            honest_thread = threading.Thread(target=honest.run, daemon=True)
+            honest_thread.start()
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+            sock.close()
+        finally:
+            coordinator.close()
+        assert "error" not in box, box.get("error")
+        assert coordinator.stats["requeued_cells"] >= len(batch.cells)
+        assert coordinator.stats["workers_failed"] >= 1
+        assert honest.cells_evaluated == len(expand_cells(plan))
+        assert _rows(box["result"]) == _rows(serial)
+
+    def test_retry_exhaustion_is_a_hard_error(self):
+        """A cell whose every lease dies exhausts max_retries and fails the plan."""
+        plan = experiment_plan("figure6", TINY)
+        coordinator = Coordinator(batch_size=2, max_retries=0)
+        try:
+            thread, box = _run_plan_async(plan, coordinator)
+            sock, welcome = _raw_handshake(coordinator.address, worker_id="dying")
+            assert isinstance(welcome, protocol.Welcome)
+            assignment = _await_plan(sock, worker_id="dying")
+            protocol.send_message(sock, protocol.GetBatch(assignment.plan_id, "dying"))
+            assert isinstance(protocol.recv_message(sock), protocol.Batch)
+            sock.close()  # die with the lease held
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+        finally:
+            coordinator.close()
+        assert isinstance(box.get("error"), RuntimeError)
+        assert "max_retries" in str(box["error"])
+
+    def test_all_local_workers_dead_fails_fast(self, tmp_path):
+        """A purely-local fleet with no survivors aborts instead of hanging."""
+        plan = experiment_plan("figure6", TINY)
+        with Coordinator() as coordinator:
+            procs = coordinator.spawn_local_workers(1, store_dir=tmp_path,
+                                                    cell_delay=5.0)
+            thread, box = _run_plan_async(plan, coordinator)
+            deadline = time.monotonic() + 60.0
+            while not coordinator.worker_snapshot() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            for proc in procs:
+                proc.kill()
+                proc.wait()
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+        assert isinstance(box.get("error"), RuntimeError)
+        assert "exited" in str(box["error"])
+
+
+class TestStoreBootstrap:
+    def test_cold_worker_bootstraps_without_simulating(self, tmp_path):
+        """Acceptance: a cold --store-dir worker downloads the dataset and
+        warmed caches from the coordinator; its store never generates."""
+        parent = DatasetStore(tmp_path / "parent")
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan, store=parent)
+
+        worker_store = DatasetStore(tmp_path / "worker")
+        with Coordinator() as coordinator:
+            worker = FleetWorker(coordinator.address, store=worker_store)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            remote = run_plan(plan, executor="remote", fleet=coordinator,
+                              store=parent)
+        thread.join(timeout=10.0)
+        assert _rows(remote) == _rows(serial)
+        # The worker's store was populated by download, not simulation:
+        # `misses` counts generations, `cache_misses` counts warm-ups.
+        assert worker_store.misses == 0 and worker_store.cache_misses == 0
+        assert worker_store.hits >= 1 and worker_store.cache_hits >= 1
+        assert coordinator.stats["datasets_served"] == 1
+        assert coordinator.stats["caches_served"] == 1
+        assert worker_store.dataset_path(plan.dataset).exists()
+        assert worker_store.cache_path("stencil", plan.dataset).exists()
+
+        # A fresh worker on the now-warm store needs no bootstrap traffic.
+        warm_store = DatasetStore(tmp_path / "worker")
+        with Coordinator() as coordinator2:
+            worker2 = FleetWorker(coordinator2.address, store=warm_store)
+            thread2 = threading.Thread(target=worker2.run, daemon=True)
+            thread2.start()
+            remote2 = run_plan(plan, executor="remote", fleet=coordinator2,
+                               store=parent)
+        thread2.join(timeout=10.0)
+        assert _rows(remote2) == _rows(serial)
+        assert coordinator2.stats["datasets_served"] == 0
+        assert coordinator2.stats["caches_served"] == 0
+        assert warm_store.misses == 0 and warm_store.cache_misses == 0
+
+    def test_dataset_override_bypasses_warm_worker_store(self, tmp_path):
+        """An explicit dataset override has no registered fingerprint: a
+        worker whose store already holds the *spec's* dataset must fetch
+        the override blob instead of serving the stale store entry."""
+        from repro.datasets import DatasetSpec
+
+        plan = experiment_plan("figure6", TINY)
+        parent = DatasetStore(tmp_path)
+        run_plan(plan, store=parent)  # warm the store with the spec dataset
+        override = DatasetSpec("stencil-blocked", max_configs=100,
+                               random_state=0).build()
+        assert override.n_samples != parent.get(plan.dataset).n_samples
+        serial = run_plan(plan, dataset=override)
+        with Coordinator() as coordinator:
+            worker = FleetWorker(coordinator.address, store=DatasetStore(tmp_path))
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            remote = run_plan(plan, executor="remote", fleet=coordinator,
+                              dataset=override)
+        thread.join(timeout=10.0)
+        assert coordinator.stats["datasets_served"] == 1  # fetched, not store-read
+        assert _rows(remote) == _rows(serial)
+        # The override never leaks into the worker's persistent store.
+        fresh = DatasetStore(tmp_path)
+        assert fresh.get(plan.dataset).n_samples != override.n_samples
+
+    def test_storeless_worker_runs_from_memory(self):
+        """No --store-dir at all: blobs are decoded in memory, nothing simulated."""
+        plan = experiment_plan("figure5", TINY)
+        serial = run_plan(plan)
+        with Coordinator() as coordinator:
+            worker = FleetWorker(coordinator.address)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            remote = run_plan(plan, executor="remote", fleet=coordinator)
+        thread.join(timeout=10.0)
+        assert worker.store is None
+        assert coordinator.stats["datasets_served"] == 1
+        assert _rows(remote) == _rows(serial)
+
+    def test_dataset_bytes_round_trip(self, tmp_path):
+        import numpy as np
+
+        store = DatasetStore(tmp_path)
+        spec = experiment_plan("figure6", TINY).dataset
+        dataset = store.get(spec)
+        data = store.dataset_bytes(spec)
+        assert data == DatasetStore.encode_dataset(dataset)
+        decoded = DatasetStore.decode_dataset_bytes(data)
+        np.testing.assert_array_equal(decoded.X, dataset.X)
+        np.testing.assert_array_equal(decoded.y, dataset.y)
+        assert decoded.feature_names == dataset.feature_names
+        assert decoded.configs == dataset.configs
+
+        other = DatasetStore(tmp_path / "other")
+        other.put_dataset_bytes(spec, data)
+        loaded = other.get(spec)
+        assert (other.misses, other.hits) == (0, 1)
+        np.testing.assert_array_equal(loaded.X, dataset.X)
+
+
+class TestFleetWorkerCli:
+    def test_unreachable_coordinator_exits_nonzero(self):
+        from repro.distributed.worker import main
+
+        # Port 1 on loopback refuses immediately; the retry window is tiny.
+        assert main(["--connect", "127.0.0.1:1", "--connect-timeout", "0.2"]) == 1
+
+    def test_fleet_worker_subcommand_delegates(self):
+        from repro.experiments.__main__ import main
+
+        assert main(["fleet-worker", "--connect", "127.0.0.1:1",
+                     "--connect-timeout", "0.2"]) == 1
+
+    def test_cli_remote_run_with_prune(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        args = ["figure6", "--quick", "--executor", "remote", "--jobs", "2",
+                "--store-dir", str(tmp_path), "--store-prune"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "figure6" in out and "hybrid" in out
+        assert "store prune" in out
+        assert (tmp_path / "datasets").exists()
+
+    def test_cli_flag_validation(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["figure6", "--quick", "--executor", "process", "--workers", "2"])
+        with pytest.raises(SystemExit):
+            main(["figure6", "--quick", "--store-prune"])

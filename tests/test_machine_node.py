@@ -3,12 +3,12 @@
 import pytest
 
 from repro.machine import (
+    MACHINE_PRESETS,
     MachineSpec,
     blue_waters_xe6,
     generic_xeon_node,
     get_machine,
     small_embedded_node,
-    MACHINE_PRESETS,
 )
 
 

@@ -192,6 +192,59 @@ class TestDatasetStore:
         assert (tmp_path / "datasets").exists()
         assert result.curves["hybrid"].points
 
+    def test_simulator_version_invalidates_fingerprint(self, tmp_path, monkeypatch):
+        """Bumping a SIMULATOR_VERSION must miss every stored entry of that
+        simulator's datasets (the recipe fingerprint covers the simulators)."""
+        import repro.datasets.store as store_mod
+        import repro.stencil.perf_sim as stencil_sim
+
+        spec = DatasetSpec("stencil-blocked", max_configs=60, random_state=0)
+        store = DatasetStore(tmp_path)
+        store.get(spec)
+        old_fingerprint = spec.fingerprint
+        assert store_mod._FORMAT_VERSION == 2  # v2 added the simulator token
+        monkeypatch.setattr(stencil_sim, "SIMULATOR_VERSION",
+                            stencil_sim.SIMULATOR_VERSION + 1)
+        assert spec.fingerprint != old_fingerprint
+        fresh = DatasetStore(tmp_path)
+        fresh.get(spec)
+        assert (fresh.misses, fresh.hits) == (1, 0)
+
+    def test_format_version_bump_invalidates_fingerprint(self, monkeypatch):
+        import repro.datasets.store as store_mod
+
+        spec = DatasetSpec("fmm", max_configs=50)
+        old_fingerprint = spec.fingerprint
+        monkeypatch.setattr(store_mod, "_FORMAT_VERSION",
+                            store_mod._FORMAT_VERSION + 1)
+        assert spec.fingerprint != old_fingerprint
+
+    def test_prune_keeps_live_fingerprints_loadable(self, tmp_path):
+        from repro.analytical import AnalyticalPredictionCache
+
+        live = DatasetSpec("stencil-blocked", max_configs=60, random_state=0)
+        stale = DatasetSpec("stencil-blocked", max_configs=40, random_state=0)
+        store = DatasetStore(tmp_path)
+        for spec in (live, stale):
+            dataset = store.get(spec)
+            cache = AnalyticalPredictionCache(
+                build_analytical("stencil"), dataset.feature_names).warm(dataset.X)
+            store.save_analytical_cache("stencil", spec, cache)
+
+        removed = store.prune(keep_fingerprints={live.fingerprint})
+        assert sorted(p.name for p in removed) == sorted([
+            store.dataset_path(stale).name, store.cache_path("stencil", stale).name])
+        assert not store.dataset_path(stale).exists()
+
+        warm = DatasetStore(tmp_path)
+        dataset = warm.get(live)
+        assert (warm.misses, warm.hits) == (0, 1)
+        assert warm.load_analytical_cache(
+            "stencil", live, build_analytical("stencil"),
+            dataset.feature_names) is not None
+        warm.get(stale)
+        assert warm.misses == 1  # the pruned entry is really gone
+
 
 class TestCommandLine:
     def test_cli_parallel_store_run(self, tmp_path, capsys):
