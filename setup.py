@@ -14,7 +14,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ipps-ibeid-hybrid-perf",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of conf_ipps_IbeidMDOG19: hybrid analytical/ML "
         "performance modeling for FMM and stencil kernels"
@@ -30,6 +30,9 @@ setup(
             # Fleet-worker host side of the distributed remote executor
             # (equivalent to `python -m repro.distributed.worker`).
             "repro-fleet-worker=repro.distributed.worker:main",
+            # Bundled S3-style object store serving DatasetStore artifacts
+            # (equivalent to `python -m repro.datasets.object_server`).
+            "repro-object-server=repro.datasets.object_server:main",
         ],
     },
     classifiers=[

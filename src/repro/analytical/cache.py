@@ -48,7 +48,7 @@ class AnalyticalPredictionCache:
     def __len__(self) -> int:
         return len(self._store)
 
-    def warm(self, X: np.ndarray) -> "AnalyticalPredictionCache":
+    def warm(self, X: np.ndarray) -> AnalyticalPredictionCache:
         """Precompute predictions for every row of *X* (e.g. a full dataset)."""
         self.predict(X)
         return self
@@ -66,7 +66,7 @@ class AnalyticalPredictionCache:
         missing = [i for i, key in enumerate(keys) if key not in store]
         if missing:
             values = self.model.predict(X[missing], self.feature_names)
-            for i, value in zip(missing, values):
+            for i, value in zip(missing, values, strict=True):
                 store[keys[i]] = float(value)
         self.misses += len(missing)
         self.hits += len(keys) - len(missing)
@@ -97,7 +97,7 @@ class AnalyticalPredictionCache:
                              count=len(self._store))
         return rows.reshape(len(self._store), d), values
 
-    def load_rows(self, rows: np.ndarray, values: np.ndarray) -> "AnalyticalPredictionCache":
+    def load_rows(self, rows: np.ndarray, values: np.ndarray) -> AnalyticalPredictionCache:
         """Insert precomputed ``(rows, values)`` pairs without touching the counters."""
         rows = np.ascontiguousarray(np.atleast_2d(np.asarray(rows, dtype=np.float64)))
         values = np.asarray(values, dtype=np.float64).ravel()
@@ -108,7 +108,7 @@ class AnalyticalPredictionCache:
             raise ValueError(
                 f"rows have {rows.shape[1]} columns but the cache is bound to "
                 f"{len(self.feature_names)} feature names")
-        for row, value in zip(rows, values):
+        for row, value in zip(rows, values, strict=True):
             self._store[row.tobytes()] = float(value)
         return self
 
@@ -119,7 +119,7 @@ class AnalyticalPredictionCache:
                  feature_names=np.array(self.feature_names))
 
     @classmethod
-    def load(cls, path, model: AnalyticalModel, feature_names) -> "AnalyticalPredictionCache":
+    def load(cls, path, model: AnalyticalModel, feature_names) -> AnalyticalPredictionCache:
         """Rebuild a warmed cache saved by :meth:`save`, bound to *model*.
 
         The stored feature layout must match *feature_names*; the caller

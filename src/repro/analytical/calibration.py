@@ -66,7 +66,7 @@ class CalibratedModel(AnalyticalModel):
         return self.base.config_from_features(row, feature_names)
 
     @classmethod
-    def fit(cls, base: AnalyticalModel, configs, measurements) -> "CalibratedModel":
+    def fit(cls, base: AnalyticalModel, configs, measurements) -> CalibratedModel:
         """Calibrate *base* on ``(configs, measurements)`` and return the wrapper."""
         preds = base.predict_configs(configs)
         return cls(base=base, scale=calibrate_scale(preds, np.asarray(measurements)))

@@ -76,14 +76,14 @@ def stencil_halo_exchange_time(shape: tuple[int, int, int], ranks: int,
     if ranks == 1:
         return 0.0
     dims = _balanced_3d_factorization(ranks)
-    local = [max(1, int(np.ceil(extent / d))) for extent, d in zip(shape, dims)]
+    local = [max(1, int(np.ceil(extent / d))) for extent, d in zip(shape, dims, strict=True)]
     faces = [
         local[1] * local[2],
         local[0] * local[2],
         local[0] * local[1],
     ]
     total = 0.0
-    for face, d in zip(faces, dims):
+    for face, d in zip(faces, dims, strict=True):
         if d == 1:
             continue  # no neighbour in this direction
         # Send + receive one ghost slab (order planes) to each of 2 neighbours.

@@ -160,7 +160,7 @@ class FmmAnalyticalModel(AnalyticalModel):
 
     def config_from_features(self, row: np.ndarray, feature_names) -> FmmConfig:
         """Build an :class:`FmmConfig` from a numeric feature row."""
-        values = {name: float(v) for name, v in zip(feature_names, row)}
+        values = {name: float(v) for name, v in zip(feature_names, row, strict=True)}
         return FmmConfig(
             threads=int(round(values.get("threads", 1))),
             n_particles=int(round(values.get("n_particles", 1))),

@@ -183,7 +183,7 @@ class StencilAnalyticalModel(AnalyticalModel):
 
     def config_from_features(self, row: np.ndarray, feature_names) -> StencilConfig:
         """Build a :class:`StencilConfig` from a numeric feature row."""
-        values = {name: float(v) for name, v in zip(feature_names, row)}
+        values = {name: float(v) for name, v in zip(feature_names, row, strict=True)}
         return StencilConfig(
             I=int(round(values.get("I", 1))),
             J=int(round(values.get("J", 1))),

@@ -26,8 +26,8 @@ process, a thread pool, a process pool) produces bit-identical curves:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
 
 import numpy as np
 

@@ -10,8 +10,8 @@ configurations) and ML models (which need numbers) can both consume it.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 
@@ -97,7 +97,7 @@ class PerformanceDataset:
         perm = rng.permutation(self.n_samples)
         return perm[:train_size], perm[train_size:]
 
-    def subset(self, indices: np.ndarray) -> "PerformanceDataset":
+    def subset(self, indices: np.ndarray) -> PerformanceDataset:
         """Dataset restricted to *indices* (configs carried along when present)."""
         indices = np.asarray(indices)
         return PerformanceDataset(

@@ -107,7 +107,7 @@ class HybridPerformanceModel(BaseEstimator, RegressorMixin):
     # ------------------------------------------------------------------ #
     # Training algorithm (Section VI)
     # ------------------------------------------------------------------ #
-    def fit(self, X, y) -> "HybridPerformanceModel":
+    def fit(self, X, y) -> HybridPerformanceModel:
         """Train the stacked ML model on features augmented with the AM prediction."""
         X, y = check_X_y(X, y)
         if not isinstance(self.analytical_model, AnalyticalModel):

@@ -18,6 +18,13 @@ memoizes the generated arrays (and warmed analytical-prediction caches)
 to disk so they are built at most once per machine.
 """
 
+from repro.datasets.backends import (
+    LocalBackend,
+    MemoryBackend,
+    ObjectStoreBackend,
+    StoreBackend,
+    resolve_backend,
+)
 from repro.datasets.fmm_datasets import fmm_dataset, fmm_dataset_from_space
 from repro.datasets.registry import DATASET_REGISTRY, load_dataset
 from repro.datasets.sampling import latin_hypercube_indices, uniform_sample_indices
@@ -32,6 +39,11 @@ from repro.datasets.store import DatasetSpec, DatasetStore
 __all__ = [
     "DatasetSpec",
     "DatasetStore",
+    "StoreBackend",
+    "LocalBackend",
+    "MemoryBackend",
+    "ObjectStoreBackend",
+    "resolve_backend",
     "uniform_sample_indices",
     "latin_hypercube_indices",
     "blocked_small_grid_dataset",

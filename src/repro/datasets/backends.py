@@ -1,0 +1,371 @@
+"""Pluggable byte-storage backends behind :class:`~repro.datasets.store.DatasetStore`.
+
+The store's artifacts are content-addressed ``.npz`` byte blobs under
+string keys (``datasets/<name>-<fingerprint>.npz``,
+``caches/<model_key>-<fingerprint>.npz``).  Everything fingerprint- and
+format-related lives in :mod:`repro.datasets.store`; a backend only has
+to move bytes:
+
+* :class:`LocalBackend` — one directory per store, atomic
+  tmp-write + rename exactly like the pre-backend store (a half-written
+  temp file is cleaned up on error instead of leaking);
+* :class:`MemoryBackend` — a plain dict; tests and store-less scratch
+  runs.  ``memory://<name>`` URLs resolve to a process-global named
+  instance so several components of one process can share it;
+* :class:`ObjectStoreBackend` — a minimal S3-style HTTP object store
+  speaking GET/PUT/LIST/DELETE (the bundled
+  :mod:`repro.datasets.object_server` serves this API from the stdlib,
+  so fleets can share artifacts without an external service).
+
+``resolve_backend`` maps a locator URL (``file://``, ``memory://``,
+``http://``/``https://``) to a backend instance — the registry behind
+the ``--store-url`` CLI flag and the store locator the distributed
+coordinator advertises to fleet workers, so a cold worker can bootstrap
+datasets and warmed caches *directly* from shared storage instead of
+relaying blobs through the coordinator's socket.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path, PurePosixPath
+
+__all__ = [
+    "StoreBackend",
+    "LocalBackend",
+    "MemoryBackend",
+    "ObjectStoreBackend",
+    "resolve_backend",
+    "backend_schemes",
+]
+
+
+def _check_key(key: str) -> str:
+    """Validate a store key: relative, slash-separated, no traversal.
+
+    Keys cross process (and with the object store, host) boundaries, so
+    they are validated at the backend seam rather than trusting callers:
+    a key must never be able to escape the backend's namespace.
+    """
+    if not key or key.startswith(("/", "\\")) or "\\" in key:
+        raise ValueError(f"invalid store key {key!r}")
+    parts = PurePosixPath(key).parts
+    if not parts or any(part in (".", "..") for part in parts):
+        raise ValueError(f"invalid store key {key!r}")
+    return key
+
+
+class StoreBackend(abc.ABC):
+    """Byte-blob storage: the only surface :class:`DatasetStore` needs.
+
+    Keys are relative slash-separated paths (``datasets/foo.npz``).
+    ``read``/``delete`` raise :class:`KeyError` for missing keys so the
+    store can distinguish "absent" from transport failures uniformly
+    across backends.
+    """
+
+    #: URL scheme the backend registers under (``file``, ``memory``, ``http``).
+    scheme: str = ""
+
+    @property
+    @abc.abstractmethod
+    def locator(self) -> str | None:
+        """URL another process can use to open this same store.
+
+        ``None`` when the backend is not shareable (an anonymous
+        in-memory store); the distributed coordinator only advertises
+        non-``None`` locators to fleet workers.
+        """
+
+    @abc.abstractmethod
+    def read(self, key: str) -> bytes:
+        """The stored bytes of *key*; :class:`KeyError` when absent."""
+
+    @abc.abstractmethod
+    def write(self, key: str, data: bytes) -> None:
+        """Store *data* under *key* atomically (readers see old or new, never half)."""
+
+    @abc.abstractmethod
+    def exists(self, key: str) -> bool:
+        """Whether *key* currently holds a blob."""
+
+    @abc.abstractmethod
+    def list(self, prefix: str = "") -> list[str]:
+        """Sorted keys starting with *prefix* (``""`` lists everything)."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove *key*; :class:`KeyError` when absent."""
+
+
+class LocalBackend(StoreBackend):
+    """Filesystem-backed store rooted at one directory.
+
+    Preserves the original :class:`DatasetStore` write discipline: bytes
+    land in a per-process ``.tmp.npz`` sibling first and are atomically
+    renamed into place, so concurrent writers of the same entry cannot
+    clobber each other and readers never see a torn file.  A failed
+    write (disk full, permissions, a crash between write and rename)
+    unlinks its temp file instead of leaking it; leftovers from a hard
+    kill are collected by :meth:`DatasetStore.prune`.
+    """
+
+    scheme = "file"
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    @property
+    def locator(self) -> str:
+        return self.root.resolve().as_uri()
+
+    def path(self, key: str) -> Path:
+        """Absolute file the blob of *key* is (or would be) stored at."""
+        return self.root / _check_key(key)
+
+    def _tmp_path(self, path: Path) -> Path:
+        # The pid suffix keeps concurrent writers of the same entry from
+        # clobbering each other's half-written temp file; np.savez-style
+        # tooling insists on a .npz suffix.
+        return Path(f"{path}.{os.getpid()}.tmp.npz")
+
+    def read(self, key: str) -> bytes:
+        try:
+            return self.path(key).read_bytes()
+        except FileNotFoundError:
+            raise KeyError(key) from None
+
+    def write(self, key: str, data: bytes) -> None:
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._tmp_path(path)
+        try:
+            tmp.write_bytes(data)
+            tmp.replace(path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def exists(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def list(self, prefix: str = "") -> list[str]:
+        # Walk only the prefix's directory component, not the whole root:
+        # existence probes and namespace listings stay O(entries under
+        # the prefix) instead of O(total artifacts).
+        if prefix:
+            _check_key(prefix.rstrip("/") or prefix)
+        directory, _, _ = prefix.rpartition("/")
+        base = self.root / directory if directory else self.root
+        if not base.is_dir():
+            return []
+        keys = [
+            path.relative_to(self.root).as_posix()
+            for path in base.rglob("*")
+            if path.is_file()
+        ]
+        return sorted(key for key in keys if key.startswith(prefix))
+
+    def delete(self, key: str) -> None:
+        try:
+            self.path(key).unlink()
+        except FileNotFoundError:
+            raise KeyError(key) from None
+
+
+#: Process-global ``memory://<name>`` stores, shared by every resolver call
+#: with the same name (anonymous ``memory://`` stores are private).
+_NAMED_MEMORY_STORES: dict[str, MemoryBackend] = {}
+_NAMED_MEMORY_LOCK = threading.Lock()
+
+
+class MemoryBackend(StoreBackend):
+    """Dict-backed store: tests, demos and store-less scratch runs.
+
+    A *named* instance (``MemoryBackend.named("x")`` / ``memory://x``)
+    is process-global, so several components of one process can reopen
+    the same store by URL.  No memory store ever advertises a locator:
+    the :attr:`~StoreBackend.locator` contract is "another *process* can
+    open this", and a ``memory://`` URL resolved in a subprocess is a
+    fresh empty dict — advertising it would make process-pool workers
+    silently regenerate datasets instead of receiving the parent's copy.
+    """
+
+    scheme = "memory"
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name
+        self._blobs: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def named(cls, name: str) -> MemoryBackend:
+        with _NAMED_MEMORY_LOCK:
+            backend = _NAMED_MEMORY_STORES.get(name)
+            if backend is None:
+                backend = _NAMED_MEMORY_STORES[name] = cls(name)
+            return backend
+
+    @property
+    def locator(self) -> None:
+        return None
+
+    def read(self, key: str) -> bytes:
+        with self._lock:
+            return self._blobs[_check_key(key)]
+
+    def write(self, key: str, data: bytes) -> None:
+        with self._lock:
+            self._blobs[_check_key(key)] = bytes(data)
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return _check_key(key) in self._blobs
+
+    def list(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(key for key in self._blobs if key.startswith(prefix))
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            del self._blobs[_check_key(key)]
+
+
+class ObjectStoreBackend(StoreBackend):
+    """Client of a minimal S3-style HTTP object store.
+
+    The API (served by the bundled
+    :mod:`repro.datasets.object_server`, or by anything speaking plain
+    HTTP object semantics):
+
+    * ``GET /<key>`` — blob bytes, 404 when absent;
+    * ``HEAD /<key>`` — existence probe (200/404, no body);
+    * ``PUT /<key>`` — store the request body under the key;
+    * ``DELETE /<key>`` — remove the key, 404 when absent;
+    * ``GET /?prefix=<p>`` — JSON array of keys under the prefix.
+
+    ``reads``/``writes`` count successful blob transfers (the
+    hit-counter instrumentation the fleet tests use to prove workers
+    bootstrap from the object store rather than the coordinator).
+    """
+
+    scheme = "http"
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ValueError(f"object store URL must be http(s), got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def locator(self) -> str:
+        return self.base_url + "/"
+
+    def _url(self, key: str) -> str:
+        return f"{self.base_url}/{urllib.parse.quote(_check_key(key))}"
+
+    def _request(self, method: str, url: str, data: bytes | None = None) -> bytes:
+        request = urllib.request.Request(url, data=data, method=method)
+        if data is not None:
+            request.add_header("Content-Type", "application/octet-stream")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read()
+
+    def read(self, key: str) -> bytes:
+        try:
+            data = self._request("GET", self._url(key))
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                raise KeyError(key) from None
+            raise
+        self.reads += 1
+        return data
+
+    def write(self, key: str, data: bytes) -> None:
+        self._request("PUT", self._url(key), data=bytes(data))
+        self.writes += 1
+
+    def exists(self, key: str) -> bool:
+        # HEAD: one round trip, no body, no server-side listing walk.
+        try:
+            self._request("HEAD", self._url(key))
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return False
+            raise
+        return True
+
+    def list(self, prefix: str = "") -> list[str]:
+        query = urllib.parse.urlencode({"prefix": prefix})
+        data = self._request("GET", f"{self.base_url}/?{query}")
+        keys = json.loads(data.decode("utf-8"))
+        if not isinstance(keys, list):
+            raise ValueError(f"object store list endpoint returned {type(keys).__name__}")
+        return sorted(str(key) for key in keys)
+
+    def delete(self, key: str) -> None:
+        try:
+            self._request("DELETE", self._url(key))
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                raise KeyError(key) from None
+            raise
+
+
+def _file_backend(url: str) -> LocalBackend:
+    parsed = urllib.parse.urlsplit(url)
+    if parsed.netloc not in ("", "localhost"):
+        raise ValueError(
+            f"file:// store URLs must be local (file:///path), got {url!r}")
+    path = urllib.parse.unquote(parsed.path)
+    if not path:
+        raise ValueError(f"file:// store URL has no path: {url!r}")
+    return LocalBackend(path)
+
+
+def _memory_backend(url: str) -> MemoryBackend:
+    name = url[len("memory://"):].strip("/")
+    return MemoryBackend.named(name) if name else MemoryBackend()
+
+
+_SCHEMES = {
+    "file": _file_backend,
+    "memory": _memory_backend,
+    "http": ObjectStoreBackend,
+    "https": ObjectStoreBackend,
+}
+
+
+def backend_schemes() -> tuple[str, ...]:
+    """URL schemes ``resolve_backend`` understands."""
+    return tuple(sorted(_SCHEMES))
+
+
+def resolve_backend(url: str) -> StoreBackend:
+    """Instantiate the backend a ``--store-url`` locator names.
+
+    ``file:///dir`` opens a :class:`LocalBackend`, ``memory://`` (or
+    ``memory://name`` for a process-shared instance) a
+    :class:`MemoryBackend`, ``http(s)://host:port/`` an
+    :class:`ObjectStoreBackend`.
+    """
+    scheme, sep, _ = url.partition("://")
+    if not sep:
+        raise ValueError(
+            f"store URL {url!r} has no scheme; expected one of "
+            f"{', '.join(s + '://' for s in backend_schemes())}")
+    try:
+        factory = _SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown store URL scheme {scheme!r} in {url!r}; known schemes: "
+            f"{', '.join(backend_schemes())}") from None
+    return factory(url)

@@ -1,0 +1,232 @@
+"""Bundled S3-style HTTP object store for :class:`DatasetStore` artifacts.
+
+A deliberately minimal object server built on the stdlib
+:mod:`http.server`, so the ``http://`` store backend — and the fleet's
+bootstrap-from-object-store path — is testable end to end without any
+external service.  It serves the four-verb API
+:class:`~repro.datasets.backends.ObjectStoreBackend` speaks:
+
+* ``GET /<key>`` — blob bytes (404 when absent);
+* ``HEAD /<key>`` — existence probe (200/404, no body);
+* ``PUT /<key>`` — store the request body under the key (201);
+* ``DELETE /<key>`` — remove the key (204, 404 when absent);
+* ``GET /?prefix=<p>`` — JSON array of keys under the prefix.
+
+Storage is delegated to any :class:`~repro.datasets.backends.StoreBackend`
+(a :class:`LocalBackend` directory for persistence, a
+:class:`MemoryBackend` for throwaway CI smoke stores), so the server is
+a thin HTTP skin: keys are validated against path traversal at the
+backend seam and writes inherit the backend's atomicity.
+
+Run it standalone::
+
+    python -m repro.datasets.object_server --bind 127.0.0.1 --port 8123 --root ./store
+    python -m repro.datasets.object_server --port 8123 --memory   # non-persistent
+
+and point coordinators/workers at it with ``--store-url
+http://127.0.0.1:8123/``.  Like the fleet protocol it authenticates
+nothing: trusted networks only (the default bind is loopback).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.datasets.backends import LocalBackend, MemoryBackend, StoreBackend
+
+__all__ = ["ObjectStoreServer", "main"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: translate an HTTP verb into a backend call."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "ReproObjectStore/1.0"
+
+    # The ThreadingHTTPServer instance carries the backend + stats.
+    server: ObjectStoreServer
+
+    def log_message(self, fmt, *args):
+        if self.server.verbose:
+            sys.stderr.write("object-server: " + fmt % args + "\n")
+
+    def _send(self, status: int, body: bytes = b"",
+              content_type: str = "application/octet-stream") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _key(self) -> tuple[str, dict]:
+        parsed = urllib.parse.urlsplit(self.path)
+        key = urllib.parse.unquote(parsed.path).lstrip("/")
+        query = urllib.parse.parse_qs(parsed.query)
+        return key, query
+
+    def do_GET(self) -> None:  # (BaseHTTPRequestHandler naming)
+        key, query = self._key()
+        try:
+            if not key:
+                prefix = query.get("prefix", [""])[0]
+                body = json.dumps(self.server.backend.list(prefix)).encode()
+                self.server.count("lists")
+                self._send(200, body, content_type="application/json")
+                return
+            data = self.server.backend.read(key)
+        except KeyError:
+            self._send(404, b"no such key")
+        except ValueError as exc:
+            self._send(400, str(exc).encode())
+        else:
+            self.server.count("gets")
+            self._send(200, data)
+
+    def do_HEAD(self) -> None:
+        key, _ = self._key()
+        try:
+            exists = bool(key) and self.server.backend.exists(key)
+        except ValueError:
+            status = 400
+        else:
+            status = 200 if exists else 404
+        if status == 200:
+            self.server.count("heads")
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def do_PUT(self) -> None:
+        key, _ = self._key()
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        data = self.rfile.read(length)
+        try:
+            self.server.backend.write(key, data)
+        except ValueError as exc:
+            self._send(400, str(exc).encode())
+        else:
+            self.server.count("puts")
+            self._send(201, b"stored")
+
+    def do_DELETE(self) -> None:
+        key, _ = self._key()
+        try:
+            self.server.backend.delete(key)
+        except KeyError:
+            self._send(404, b"no such key")
+        except ValueError as exc:
+            self._send(400, str(exc).encode())
+        else:
+            self.server.count("deletes")
+            self._send(204)
+
+
+class ObjectStoreServer(ThreadingHTTPServer):
+    """Threaded HTTP object store over a :class:`StoreBackend`.
+
+    ``stats`` counts served operations (``gets``/``puts``/``lists``/
+    ``deletes``) — the server-side hit counters the fleet smoke tests
+    use to prove artifacts really moved over HTTP.
+
+    Use as a context manager in tests::
+
+        with ObjectStoreServer(MemoryBackend()) as server:
+            store = DatasetStore(server.url)
+    """
+
+    daemon_threads = True
+
+    def __init__(self, backend: StoreBackend,
+                 address: tuple[str, int] = ("127.0.0.1", 0), *,
+                 verbose: bool = False) -> None:
+        self.backend = backend
+        self.verbose = verbose
+        self.stats = {"gets": 0, "heads": 0, "puts": 0, "lists": 0, "deletes": 0}
+        self._stats_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        super().__init__(address, _Handler)
+
+    def count(self, op: str) -> None:
+        with self._stats_lock:
+            self.stats[op] += 1
+
+    @property
+    def url(self) -> str:
+        """Base URL clients pass as ``--store-url``.
+
+        A wildcard bind address is not a destination: substitute this
+        machine's hostname so the advertised locator routes from other
+        hosts.
+        """
+        host, port = self.server_address[:2]
+        if host in ("0.0.0.0", "::"):
+            host = socket.gethostname()
+        return f"http://{host}:{port}/"
+
+    def start(self) -> ObjectStoreServer:
+        """Serve requests on a daemon thread (the in-process test mode)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="object-store", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> ObjectStoreServer:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.datasets.object_server",
+        description="Minimal S3-style object store for DatasetStore artifacts",
+    )
+    parser.add_argument("--bind", default="127.0.0.1", metavar="HOST",
+                        help="listen address (default loopback; the server is "
+                             "unauthenticated — trusted networks only)")
+    parser.add_argument("--port", type=int, default=8123, metavar="PORT",
+                        help="listen port (default 8123; 0 = ephemeral)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--root", default=None, metavar="DIR",
+                       help="persist blobs under this directory")
+    group.add_argument("--memory", action="store_true",
+                       help="keep blobs in memory only (CI smoke stores)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each request to stderr")
+    args = parser.parse_args(argv)
+
+    backend: StoreBackend
+    if args.root is not None:
+        backend = LocalBackend(args.root)
+    else:
+        backend = MemoryBackend()
+    server = ObjectStoreServer(backend, (args.bind, args.port), verbose=args.verbose)
+    kind = f"directory {args.root}" if args.root is not None else "memory"
+    print(f"object store serving {kind} at {server.url} "
+          f"(--store-url {server.url})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

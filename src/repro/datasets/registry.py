@@ -6,7 +6,7 @@ the short names used throughout DESIGN.md and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.features import PerformanceDataset
 from repro.datasets.fmm_datasets import fmm_dataset

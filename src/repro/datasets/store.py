@@ -1,12 +1,23 @@
-"""Fingerprint-keyed persistent dataset store.
+"""Fingerprint-keyed persistent dataset store over pluggable byte backends.
 
 The executable FMM and stencil simulators are deterministic but not free:
 regenerating a dataset in every experiment — and, with a process-pool
 executor, in every *worker* — wastes most of a run's wall clock.
-:class:`DatasetStore` memoizes generated datasets to disk keyed by a
-:class:`DatasetSpec` fingerprint, so a dataset is simulated once per
-machine and afterwards loaded from ``.npz`` by every experiment,
-repeated invocation and worker process alike.
+:class:`DatasetStore` memoizes generated datasets keyed by a
+:class:`DatasetSpec` fingerprint, so a dataset is simulated once and
+afterwards loaded by every experiment, repeated invocation and worker
+process alike.
+
+All byte I/O is delegated to a
+:class:`~repro.datasets.backends.StoreBackend`:
+
+* a directory path (or ``file://`` URL) opens the historical on-disk
+  layout via :class:`~repro.datasets.backends.LocalBackend`;
+* ``memory://`` URLs open an in-memory store;
+* ``http(s)://`` URLs open an S3-style object store (see
+  :mod:`repro.datasets.object_server` for the bundled server), which
+  lets distributed fleet workers bootstrap shared artifacts directly
+  instead of relaying blobs through the coordinator.
 
 Fingerprint scheme
 ------------------
@@ -20,17 +31,16 @@ constants of :mod:`repro.fmm.perf_sim` and
 therefore denote the same arrays bit-for-bit (generation is
 deterministic), bumping a simulator version automatically invalidates
 every dataset that simulator produced, and bumping ``_FORMAT_VERSION``
-invalidates every stored artifact at once when the on-disk layout
-changes.
+invalidates every stored artifact at once when the layout changes.
 
-On-disk layout (under the store root)::
+Key layout (identical on every backend)::
 
     datasets/<name>-<fingerprint>.npz    X, y, feature_names, JSON-encoded configs
     caches/<model_key>-<fingerprint>.npz warmed analytical-prediction caches
 
 Configuration objects are serialized as JSON field dictionaries plus a
-*whitelisted* class name (never pickle), so loading a store directory can
-rebuild configs but cannot execute arbitrary code.
+*whitelisted* class name (never pickle), so loading a store can rebuild
+configs but cannot execute arbitrary code.
 
 The store also persists warmed
 :class:`~repro.analytical.cache.AnalyticalPredictionCache` contents keyed
@@ -45,13 +55,13 @@ import dataclasses
 import hashlib
 import io
 import json
-import os
 from dataclasses import dataclass
-from pathlib import Path
+from pathlib import Path, PurePosixPath
 
 import numpy as np
 
 from repro.core.features import PerformanceDataset
+from repro.datasets.backends import LocalBackend, StoreBackend, resolve_backend
 
 __all__ = ["DatasetSpec", "DatasetStore"]
 
@@ -122,46 +132,90 @@ class DatasetSpec:
 
 
 class DatasetStore:
-    """On-disk memo of generated datasets and warmed analytical caches.
+    """Memo of generated datasets and warmed analytical caches.
 
     Parameters
     ----------
     root:
-        Directory the store lives in (created on first write).
+        Where the store lives: a directory path (the historical local
+        layout), a ``file://`` / ``memory://`` / ``http(s)://`` store
+        URL, or an explicit :class:`StoreBackend` instance.
 
     Attributes
     ----------
     hits / misses:
-        Number of :meth:`get` calls served from disk vs. generated.
+        Number of :meth:`get` calls served from the backend vs. generated.
     cache_hits / cache_misses:
         Number of :meth:`load_analytical_cache` calls that found vs.
-        missed a persisted cache file.
+        missed a persisted cache.
     """
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
+    def __init__(self, root: str | Path | StoreBackend) -> None:
+        if isinstance(root, StoreBackend):
+            self.backend = root
+        elif isinstance(root, str) and "://" in root:
+            self.backend = resolve_backend(root)
+        else:
+            self.backend = LocalBackend(root)
         self.hits = 0
         self.misses = 0
         self.cache_hits = 0
         self.cache_misses = 0
 
+    @property
+    def root(self) -> Path | None:
+        """The store directory for local backends, ``None`` otherwise."""
+        return self.backend.root if isinstance(self.backend, LocalBackend) else None
+
+    @property
+    def locator(self) -> str | None:
+        """URL another process can open this store with (``None``: not shareable).
+
+        The distributed coordinator advertises this in its
+        ``PlanAssignment`` manifests so fleet workers can bootstrap
+        artifacts directly from shared storage.
+        """
+        return self.backend.locator
+
+    def _artifact_path(self, key: str):
+        """Path-like identity of *key*: a real :class:`Path` on local backends."""
+        if isinstance(self.backend, LocalBackend):
+            return self.backend.path(key)
+        return PurePosixPath(key)
+
     # ------------------------------------------------------------------ #
     # Datasets
     # ------------------------------------------------------------------ #
-    def dataset_path(self, spec: DatasetSpec) -> Path:
-        """File the dataset of *spec* is (or would be) stored at."""
-        return self.root / "datasets" / f"{spec.name}-{spec.fingerprint}.npz"
+    @staticmethod
+    def dataset_key(spec: DatasetSpec) -> str:
+        """Backend key the dataset of *spec* is (or would be) stored under."""
+        return f"datasets/{spec.name}-{spec.fingerprint}.npz"
+
+    def dataset_path(self, spec: DatasetSpec):
+        """Path-like identity of the dataset of *spec* (a file on local stores)."""
+        return self._artifact_path(self.dataset_key(spec))
+
+    def has_dataset(self, spec: DatasetSpec) -> bool:
+        """Whether the dataset of *spec* is stored (no counter update)."""
+        return self.backend.exists(self.dataset_key(spec))
 
     def get(self, spec: DatasetSpec) -> PerformanceDataset:
-        """Load the dataset of *spec* from disk, generating (and saving) on miss."""
-        path = self.dataset_path(spec)
-        if path.exists():
-            self.hits += 1
-            return self._load_dataset(path)
-        self.misses += 1
-        dataset = spec.build()
-        self._save_dataset(path, dataset)
-        return dataset
+        """Load the dataset of *spec* from the store, generating (and saving) on miss.
+
+        Read-first (no exists/read pair): one backend round trip on the
+        warm path, and no window for a concurrent prune to turn an
+        observed hit into a crash.
+        """
+        key = self.dataset_key(spec)
+        try:
+            data = self.backend.read(key)
+        except KeyError:
+            self.misses += 1
+            dataset = spec.build()
+            self.backend.write(key, self.encode_dataset(dataset))
+            return dataset
+        self.hits += 1
+        return self._load_dataset(io.BytesIO(data))
 
     @staticmethod
     def _config_classes() -> dict:
@@ -192,23 +246,9 @@ class DatasetStore:
         config_cls = cls._config_classes()[data["class"]]
         return [config_cls(**fields) for fields in data["configs"]]
 
-    @staticmethod
-    def _tmp_path(path: Path) -> Path:
-        """Per-process temp name next to *path* (np.savez insists on ``.npz``).
-
-        The pid suffix keeps concurrent writers of the same entry from
-        clobbering each other's half-written temp file; the final atomic
-        rename means the last completed writer wins with a valid file.
-        """
-        return Path(f"{path}.{os.getpid()}.tmp.npz")
-
-    @classmethod
-    def _save_dataset(cls, path: Path, dataset: PerformanceDataset) -> None:
-        cls._write_bytes(path, cls.encode_dataset(dataset))
-
     @classmethod
     def _load_dataset(cls, source) -> PerformanceDataset:
-        """Rebuild a dataset from a stored ``.npz`` path or file object."""
+        """Rebuild a dataset from stored ``.npz`` bytes (path or file object)."""
         with np.load(source, allow_pickle=False) as data:
             return PerformanceDataset(
                 name=str(data["name"]),
@@ -220,12 +260,13 @@ class DatasetStore:
 
     @classmethod
     def encode_dataset(cls, dataset: PerformanceDataset) -> bytes:
-        """The dataset as raw ``.npz`` bytes (the store's on-disk format).
+        """The dataset as raw ``.npz`` bytes (the store's artifact format).
 
         The byte form doubles as the wire format of the distributed
-        fleet's store bootstrap: the coordinator ships exactly what the
-        worker's store would hold, so a downloaded blob round-trips
-        through :meth:`put_dataset_bytes` + :meth:`get` bit-for-bit.
+        fleet's store bootstrap: the coordinator (or the shared object
+        store) ships exactly what the worker's store would hold, so a
+        downloaded blob round-trips through :meth:`put_dataset_bytes` +
+        :meth:`get` bit-for-bit.
         """
         buf = io.BytesIO()
         np.savez(
@@ -243,89 +284,100 @@ class DatasetStore:
         """Inverse of :meth:`encode_dataset` (store-less workers use this)."""
         return cls._load_dataset(io.BytesIO(data))
 
-    @classmethod
-    def _write_bytes(cls, path: Path, data: bytes) -> Path:
-        """Atomically place *data* at *path* (same tmp+rename as datasets)."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = cls._tmp_path(path)
-        tmp.write_bytes(data)
-        tmp.replace(path)
-        return path
-
     def dataset_bytes(self, spec: DatasetSpec) -> bytes:
-        """Raw stored bytes of the dataset of *spec* (must exist)."""
-        return self.dataset_path(spec).read_bytes()
+        """Raw stored bytes of the dataset of *spec* (:class:`KeyError` when absent)."""
+        return self.backend.read(self.dataset_key(spec))
 
-    def put_dataset_bytes(self, spec: DatasetSpec, data: bytes) -> Path:
+    def put_dataset_bytes(self, spec: DatasetSpec, data: bytes):
         """Install pre-encoded dataset bytes under the fingerprint of *spec*."""
-        return self._write_bytes(self.dataset_path(spec), data)
+        key = self.dataset_key(spec)
+        self.backend.write(key, data)
+        return self._artifact_path(key)
 
     # ------------------------------------------------------------------ #
     # Analytical-prediction caches
     # ------------------------------------------------------------------ #
-    def cache_path(self, model_key: str, spec: DatasetSpec) -> Path:
-        """File the warmed cache for ``(model_key, spec)`` is stored at."""
-        return self.root / "caches" / f"{model_key}-{spec.fingerprint}.npz"
+    @staticmethod
+    def cache_key(model_key: str, spec: DatasetSpec) -> str:
+        """Backend key of the warmed cache for ``(model_key, spec)``."""
+        return f"caches/{model_key}-{spec.fingerprint}.npz"
+
+    def cache_path(self, model_key: str, spec: DatasetSpec):
+        """Path-like identity of the ``(model_key, spec)`` cache."""
+        return self._artifact_path(self.cache_key(model_key, spec))
+
+    def has_cache(self, model_key: str, spec: DatasetSpec) -> bool:
+        """Whether the ``(model_key, spec)`` cache is stored (no counter update)."""
+        return self.backend.exists(self.cache_key(model_key, spec))
 
     def load_analytical_cache(self, model_key: str, spec: DatasetSpec,
                               model, feature_names):
         """Warmed cache for ``(model_key, spec)``, or ``None`` when not stored."""
         from repro.analytical.cache import AnalyticalPredictionCache
 
-        path = self.cache_path(model_key, spec)
-        if not path.exists():
+        key = self.cache_key(model_key, spec)
+        try:
+            data = self.backend.read(key)
+        except KeyError:
             self.cache_misses += 1
             return None
         self.cache_hits += 1
-        return AnalyticalPredictionCache.load(path, model, feature_names)
+        return AnalyticalPredictionCache.load(io.BytesIO(data), model, feature_names)
 
-    def save_analytical_cache(self, model_key: str, spec: DatasetSpec,
-                              cache) -> Path:
-        """Persist the memoized rows of *cache* for ``(model_key, spec)``."""
-        path = self.cache_path(model_key, spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Same atomic tmp-write + rename as _save_dataset: an interrupted
-        # run must not leave a truncated cache file that poisons later loads.
-        tmp = self._tmp_path(path)
-        cache.save(tmp)
-        tmp.replace(path)
-        return path
+    def save_analytical_cache(self, model_key: str, spec: DatasetSpec, cache):
+        """Persist the memoized rows of *cache* for ``(model_key, spec)``.
+
+        The cache is serialized to memory first and handed to the
+        backend whole, so the write inherits the backend's atomicity
+        (tmp + rename locally, single PUT on an object store): an
+        interrupted run must not leave a truncated cache that poisons
+        later loads.
+        """
+        key = self.cache_key(model_key, spec)
+        buf = io.BytesIO()
+        cache.save(buf)
+        self.backend.write(key, buf.getvalue())
+        return self._artifact_path(key)
 
     def cache_bytes(self, model_key: str, spec: DatasetSpec) -> bytes:
-        """Raw stored bytes of the ``(model_key, spec)`` cache (must exist)."""
-        return self.cache_path(model_key, spec).read_bytes()
+        """Raw bytes of the ``(model_key, spec)`` cache (:class:`KeyError` when absent)."""
+        return self.backend.read(self.cache_key(model_key, spec))
 
-    def put_cache_bytes(self, model_key: str, spec: DatasetSpec,
-                        data: bytes) -> Path:
+    def put_cache_bytes(self, model_key: str, spec: DatasetSpec, data: bytes):
         """Install pre-encoded cache bytes under ``(model_key, spec)``."""
-        return self._write_bytes(self.cache_path(model_key, spec), data)
+        key = self.cache_key(model_key, spec)
+        self.backend.write(key, data)
+        return self._artifact_path(key)
 
     # ------------------------------------------------------------------ #
     # Garbage collection
     # ------------------------------------------------------------------ #
-    def prune(self, keep_fingerprints) -> list[Path]:
+    def prune(self, keep_fingerprints) -> list:
         """Delete every stored artifact whose fingerprint is not kept.
 
         Long-lived stores accumulate entries for retired settings,
         subsample sizes and simulator versions (each fingerprint change
-        *adds* files, it never removes the stale ones).  ``prune`` walks
-        the ``datasets/`` and ``caches/`` directories, parses the
-        fingerprint out of each ``<name>-<fingerprint>.npz`` filename and
-        unlinks files whose fingerprint is not in *keep_fingerprints*
-        (leftover ``*.tmp.npz`` files from interrupted writes never parse
-        to a kept fingerprint and are collected too).  Returns the removed
-        paths.  Not safe against concurrent writers of the entries being
-        pruned.
+        *adds* artifacts, it never removes the stale ones).  ``prune``
+        lists the ``datasets/`` and ``caches/`` namespaces of the
+        backend, parses the fingerprint out of each
+        ``<name>-<fingerprint>.npz`` key and deletes artifacts whose
+        fingerprint is not in *keep_fingerprints*.  Orphaned
+        ``*.tmp.npz`` files (left by a writer killed between write and
+        rename on a local backend) never parse to a kept fingerprint and
+        are collected too.  Returns the removed paths (real
+        :class:`Path` objects on local backends).  Not safe against
+        concurrent writers of the entries being pruned.
         """
         keep = set(keep_fingerprints)
-        removed: list[Path] = []
-        for subdir in ("datasets", "caches"):
-            directory = self.root / subdir
-            if not directory.is_dir():
-                continue
-            for path in sorted(directory.glob("*.npz")):
-                fingerprint = path.stem.rsplit("-", 1)[-1]
-                if fingerprint not in keep:
-                    path.unlink()
-                    removed.append(path)
+        removed: list = []
+        for prefix in ("datasets/", "caches/"):
+            for key in self.backend.list(prefix):
+                fingerprint = PurePosixPath(key).stem.rsplit("-", 1)[-1]
+                if fingerprint in keep:
+                    continue
+                try:
+                    self.backend.delete(key)
+                except KeyError:
+                    continue  # a concurrent prune got there first
+                removed.append(self._artifact_path(key))
         return removed

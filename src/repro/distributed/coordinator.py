@@ -24,11 +24,15 @@ result is bit-identical.
 
 Store bootstrap
 ---------------
-The coordinator snapshots the resolved dataset and every warmed
-analytical cache as raw ``.npz`` blobs (read from the parent store when
-present, encoded in memory otherwise) and serves them to workers whose
-``--store-dir`` misses the fingerprint, so cold workers download instead
-of re-simulating.
+When the parent store is shareable (``file://`` locator on a shared
+filesystem, ``http://`` object store), its locator is advertised in the
+:class:`PlanAssignment` manifest and cold workers read the dataset and
+warmed caches **directly from shared storage** — fleet cold-start no
+longer serializes every blob through this one socket.  The coordinator
+still snapshots the resolved dataset and every warmed analytical cache
+as raw ``.npz`` blobs (read from the parent store when present, encoded
+in memory otherwise) and serves them as the relay fallback to workers
+that have no advertised store or cannot reach it.
 """
 
 from __future__ import annotations
@@ -92,10 +96,11 @@ class _Job:
 
     def __init__(self, plan, plan_id: str, cells: list,
                  dataset_blob: bytes, cache_blobs: dict[str, bytes],
-                 store_ok: bool) -> None:
+                 store_ok: bool, store_url: str | None = None) -> None:
         self.plan = plan
         self.plan_id = plan_id
         self.store_ok = store_ok
+        self.store_url = store_url
         self.cells = cells
         self.queue = deque(cells)
         self.completed: dict[tuple, CellResult] = {}
@@ -175,13 +180,13 @@ class Coordinator:
         """The ``(host, port)`` the coordinator is listening on."""
         return self._listener.getsockname()[:2]
 
-    def __enter__(self) -> "Coordinator":
+    def __enter__(self) -> Coordinator:
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def spawn_local_workers(self, n: int, *, store_dir=None,
+    def spawn_local_workers(self, n: int, *, store_dir=None, store_url=None,
                             cell_delay: float | None = None) -> list[subprocess.Popen]:
         """Spawn *n* localhost worker processes connected to this coordinator.
 
@@ -189,9 +194,13 @@ class Coordinator:
         without an external fleet.  The workers inherit the environment
         plus a ``PYTHONPATH`` entry for this package, so they import the
         same code whether it is installed or run from a source tree.
+        *store_dir* (a directory) or *store_url* (a ``file://`` /
+        ``http://`` store locator) configures their persistent store.
         """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
+        if store_dir is not None and store_url is not None:
+            raise ValueError("pass store_dir or store_url, not both")
         host, port = self.address
         env = os.environ.copy()
         src_root = str(Path(__file__).resolve().parent.parent.parent)
@@ -201,6 +210,8 @@ class Coordinator:
                "--connect", f"{host}:{port}"]
         if store_dir is not None:
             cmd += ["--store-dir", str(store_dir)]
+        if store_url is not None:
+            cmd += ["--store-url", str(store_url)]
         if cell_delay is not None:
             cmd += ["--cell-delay", str(cell_delay)]
         procs = [subprocess.Popen(cmd, env=env) for _ in range(n)]
@@ -232,6 +243,12 @@ class Coordinator:
         fingerprint, so the plan id is extended with a content digest
         (distinct worker memo entry) and workers are told to bypass their
         persistent stores and always fetch the coordinator's blobs.
+
+        When *store* has a shareable locator (``file://`` on a shared
+        filesystem, ``http://`` object store) the locator is advertised
+        in the plan manifest and workers bootstrap missing artifacts
+        directly from it; the coordinator-relay blobs below stay as the
+        fallback for workers that cannot reach the advertised store.
         """
         plan_id = plan.fingerprint
         if dataset_override:
@@ -242,7 +259,8 @@ class Coordinator:
         job = _Job(plan, plan_id, cells,
                    self._dataset_blob(plan, dataset, store),
                    self._cache_blobs(plan, caches, store),
-                   store_ok=not dataset_override)
+                   store_ok=not dataset_override,
+                   store_url=None if store is None else store.locator)
         with self._cond:
             if self._closing:
                 raise RuntimeError("coordinator is closed")
@@ -302,7 +320,7 @@ class Coordinator:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _dataset_blob(plan, dataset, store: DatasetStore | None) -> bytes:
-        if store is not None and store.dataset_path(plan.dataset).exists():
+        if store is not None and store.has_dataset(plan.dataset):
             return store.dataset_bytes(plan.dataset)
         return DatasetStore.encode_dataset(dataset)
 
@@ -310,7 +328,7 @@ class Coordinator:
     def _cache_blobs(plan, caches: dict, store: DatasetStore | None) -> dict[str, bytes]:
         blobs: dict[str, bytes] = {}
         for key, cache in caches.items():
-            if store is not None and store.cache_path(key, plan.dataset).exists():
+            if store is not None and store.has_cache(key, plan.dataset):
                 blobs[key] = store.cache_bytes(key, plan.dataset)
                 continue
             buf = io.BytesIO()
@@ -475,7 +493,8 @@ class Coordinator:
                 if self._closing:
                     return Goodbye()
                 if job is not None and job.failure is None and not job.finished:
-                    return PlanAssignment(job.plan_id, job.plan, job.store_ok)
+                    return PlanAssignment(job.plan_id, job.plan, job.store_ok,
+                                          job.store_url)
                 return NoPlan()
             if isinstance(message, FetchDataset):
                 if job is None or job.plan_id != message.plan_id:

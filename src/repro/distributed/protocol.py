@@ -22,9 +22,16 @@ direction and get no reply).
    (the full :class:`~repro.experiments.plan.ExperimentPlan`, which is a
    frozen dataclass of primitives and pickles unchanged), :class:`NoPlan`
    (poll again later) or :class:`Goodbye` (fleet shutting down);
-3. store bootstrap — :class:`FetchDataset` / :class:`FetchCache` answered
-   by :class:`DatasetBlob` / :class:`CacheBlob` (raw ``.npz`` bytes), so a
-   cold worker store downloads artifacts instead of re-simulating;
+3. store bootstrap — the :class:`PlanAssignment` manifest advertises the
+   coordinator store's *locator* URL (``store_url``) when the store is
+   shareable, so cold workers read the dataset and warmed caches
+   **directly from shared storage** (e.g. the S3-style object store of
+   :mod:`repro.datasets.object_server`) instead of funneling blobs
+   through the coordinator's socket; :class:`FetchDataset` /
+   :class:`FetchCache` answered by :class:`DatasetBlob` /
+   :class:`CacheBlob` (raw ``.npz`` bytes) remain as the
+   coordinator-relay fallback when no locator is advertised or the
+   advertised store is unreachable;
 4. work loop — :class:`GetBatch` answered by :class:`Batch`,
    :class:`Idle` (cells in flight elsewhere, poll again) or
    :class:`PlanDone`; :class:`Results` answered by :class:`Ack`;
@@ -77,7 +84,8 @@ __all__ = [
 
 #: Bump on any incompatible change to the message set or framing; the
 #: HELLO handshake rejects workers whose version differs.
-PROTOCOL_VERSION = 1
+#: Version 2 added the advertised store locator (``PlanAssignment.store_url``).
+PROTOCOL_VERSION = 2
 
 #: Upper bound on a single frame (a defensive cap, far above any real
 #: dataset blob; a corrupt or foreign length prefix fails fast instead of
@@ -200,11 +208,20 @@ class PlanAssignment:
     when the plan runs on an override dataset whose content has no
     registered fingerprint: the worker must then fetch the blobs and keep
     them out of its persistent store.
+
+    ``store_url`` is the coordinator store's shareable locator (``file://``
+    on a shared filesystem, ``http://`` for an object store) or ``None``:
+    a worker missing an artifact tries the advertised store first and
+    only falls back to :class:`FetchDataset`/:class:`FetchCache` relay
+    frames when there is no locator or the direct read fails, so
+    cold-starting a large fleet no longer serializes every blob through
+    the coordinator's single socket.
     """
 
     plan_id: str
     plan: object
     store_ok: bool = True
+    store_url: str | None = None
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,8 @@
 """Fleet worker: pulls cell batches from a coordinator, streams results back.
 
 Runnable as ``python -m repro.distributed.worker --connect HOST:PORT
-[--store-dir DIR]`` (also exposed as ``python -m repro.experiments
-fleet-worker ...``).  A worker is a long-lived client: it serves every
+[--store-dir DIR | --store-url URL]`` (also exposed as ``python -m
+repro.experiments fleet-worker ...``).  A worker is a long-lived client: it serves every
 plan the coordinator runs over one connection and exits when the
 coordinator says :class:`~repro.distributed.protocol.Goodbye` or goes
 away.
@@ -10,10 +10,15 @@ away.
 Per-plan state follows the same memo discipline as the process executor:
 the dataset, warmed analytical caches and series factories are resolved
 once per plan fingerprint and reused across batches.  Resolution never
-simulates: a worker with a ``--store-dir`` loads artifacts whose
-fingerprint file exists and *downloads* the rest from the coordinator
-(saving them, so the store warms for future runs); a store-less worker
-keeps the downloaded blobs in memory.
+simulates: a worker with a store (``--store-dir`` directory or any
+``--store-url`` backend) loads artifacts whose fingerprint exists and
+*downloads* the rest — **directly from the store the coordinator
+advertises** in the plan manifest (a shared ``file://`` directory or an
+``http://`` object store) when one is reachable, through
+``FetchDataset``/``FetchCache`` relay frames on the coordinator's socket
+otherwise.  Downloads are saved, so the store warms for future runs; a
+store-less worker keeps them in memory.  ``direct_fetches`` /
+``relay_fetches`` count which path each artifact took.
 
 A daemon thread heartbeats on an interval even while cells compute, so
 the coordinator can tell "slow" from "dead" without bounding cell cost.
@@ -75,10 +80,13 @@ class FleetWorker:
     address:
         ``(host, port)`` of the coordinator.
     store:
-        Optional persistent :class:`DatasetStore` (or directory path).
+        Optional persistent :class:`DatasetStore` (or a directory path /
+        ``file://`` / ``memory://`` / ``http(s)://`` store URL).
         Artifacts present under the plan's fingerprint are loaded from
-        disk; missing ones are downloaded from the coordinator and saved.
-        Without a store the downloads stay in memory.
+        the store; missing ones are downloaded — from the coordinator's
+        advertised store when reachable, over the coordinator socket
+        otherwise — and saved.  Without a store the downloads stay in
+        memory.
     connect_timeout:
         Seconds to keep retrying the initial connection (workers are
         typically started before, or racing with, the coordinator).
@@ -95,7 +103,10 @@ class FleetWorker:
                  heartbeat_interval: float = 1.0,
                  cell_delay: float | None = None) -> None:
         self.address = address
-        self.store = DatasetStore(store) if isinstance(store, (str, os.PathLike)) else store
+        if store is None or isinstance(store, DatasetStore):
+            self.store = store
+        else:  # a directory path, store URL or StoreBackend
+            self.store = DatasetStore(store)
         self.worker_id = worker_id or (
             f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}")
         self.connect_timeout = connect_timeout
@@ -105,8 +116,13 @@ class FleetWorker:
         self.cell_delay = cell_delay
         self.plans_served = 0
         self.cells_evaluated = 0
+        #: Artifacts bootstrapped directly from the advertised store vs.
+        #: relayed through the coordinator socket (hit-counter telemetry).
+        self.direct_fetches = 0
+        self.relay_fetches = 0
         self._send_lock = threading.Lock()
         self._memo: dict[str, tuple] = {}
+        self._advertised: dict[str, DatasetStore | None] = {}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -228,34 +244,76 @@ class FleetWorker:
         # override: its content has no registered fingerprint, so the
         # local store must be bypassed in both directions.
         store = self.store if assignment.store_ok else None
-        if store is not None and store.dataset_path(spec).exists():
+        if store is not None and store.has_dataset(spec):
             dataset = store.get(spec)
         else:
-            blob = self._fetch(sock, FetchDataset(assignment.plan_id), DatasetBlob)
+            data = self._artifact_bytes(
+                sock, assignment, lambda shared: shared.dataset_bytes(spec),
+                FetchDataset(assignment.plan_id), DatasetBlob)
             if store is not None:
-                store.put_dataset_bytes(spec, blob.data)
+                store.put_dataset_bytes(spec, data)
                 dataset = store.get(spec)
             else:
-                dataset = DatasetStore.decode_dataset_bytes(blob.data)
+                dataset = DatasetStore.decode_dataset_bytes(data)
         caches = {}
         for key in plan.cache_keys():
             model = build_analytical(key)
-            if store is not None and store.cache_path(key, spec).exists():
+            if store is not None and store.has_cache(key, spec):
                 caches[key] = store.load_analytical_cache(
                     key, spec, model, dataset.feature_names)
                 continue
-            blob = self._fetch(
-                sock, FetchCache(assignment.plan_id, key), CacheBlob)
+            data = self._artifact_bytes(
+                sock, assignment,
+                lambda shared, key=key: shared.cache_bytes(key, spec),
+                FetchCache(assignment.plan_id, key), CacheBlob)
             if store is not None:
-                store.put_cache_bytes(key, spec, blob.data)
+                store.put_cache_bytes(key, spec, data)
                 caches[key] = store.load_analytical_cache(
                     key, spec, model, dataset.feature_names)
             else:
                 caches[key] = AnalyticalPredictionCache.load(
-                    io.BytesIO(blob.data), model, dataset.feature_names)
+                    io.BytesIO(data), model, dataset.feature_names)
         state = (dataset, _series_factories(plan, dataset, caches))
         self._memo[assignment.plan_id] = state
         return state
+
+    def _advertised_store(self, assignment: PlanAssignment) -> DatasetStore | None:
+        """The shared store the plan manifest advertises (memoized), or ``None``."""
+        url = assignment.store_url
+        if not url or not assignment.store_ok:
+            return None
+        if url not in self._advertised:
+            try:
+                self._advertised[url] = DatasetStore(url)
+            except ValueError:
+                # Unknown scheme / malformed locator (e.g. a newer
+                # coordinator): the relay path still works.
+                self._advertised[url] = None
+        return self._advertised[url]
+
+    def _artifact_bytes(self, sock: socket.socket, assignment: PlanAssignment,
+                        direct_read, request, expected: type) -> bytes:
+        """One artifact's bytes: advertised store first, coordinator relay fallback.
+
+        *direct_read* takes the advertised :class:`DatasetStore` and
+        returns the artifact bytes; any miss or transport failure
+        (``KeyError`` for absent keys, ``OSError`` for an unreachable
+        object store or filesystem) falls back to a
+        ``FetchDataset``/``FetchCache`` round-trip on the coordinator
+        socket, so a worker that cannot see the shared store still
+        bootstraps — just without relieving the coordinator.
+        """
+        shared = self._advertised_store(assignment)
+        if shared is not None:
+            try:
+                data = direct_read(shared)
+            except (KeyError, OSError, ValueError):
+                pass
+            else:
+                self.direct_fetches += 1
+                return data
+        self.relay_fetches += 1
+        return self._fetch(sock, request, expected).data
 
     def _fetch(self, sock: socket.socket, request, expected: type):
         reply = self._request(sock, request)
@@ -274,9 +332,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--connect", required=True, metavar="HOST:PORT",
                         help="coordinator address")
-    parser.add_argument("--store-dir", default=None, metavar="DIR",
-                        help="persistent dataset/cache store; missing artifacts "
-                             "are bootstrapped from the coordinator, never re-simulated")
+    store_group = parser.add_mutually_exclusive_group()
+    store_group.add_argument("--store-dir", default=None, metavar="DIR",
+                             help="persistent dataset/cache store directory; missing "
+                                  "artifacts are bootstrapped from the advertised "
+                                  "shared store or the coordinator, never re-simulated")
+    store_group.add_argument("--store-url", default=None, metavar="URL",
+                             help="store locator instead of a directory: file://DIR, "
+                                  "memory:// or http://HOST:PORT/ (an S3-style object "
+                                  "store, e.g. python -m repro.datasets.object_server)")
     parser.add_argument("--worker-id", default=None,
                         help="stable identity (default: host-pid-random)")
     parser.add_argument("--connect-timeout", type=float, default=20.0, metavar="S",
@@ -287,8 +351,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="artificial per-cell sleep (fault-injection/testing; "
                              "default $REPRO_FLEET_CELL_DELAY or 0)")
     args = parser.parse_args(argv)
+    store = args.store_dir
+    if args.store_url is not None:
+        # Resolved through the scheme registry so a malformed URL is a
+        # usage error, not a silently-created local directory.
+        from repro.datasets.backends import resolve_backend
+
+        try:
+            store = resolve_backend(args.store_url)
+        except ValueError as exc:
+            parser.error(str(exc))
     worker = FleetWorker(
-        parse_address(args.connect), store=args.store_dir,
+        parse_address(args.connect), store=store,
         worker_id=args.worker_id, connect_timeout=args.connect_timeout,
         heartbeat_interval=args.heartbeat_interval, cell_delay=args.cell_delay)
     return worker.run()

@@ -17,6 +17,13 @@ Options
 ``--store-dir``   persistent dataset/cache store directory: datasets are
                   simulated and analytical caches warmed at most once, then
                   reloaded by later invocations and worker processes
+``--store-url``   the same store behind any registered backend locator:
+                  ``file://DIR``, ``memory://`` (process-local scratch) or
+                  ``http://HOST:PORT/`` — an S3-style object store (serve one
+                  with ``python -m repro.datasets.object_server``).  A fleet
+                  coordinator advertises the locator to its workers, so cold
+                  workers bootstrap directly from the object store instead of
+                  relaying blobs through the coordinator socket
 ``--store-prune`` after the run, delete store entries whose fingerprint none
                   of the executed experiments uses (stale settings, old
                   simulator versions)
@@ -25,9 +32,12 @@ Options
 Fleet workers
 -------------
 ``python -m repro.experiments fleet-worker --connect HOST:PORT
-[--store-dir DIR]`` starts a worker process for a ``--executor remote
---bind`` coordinator on this or any other host (an alias for
-``python -m repro.distributed.worker``; see there for all options).
+[--store-dir DIR | --store-url URL]`` starts a worker process for a
+``--executor remote --bind`` coordinator on this or any other host (an
+alias for ``python -m repro.distributed.worker``; see there for all
+options).  Workers missing an artifact bootstrap it directly from the
+store the coordinator advertises (falling back to coordinator relay),
+so even store-less workers never re-simulate.
 """
 
 from __future__ import annotations
@@ -69,11 +79,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="remote executor: spawn N localhost fleet workers "
                              "(default: --jobs without --bind, 0 with it)")
-    parser.add_argument("--store-dir", default=None, metavar="DIR",
-                        help="persistent dataset/analytical-cache store directory")
+    store_group = parser.add_mutually_exclusive_group()
+    store_group.add_argument("--store-dir", default=None, metavar="DIR",
+                             help="persistent dataset/analytical-cache store directory")
+    store_group.add_argument("--store-url", default=None, metavar="URL",
+                             help="store locator instead of a directory: file://DIR, "
+                                  "memory:// or http://HOST:PORT/ (an S3-style object "
+                                  "store, e.g. python -m repro.datasets.object_server)")
     parser.add_argument("--store-prune", action="store_true",
                         help="after the run, delete store entries not used by "
-                             "the executed experiments (requires --store-dir)")
+                             "the executed experiments (requires --store-dir "
+                             "or --store-url)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -91,11 +107,22 @@ def main(argv: list[str] | None = None) -> int:
             executor = "serial" if args.jobs == 1 else "process"
     if executor != "remote" and (args.bind is not None or args.workers is not None):
         parser.error("--bind/--workers require --executor remote")
-    if args.store_prune and args.store_dir is None:
-        parser.error("--store-prune requires --store-dir")
+    if args.store_prune and args.store_url is None and args.store_dir is None:
+        parser.error("--store-prune requires --store-dir or --store-url")
 
     store = None
-    if args.store_dir is not None:
+    if args.store_url is not None:
+        # Always resolved through the scheme registry, so a malformed URL
+        # (missing scheme, typo'd http:/) is a usage error instead of
+        # silently becoming a local directory named after the URL.
+        from repro.datasets.backends import resolve_backend
+        from repro.datasets.store import DatasetStore
+
+        try:
+            store = DatasetStore(resolve_backend(args.store_url))
+        except ValueError as exc:
+            parser.error(str(exc))
+    elif args.store_dir is not None:
         from repro.datasets.store import DatasetStore
 
         store = DatasetStore(args.store_dir)
@@ -124,7 +151,12 @@ def main(argv: list[str] | None = None) -> int:
         if n_local is None:
             n_local = 0 if args.bind is not None else _resolve_jobs(args.jobs)
         if n_local:
-            fleet.spawn_local_workers(n_local, store_dir=args.store_dir)
+            # Workers open the parent store through its shareable locator
+            # (file:// directory, http:// object store); a non-shareable
+            # store (memory://) leaves them store-less — they bootstrap
+            # from the coordinator's blobs instead.
+            fleet.spawn_local_workers(
+                n_local, store_url=None if store is None else store.locator)
 
     try:
         for name in args.names:

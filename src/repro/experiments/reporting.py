@@ -48,7 +48,7 @@ def results_to_markdown(results: dict[str, ExperimentResult]) -> str:
     """Markdown summary of several experiments (used to draft EXPERIMENTS.md)."""
     lines = ["| experiment | series | train % | MAPE mean | MAPE std |",
              "|---|---|---|---|---|"]
-    for name, result in results.items():
+    for result in results.values():
         for row in result.rows():
             lines.append(
                 f"| {result.experiment_id} | {row['series']} | "

@@ -50,12 +50,12 @@ class ExperimentSettings:
     random_state: int = 0
 
     @classmethod
-    def quick(cls) -> "ExperimentSettings":
+    def quick(cls) -> ExperimentSettings:
         """Cheap settings for tests and smoke runs."""
         return cls(n_estimators=8, n_repeats=2, max_configs=400, random_state=0)
 
     @classmethod
-    def full(cls) -> "ExperimentSettings":
+    def full(cls) -> ExperimentSettings:
         """Higher-fidelity settings (closer to scikit-learn defaults)."""
         return cls(n_estimators=60, n_repeats=5, max_configs=None, random_state=0)
 

@@ -118,16 +118,18 @@ def _series_factories(plan: ExperimentPlan, dataset: PerformanceDataset,
 _WORKER_STATE: dict = {}
 
 
-def _evaluate_batch(plan: ExperimentPlan, cells: list, store_root: str | None,
+def _evaluate_batch(plan: ExperimentPlan, cells: list, store_locator: str | None,
                     dataset: PerformanceDataset | None = None) -> list[CellResult]:
     """Evaluate one batch of cells (runs inside a worker process).
 
     Module-level (and with picklable arguments) so ``ProcessPoolExecutor``
-    can ship it.  The serial/thread paths evaluate cells directly in
-    :func:`run_plan` against the parent-resolved state; divergence is
-    impossible because both paths reduce to the same
-    :func:`~repro.core.evaluation.evaluate_cell` call per cell and the
-    merge is plan-ordered.
+    can ship it.  *store_locator* is the parent store's shareable URL
+    (``file://`` directory, ``http://`` object store); workers open
+    their own :class:`DatasetStore` on it.  The serial/thread paths
+    evaluate cells directly in :func:`run_plan` against the
+    parent-resolved state; divergence is impossible because both paths
+    reduce to the same :func:`~repro.core.evaluation.evaluate_cell` call
+    per cell and the merge is plan-ordered.
     """
     if dataset is not None:
         # Override datasets have no registered fingerprint; key the memo by
@@ -135,13 +137,13 @@ def _evaluate_batch(plan: ExperimentPlan, cells: list, store_root: str | None,
         digest = hashlib.sha256(dataset.X.tobytes() + dataset.y.tobytes()).hexdigest()
         key = (plan, "override", digest)
     else:
-        key = (plan, store_root)
+        key = (plan, store_locator)
     state = _WORKER_STATE.get(key)
     if state is None:
         if dataset is not None:
             resolved, caches = _resolve_data(plan, None, dataset)
         else:
-            store = DatasetStore(store_root) if store_root is not None else None
+            store = DatasetStore(store_locator) if store_locator is not None else None
             resolved, caches = _resolve_data(plan, store)
         state = (resolved, _series_factories(plan, resolved, caches))
         _WORKER_STATE[key] = state
@@ -160,8 +162,9 @@ def _run_remote(plan: ExperimentPlan, cells: list, dataset: PerformanceDataset,
 
     With an existing *fleet* coordinator the plan simply runs on it.  The
     convenience path spawns a throwaway coordinator plus *jobs* localhost
-    workers; the workers share the parent's store directory (warm-path
-    loads, no bootstrap traffic) when one is configured.
+    workers; the workers share the parent's store (via its locator URL —
+    warm-path loads, no bootstrap traffic) when a shareable one is
+    configured.
     """
     from repro.distributed.coordinator import Coordinator
 
@@ -170,7 +173,7 @@ def _run_remote(plan: ExperimentPlan, cells: list, dataset: PerformanceDataset,
                              dataset_override=dataset_override)
     with Coordinator() as coordinator:
         coordinator.spawn_local_workers(
-            jobs, store_dir=None if store is None else store.root)
+            jobs, store_url=None if store is None else store.locator)
         return coordinator.execute(plan, cells, dataset, caches, store=store,
                                    dataset_override=dataset_override)
 
@@ -228,14 +231,15 @@ def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
                 lambda cell: evaluate_cell(cell, factories[cell.factory_key], resolved),
                 cells))
     else:  # process
-        store_root = str(store.root) if (store is not None and dataset is None) else None
-        # With a store, workers load the persisted dataset/caches from disk;
-        # without one, ship the parent-resolved dataset instead of letting
+        store_locator = store.locator if (store is not None and dataset is None) else None
+        # With a shareable store, workers load the persisted dataset/caches
+        # through its locator (a file:// directory or http:// object store);
+        # otherwise ship the parent-resolved dataset instead of letting
         # every worker re-simulate it from the spec.
-        shipped = None if store_root is not None else resolved
+        shipped = None if store_locator is not None else resolved
         batches = [[cells[i] for i in chunk] for chunk in chunk_indices(len(cells), jobs)]
         with ProcessPoolExecutor(max_workers=len(batches)) as pool:
-            futures = [pool.submit(_evaluate_batch, plan, batch, store_root, shipped)
+            futures = [pool.submit(_evaluate_batch, plan, batch, store_locator, shipped)
                        for batch in batches]
             results = [r for future in futures for r in future.result()]
 

@@ -13,8 +13,8 @@ crossover between P2P-dominated (large ``q``) and M2L-dominated (small
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -123,12 +123,12 @@ class FmmConfigSpace:
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def paper_space(cls) -> "FmmConfigSpace":
+    def paper_space(cls) -> FmmConfigSpace:
         """The Figure 3B / Figure 8 space: t=1..16, N in {4096, 8192, 16384}, k=2..12."""
         return cls()
 
     @classmethod
-    def small_space(cls) -> "FmmConfigSpace":
+    def small_space(cls) -> FmmConfigSpace:
         """A reduced space for tests and quick examples."""
         return cls(thread_counts=(1, 2, 4), particle_counts=(1024, 2048),
                    leaf_sizes=(16, 64), orders=(2, 4, 6))

@@ -64,7 +64,7 @@ class ParticleSet:
         radius = 0.5 * float(np.max(hi - lo))
         return center, radius * (1.0 + pad) + pad
 
-    def subset(self, indices: np.ndarray) -> "ParticleSet":
+    def subset(self, indices: np.ndarray) -> ParticleSet:
         """Particle subset (copies data)."""
         return ParticleSet(self.positions[indices].copy(), self.weights[indices].copy())
 

@@ -109,7 +109,7 @@ class CacheHierarchy:
         if not self.levels:
             raise ValueError("CacheHierarchy needs at least one cache level")
         sizes = [lvl.size_bytes for lvl in self.levels]
-        if any(b <= a for a, b in zip(sizes, sizes[1:])):
+        if any(b <= a for a, b in zip(sizes, sizes[1:], strict=False)):
             raise ValueError(
                 "cache levels must be ordered from smallest (L1) to largest "
                 f"(got sizes {sizes})"
@@ -147,7 +147,7 @@ class CacheHierarchy:
         raise KeyError(f"no cache level named {name!r}; have "
                        f"{[lvl.name for lvl in self.levels]}")
 
-    def scaled(self, factor: float) -> "CacheHierarchy":
+    def scaled(self, factor: float) -> CacheHierarchy:
         """Return a hierarchy with every capacity scaled by ``factor``.
 
         Useful for "hardware change" experiments where the same workload is

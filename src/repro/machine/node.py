@@ -104,7 +104,7 @@ class MachineSpec:
         """Inverse bandwidth of cache level *level_index* (0 = L1), s/element."""
         return self.hierarchy.levels[level_index].beta(self.word_bytes)
 
-    def with_hierarchy(self, hierarchy: CacheHierarchy) -> "MachineSpec":
+    def with_hierarchy(self, hierarchy: CacheHierarchy) -> MachineSpec:
         """Return a copy of this spec with a different cache hierarchy."""
         return MachineSpec(
             name=self.name,

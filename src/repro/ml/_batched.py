@@ -42,7 +42,7 @@ def _tree_groups(tree_ids: np.ndarray):
     """Yield ``(tree, start, stop)`` runs of the non-decreasing id array."""
     boundaries = np.nonzero(np.diff(tree_ids))[0] + 1
     edges = np.concatenate(([0], boundaries, [len(tree_ids)]))
-    for a, b in zip(edges[:-1], edges[1:]):
+    for a, b in zip(edges[:-1], edges[1:], strict=True):
         yield int(tree_ids[a]), int(a), int(b)
 
 

@@ -154,7 +154,7 @@ def _tree_groups(tree_ids: np.ndarray):
     """Yield ``(tree, start, stop)`` runs of the non-decreasing id array."""
     boundaries = np.nonzero(np.diff(tree_ids))[0] + 1
     bounds = np.concatenate(([0], boundaries, [len(tree_ids)]))
-    for a, b in zip(bounds[:-1], bounds[1:]):
+    for a, b in zip(bounds[:-1], bounds[1:], strict=True):
         yield int(tree_ids[a]), int(a), int(b)
 
 

@@ -35,11 +35,11 @@ class PackedForest:
         self.value = np.concatenate([t.value for t in trees])
         self.left = np.concatenate([
             np.where(t.left != _NO_CHILD, t.left + off, _NO_CHILD)
-            for t, off in zip(trees, offsets)
+            for t, off in zip(trees, offsets, strict=True)
         ])
         self.right = np.concatenate([
             np.where(t.right != _NO_CHILD, t.right + off, _NO_CHILD)
-            for t, off in zip(trees, offsets)
+            for t, off in zip(trees, offsets, strict=True)
         ])
 
     @property

@@ -64,7 +64,7 @@ class BaggingRegressor(BaseEstimator, RegressorMixin):
         self.n_features_in_: int | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, X, y) -> "BaggingRegressor":
+    def fit(self, X, y) -> BaggingRegressor:
         """Fit ``n_estimators`` replicas on bootstrap samples."""
         X, y = check_X_y(X, y)
         if self.n_estimators < 1:
@@ -109,7 +109,8 @@ class BaggingRegressor(BaseEstimator, RegressorMixin):
                 f"{self.n_features_in_}"
             )
         preds = np.zeros(X.shape[0], dtype=np.float64)
-        for est, feats in zip(self.estimators_, self.estimators_features_):
+        for est, feats in zip(self.estimators_, self.estimators_features_,
+                              strict=True):
             preds += est.predict(X[:, feats])
         return preds / len(self.estimators_)
 
@@ -119,7 +120,8 @@ class BaggingRegressor(BaseEstimator, RegressorMixin):
         X = check_array(X)
         all_preds = np.stack([
             est.predict(X[:, feats])
-            for est, feats in zip(self.estimators_, self.estimators_features_)
+            for est, feats in zip(self.estimators_, self.estimators_features_,
+                                  strict=True)
         ])
         return all_preds.std(axis=0)
 

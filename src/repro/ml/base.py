@@ -56,7 +56,7 @@ class BaseEstimator:
                     params[f"{name}__{sub_name}"] = sub_value
         return params
 
-    def set_params(self, **params) -> "BaseEstimator":
+    def set_params(self, **params) -> BaseEstimator:
         """Set configuration parameters (supports ``nested__param`` syntax)."""
         if not params:
             return self

@@ -70,7 +70,7 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
         self.n_features_in_: int | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, X, y) -> "GradientBoostingRegressor":
+    def fit(self, X, y) -> GradientBoostingRegressor:
         """Fit the boosting stages to the least-squares residuals."""
         X, y = check_X_y(X, y)
         if self.n_estimators < 1:

@@ -83,7 +83,7 @@ class BaseForestRegressor(BaseEstimator, RegressorMixin):
         self.oob_score_: float | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, X, y) -> "BaseForestRegressor":
+    def fit(self, X, y) -> BaseForestRegressor:
         """Fit ``n_estimators`` randomized trees."""
         X, y = check_X_y(X, y)
         if self.n_estimators < 1:

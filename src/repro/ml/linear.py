@@ -25,7 +25,7 @@ class LinearRegression(BaseEstimator, RegressorMixin):
         self.intercept_: float | None = None
         self.n_features_in_: int | None = None
 
-    def fit(self, X, y) -> "LinearRegression":
+    def fit(self, X, y) -> LinearRegression:
         """Fit the least-squares coefficients."""
         X, y = check_X_y(X, y)
         self.n_features_in_ = X.shape[1]
@@ -63,7 +63,7 @@ class Ridge(BaseEstimator, RegressorMixin):
         self.intercept_: float | None = None
         self.n_features_in_: int | None = None
 
-    def fit(self, X, y) -> "Ridge":
+    def fit(self, X, y) -> Ridge:
         """Solve the regularized normal equations."""
         if self.alpha < 0:
             raise ValueError(f"alpha must be >= 0, got {self.alpha}")

@@ -8,7 +8,7 @@ x-axis of every figure in the evaluation.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -175,7 +175,7 @@ class ParameterGrid:
     def __iter__(self) -> Iterator[dict]:
         keys = sorted(self.grid)
         for combo in itertools.product(*(self.grid[k] for k in keys)):
-            yield dict(zip(keys, combo))
+            yield dict(zip(keys, combo, strict=True))
 
 
 class GridSearchCV(BaseEstimator):
@@ -200,7 +200,7 @@ class GridSearchCV(BaseEstimator):
         self.best_estimator_: BaseEstimator | None = None
         self.cv_results_: list[dict] | None = None
 
-    def fit(self, X, y) -> "GridSearchCV":
+    def fit(self, X, y) -> GridSearchCV:
         """Evaluate every parameter combination and refit the best one."""
         results = []
         best_key = None

@@ -34,7 +34,7 @@ class KNeighborsRegressor(BaseEstimator, RegressorMixin):
         self._y: np.ndarray | None = None
         self.n_features_in_: int | None = None
 
-    def fit(self, X, y) -> "KNeighborsRegressor":
+    def fit(self, X, y) -> KNeighborsRegressor:
         """Memorize the training set."""
         if self.n_neighbors < 1:
             raise ValueError(f"n_neighbors must be >= 1, got {self.n_neighbors}")

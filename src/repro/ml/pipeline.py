@@ -30,7 +30,7 @@ class Pipeline(BaseEstimator, RegressorMixin):
         self.steps_: list[tuple[str, BaseEstimator]] | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, X, y=None) -> "Pipeline":
+    def fit(self, X, y=None) -> Pipeline:
         """Fit each transformer in order, then the final estimator."""
         self._validate()
         fitted: list[tuple[str, BaseEstimator]] = []
@@ -97,4 +97,4 @@ def make_pipeline(*estimators: BaseEstimator) -> Pipeline:
         base = type(est).__name__.lower()
         counts[base] = counts.get(base, 0) + 1
         names.append(base if counts[base] == 1 else f"{base}-{counts[base]}")
-    return Pipeline(steps=list(zip(names, estimators)))
+    return Pipeline(steps=list(zip(names, estimators, strict=True)))

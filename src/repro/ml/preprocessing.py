@@ -30,7 +30,7 @@ class StandardScaler(BaseEstimator, TransformerMixin):
         self.scale_: np.ndarray | None = None
         self.n_features_in_: int | None = None
 
-    def fit(self, X, y=None) -> "StandardScaler":
+    def fit(self, X, y=None) -> StandardScaler:
         """Learn per-feature mean and standard deviation."""
         X = check_array(X)
         self.n_features_in_ = X.shape[1]
@@ -77,7 +77,7 @@ class MinMaxScaler(BaseEstimator, TransformerMixin):
         self.data_max_: np.ndarray | None = None
         self.n_features_in_: int | None = None
 
-    def fit(self, X, y=None) -> "MinMaxScaler":
+    def fit(self, X, y=None) -> MinMaxScaler:
         """Learn per-feature min and max."""
         lo, hi = self.feature_range
         if lo >= hi:

@@ -73,7 +73,7 @@ class StackingRegressor(BaseEstimator, RegressorMixin):
         self._packed_slices_: list[tuple[int, slice]] | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, X, y) -> "StackingRegressor":
+    def fit(self, X, y) -> StackingRegressor:
         """Fit base models, build out-of-fold meta-features, fit the meta-model."""
         X, y = check_X_y(X, y)
         self._validate()
@@ -105,7 +105,8 @@ class StackingRegressor(BaseEstimator, RegressorMixin):
             model.fit(X, y)
             self.estimators_.append(model)
         self.named_estimators_ = {
-            name: model for (name, _), model in zip(self.estimators, self.estimators_)
+            name: model for (name, _), model in zip(self.estimators, self.estimators_,
+                                                  strict=True)
         }
         self._pack_tree_bases()
 

@@ -521,7 +521,7 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         self.n_features_in_: int | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, X, y, _hist_prebinned=None) -> "DecisionTreeRegressor":
+    def fit(self, X, y, _hist_prebinned=None) -> DecisionTreeRegressor:
         """Grow the tree on the training data.
 
         ``_hist_prebinned`` optionally carries ``(codes, edges_pad)``

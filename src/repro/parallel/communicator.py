@@ -15,7 +15,8 @@ methods (``bcast``/``scatter``/``gather``/...), so swapping a real
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 

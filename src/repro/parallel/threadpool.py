@@ -10,8 +10,8 @@ deterministic and cheap.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence
 
 __all__ = ["parallel_map", "chunk_indices"]
 

@@ -12,7 +12,7 @@ the tests compare against the unblocked :func:`repro.stencil.kernels.stencil7_sw
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -33,7 +33,7 @@ def block_counts(shape: tuple[int, int, int],
         raise ValueError(f"shape extents must be >= 1, got {shape}")
     if any(int(b) < 1 for b in blocks):
         raise ValueError(f"block sizes must be >= 1, got {blocks}")
-    return tuple(math.ceil(int(s) / int(b)) for s, b in zip(shape, blocks))
+    return tuple(math.ceil(int(s) / int(b)) for s, b in zip(shape, blocks, strict=True))
 
 
 def iterate_blocks(shape: tuple[int, int, int],

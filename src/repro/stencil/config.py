@@ -13,8 +13,8 @@ configurations to the numeric feature matrices the ML layer consumes.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -220,21 +220,21 @@ class StencilConfigSpace:
     # Named spaces from the paper's evaluation
     # ------------------------------------------------------------------ #
     @classmethod
-    def small_grids_with_blocking(cls) -> "StencilConfigSpace":
+    def small_grids_with_blocking(cls) -> StencilConfigSpace:
         """Figure 3A / Figure 6 space: ``1 x 16x16 .. 1 x 128x128`` stride 16, all blockings."""
         grids = [(1, j, k) for j in range(16, 129, 16) for k in range(16, 129, 16)]
         return cls(grid_sizes=grids, blockings="divisors",
                    feature_names=["I", "J", "K", "bi", "bj", "bk"])
 
     @classmethod
-    def large_grids_no_blocking(cls) -> "StencilConfigSpace":
+    def large_grids_no_blocking(cls) -> StencilConfigSpace:
         """Figure 5 space: ``128^3 .. 256^3`` stride 16, grid size only."""
         sizes = range(128, 257, 16)
         grids = [(i, j, k) for i in sizes for j in sizes for k in sizes]
         return cls(grid_sizes=grids, blockings=None, feature_names=["I", "J", "K"])
 
     @classmethod
-    def threaded_plane_grids(cls, *, max_threads: int = 8) -> "StencilConfigSpace":
+    def threaded_plane_grids(cls, *, max_threads: int = 8) -> StencilConfigSpace:
         """Figure 7 space: ``128x128x1 .. 176x176x1`` stride 16, 1..8 threads."""
         sizes = range(128, 177, 16)
         grids = [(i, j, 1) for i in sizes for j in sizes]

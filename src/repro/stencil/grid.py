@@ -80,12 +80,12 @@ class Grid3D:
         return self._data[l:-l, l:-l, l:-l]
 
     # ------------------------------------------------------------------ #
-    def fill(self, value: float) -> "Grid3D":
+    def fill(self, value: float) -> Grid3D:
         """Set every point (including ghosts) to *value*."""
         self._data[...] = value
         return self
 
-    def fill_random(self, random_state=None, low: float = 0.0, high: float = 1.0) -> "Grid3D":
+    def fill_random(self, random_state=None, low: float = 0.0, high: float = 1.0) -> Grid3D:
         """Fill the full array with uniform random values."""
         from repro.utils.rng import check_random_state
 
@@ -93,7 +93,7 @@ class Grid3D:
         self._data[...] = rng.uniform(low, high, size=self.padded_shape)
         return self
 
-    def fill_function(self, func) -> "Grid3D":
+    def fill_function(self, func) -> Grid3D:
         """Fill interior points with ``func(x, y, z)`` on the unit cube.
 
         Ghost points are set by clamped extension of the interior, which is
@@ -122,7 +122,7 @@ class Grid3D:
                 self._data[tuple(sl_hi)] = self._data[tuple(sl_hi_src)]
         return self
 
-    def copy(self) -> "Grid3D":
+    def copy(self) -> Grid3D:
         """Deep copy of the grid (storage included)."""
         other = Grid3D(shape=self.shape, order=self.order, dtype=self.dtype)
         other._data[...] = self._data

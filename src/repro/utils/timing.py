@@ -23,7 +23,7 @@ class Timer:
     elapsed: float = 0.0
     _start: float = field(default=0.0, repr=False)
 
-    def __enter__(self) -> "Timer":
+    def __enter__(self) -> Timer:
         self._start = time.perf_counter()
         return self
 

@@ -115,5 +115,5 @@ class TestNplanesCases:
         sizes = np.logspace(2, 8, 30)
         values = [model._nplanes(cache_elements=s, W=W, pread=3,
                                  sread=5e4, stotal=2e5, II=300.0) for s in sizes]
-        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:], strict=False))
         assert min(values) >= 1.0 and max(values) <= 5.0

@@ -9,7 +9,10 @@ The guarantees under test:
 * the HELLO handshake rejects protocol-version and store-format-version
   mismatches instead of exchanging incompatible artifacts;
 * cold-store workers bootstrap the dataset and warmed analytical caches
-  from the coordinator and never re-simulate (store hit counters);
+  without ever re-simulating (store hit counters) — directly from the
+  store the coordinator advertises when it is shareable, through
+  coordinator relay frames otherwise (and as fallback when the
+  advertised store is unreachable);
 * a cell that exhausts its requeue budget fails the plan with a hard
   error rather than hanging the coordinator.
 """
@@ -305,7 +308,8 @@ class TestRemoteExecutor:
 class TestStoreBootstrap:
     def test_cold_worker_bootstraps_without_simulating(self, tmp_path):
         """Acceptance: a cold --store-dir worker downloads the dataset and
-        warmed caches from the coordinator; its store never generates."""
+        warmed caches — directly from the advertised parent store (zero
+        relay frames through the coordinator); its store never generates."""
         parent = DatasetStore(tmp_path / "parent")
         plan = experiment_plan("figure6", TINY)
         serial = run_plan(plan, store=parent)
@@ -323,8 +327,11 @@ class TestStoreBootstrap:
         # `misses` counts generations, `cache_misses` counts warm-ups.
         assert worker_store.misses == 0 and worker_store.cache_misses == 0
         assert worker_store.hits >= 1 and worker_store.cache_hits >= 1
-        assert coordinator.stats["datasets_served"] == 1
-        assert coordinator.stats["caches_served"] == 1
+        # The parent store is a shareable file:// locator, so the worker
+        # bootstrapped directly from it: zero relay frames.
+        assert (worker.direct_fetches, worker.relay_fetches) == (2, 0)
+        assert coordinator.stats["datasets_served"] == 0
+        assert coordinator.stats["caches_served"] == 0
         assert worker_store.dataset_path(plan.dataset).exists()
         assert worker_store.cache_path("stencil", plan.dataset).exists()
 
@@ -340,7 +347,31 @@ class TestStoreBootstrap:
         assert _rows(remote2) == _rows(serial)
         assert coordinator2.stats["datasets_served"] == 0
         assert coordinator2.stats["caches_served"] == 0
+        assert (worker2.direct_fetches, worker2.relay_fetches) == (0, 0)
         assert warm_store.misses == 0 and warm_store.cache_misses == 0
+
+    def test_unreachable_advertised_store_falls_back_to_relay(self, tmp_path,
+                                                              monkeypatch):
+        """A worker that cannot reach the advertised store still bootstraps
+        through the coordinator's FetchDataset/FetchCache relay frames."""
+        parent = DatasetStore(tmp_path)
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan, store=parent)
+        # Advertise a locator nothing listens on (port 1 refuses instantly).
+        monkeypatch.setattr(
+            type(parent.backend), "locator",
+            property(lambda self: "http://127.0.0.1:1/"))
+        with Coordinator() as coordinator:
+            worker = FleetWorker(coordinator.address)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            remote = run_plan(plan, executor="remote", fleet=coordinator,
+                              store=parent)
+        thread.join(timeout=10.0)
+        assert _rows(remote) == _rows(serial)
+        assert (worker.direct_fetches, worker.relay_fetches) == (0, 2)
+        assert coordinator.stats["datasets_served"] == 1
+        assert coordinator.stats["caches_served"] == 1
 
     def test_dataset_override_bypasses_warm_worker_store(self, tmp_path):
         """An explicit dataset override has no registered fingerprint: a
@@ -401,6 +432,83 @@ class TestStoreBootstrap:
         loaded = other.get(spec)
         assert (other.misses, other.hits) == (0, 1)
         np.testing.assert_array_equal(loaded.X, dataset.X)
+
+
+class TestObjectStoreBootstrap:
+    """Fleet bootstrap straight from the bundled S3-style object store."""
+
+    @pytest.fixture()
+    def object_store(self):
+        from repro.datasets.backends import MemoryBackend
+        from repro.datasets.object_server import ObjectStoreServer
+
+        with ObjectStoreServer(MemoryBackend()) as server:
+            yield server
+
+    def test_storeless_worker_bootstraps_from_object_store(self, object_store):
+        """Acceptance: a store-dir-less worker pointed at an http:// store
+        locator pulls dataset + warmed caches straight off the object
+        server — zero FetchDataset/FetchCache frames through the
+        coordinator — and rows stay bit-identical to serial."""
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan)
+        shared = DatasetStore(object_store.url)
+        warm = run_plan(plan, store=shared)  # seeds the object store
+        assert _rows(warm) == _rows(serial)
+        puts_before = object_store.stats["puts"]
+
+        coordinator_store = DatasetStore(object_store.url)
+        with Coordinator() as coordinator:
+            worker = FleetWorker(coordinator.address)  # no store at all
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            remote = run_plan(plan, executor="remote", fleet=coordinator,
+                              store=coordinator_store)
+        thread.join(timeout=10.0)
+        assert _rows(remote) == _rows(serial)
+        # Dataset + one warmed cache, both served over HTTP, not the socket.
+        assert (worker.direct_fetches, worker.relay_fetches) == (2, 0)
+        assert coordinator.stats["datasets_served"] == 0
+        assert coordinator.stats["caches_served"] == 0
+        assert object_store.stats["gets"] >= 2
+        # Bootstrap is read-only: the store-less worker uploaded nothing.
+        assert object_store.stats["puts"] == puts_before
+
+    def test_worker_with_object_store_url(self, object_store):
+        """A worker whose *own* store is the object store (--store-url
+        http://...) loads artifacts directly and needs no bootstrap at all."""
+        plan = experiment_plan("figure6", TINY)
+        shared = DatasetStore(object_store.url)
+        serial = run_plan(plan, store=shared)
+
+        worker_store = DatasetStore(object_store.url)
+        with Coordinator() as coordinator:
+            worker = FleetWorker(coordinator.address, store=worker_store)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            remote = run_plan(plan, executor="remote", fleet=coordinator,
+                              store=shared)
+        thread.join(timeout=10.0)
+        assert _rows(remote) == _rows(serial)
+        assert (worker.direct_fetches, worker.relay_fetches) == (0, 0)
+        assert worker_store.misses == 0 and worker_store.cache_misses == 0
+        assert worker_store.hits >= 1 and worker_store.cache_hits >= 1
+        assert coordinator.stats["datasets_served"] == 0
+        assert coordinator.stats["caches_served"] == 0
+
+    def test_prune_works_on_object_store(self, object_store):
+        """`--store-prune` semantics are backend-independent."""
+        live = experiment_plan("figure6", TINY).dataset
+        stale = experiment_plan(
+            "figure6", ExperimentSettings(max_configs=77)).dataset
+        store = DatasetStore(object_store.url)
+        store.get(live)
+        store.get(stale)
+        removed = store.prune(keep_fingerprints={live.fingerprint})
+        assert [p.name for p in removed] == [store.dataset_path(stale).name]
+        fresh = DatasetStore(object_store.url)
+        fresh.get(live)
+        assert (fresh.misses, fresh.hits) == (0, 1)
 
 
 class TestFleetWorkerCli:

@@ -86,7 +86,7 @@ class TestGradientBoosting:
         Xtr, ytr, Xte, _ = data
         model = GradientBoostingRegressor(n_estimators=12, random_state=2).fit(Xtr, ytr)
         loop = np.full(Xte.shape[0], model.init_prediction_)
-        for staged, tree in zip(model.staged_predict(Xte), model.estimators_):
+        for staged, tree in zip(model.staged_predict(Xte), model.estimators_, strict=True):
             loop = loop + model.learning_rate * tree.tree_.predict(Xte)
             np.testing.assert_allclose(staged, loop, rtol=1e-12, atol=1e-12)
 

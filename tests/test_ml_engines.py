@@ -71,7 +71,7 @@ class TestSeedEquivalence:
         X, y = data
         legacy = cls(n_estimators=6, random_state=0, engine="legacy").fit(X, y)
         stack = cls(n_estimators=6, random_state=0, engine="stack").fit(X, y)
-        for a, b in zip(legacy.estimators_, stack.estimators_):
+        for a, b in zip(legacy.estimators_, stack.estimators_, strict=True):
             assert_trees_identical(a.tree_, b.tree_)
         np.testing.assert_allclose(legacy.predict(X), stack.predict(X), rtol=1e-12)
 
@@ -133,7 +133,7 @@ class TestBatchedEngine:
                                     engine="batched").fit(X, y)
         large = ExtraTreesRegressor(n_estimators=6, random_state=0,
                                     engine="batched").fit(X, y)
-        for a, b in zip(small.estimators_, large.estimators_[:2]):
+        for a, b in zip(small.estimators_, large.estimators_[:2], strict=True):
             assert_trees_identical(a.tree_, b.tree_)
 
     def test_constant_target_single_leaf(self):

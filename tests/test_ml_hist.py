@@ -151,7 +151,7 @@ class TestExactness:
         hist = RandomForestRegressor(n_estimators=6, random_state=0,
                                      min_samples_leaf=5, bootstrap=False,
                                      tree_method="hist").fit(X, y)
-        for a, b in zip(batched.estimators_, hist.estimators_):
+        for a, b in zip(batched.estimators_, hist.estimators_, strict=True):
             assert_trees_equivalent(a.tree_, b.tree_, X)
         np.testing.assert_array_equal(batched.predict(X), hist.predict(X))
 
@@ -249,7 +249,7 @@ class TestHistEngineBehaviour:
                                 tree_method="hist").fit(X, y)
         b = ExtraTreesRegressor(n_estimators=4, random_state=9,
                                 tree_method="hist").fit(X, y)
-        for ta, tb in zip(a.estimators_, b.estimators_):
+        for ta, tb in zip(a.estimators_, b.estimators_, strict=True):
             assert_trees_identical(ta.tree_, tb.tree_)
 
     def test_tree_independent_of_forest_size(self, data):
@@ -258,7 +258,7 @@ class TestHistEngineBehaviour:
                                     tree_method="hist").fit(X, y)
         large = ExtraTreesRegressor(n_estimators=6, random_state=0,
                                     tree_method="hist").fit(X, y)
-        for a, b in zip(small.estimators_, large.estimators_[:2]):
+        for a, b in zip(small.estimators_, large.estimators_[:2], strict=True):
             assert_trees_identical(a.tree_, b.tree_)
 
     def test_constraints_respected(self, data):
@@ -295,7 +295,7 @@ class TestHistEngineBehaviour:
             overridden = ExtraTreesRegressor(n_estimators=3, random_state=0).fit(X, y)
         explicit = ExtraTreesRegressor(n_estimators=3, random_state=0,
                                        tree_method="hist").fit(X, y)
-        for a, b in zip(overridden.estimators_, explicit.estimators_):
+        for a, b in zip(overridden.estimators_, explicit.estimators_, strict=True):
             assert_trees_identical(a.tree_, b.tree_)
 
 

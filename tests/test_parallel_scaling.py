@@ -45,7 +45,7 @@ class TestGustafson:
 class TestBandwidthSaturation:
     def test_monotone_and_bounded(self):
         speedups = [bandwidth_saturation_speedup(t, 4.0) for t in range(1, 17)]
-        assert all(b >= a - 1e-12 for a, b in zip(speedups, speedups[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(speedups, speedups[1:], strict=False))
         assert speedups[-1] <= 4.0 + 1e-9
 
     def test_linear_regime(self):
