@@ -15,7 +15,23 @@ to move bytes:
 * :class:`ObjectStoreBackend` — a minimal S3-style HTTP object store
   speaking GET/PUT/LIST/DELETE (the bundled
   :mod:`repro.datasets.object_server` serves this API from the stdlib,
-  so fleets can share artifacts without an external service).
+  so fleets can share artifacts without an external service).  Transient
+  transport failures (5xx, connection refused/reset, mid-body
+  truncation, timeouts) are retried through a
+  :class:`~repro.utils.retry.RetryPolicy`.
+
+Integrity layer
+---------------
+Every write records a SHA-256 *checksum sidecar* (``<key>.sha256``,
+the hex digest) next to the blob, and every read verifies the blob
+against it — in the :class:`StoreBackend` base class, so the guarantee
+is uniform across backends and survives any transport: a bit-flipped
+blob raises :class:`IntegrityError` instead of deserializing garbage.
+Subclasses implement the raw ``_read``/``_write``/``_delete`` byte
+moves; the base class owns checksum bookkeeping (sidecars are written
+after their blob, deleted with it, and never checksummed themselves).
+A blob without a sidecar (written by a pre-checksum version) is served
+unverified for backward compatibility.
 
 ``resolve_backend`` maps a locator URL (``file://``, ``memory://``,
 ``http://``/``https://``) to a backend instance — the registry behind
@@ -28,7 +44,10 @@ relaying blobs through the coordinator's socket.
 from __future__ import annotations
 
 import abc
+import hashlib
+import http.client
 import json
+import logging
 import os
 import threading
 import urllib.error
@@ -36,14 +55,59 @@ import urllib.parse
 import urllib.request
 from pathlib import Path, PurePosixPath
 
+from repro.utils.retry import RetryPolicy
+
 __all__ = [
     "StoreBackend",
     "LocalBackend",
     "MemoryBackend",
     "ObjectStoreBackend",
+    "IntegrityError",
+    "CHECKSUM_SUFFIX",
+    "checksum_key",
+    "is_checksum_key",
+    "sha256_hex",
     "resolve_backend",
     "backend_schemes",
 ]
+
+logger = logging.getLogger(__name__)
+
+#: Suffix of the checksum sidecar stored next to every blob.
+CHECKSUM_SUFFIX = ".sha256"
+
+
+def checksum_key(key: str) -> str:
+    """The sidecar key holding the SHA-256 hex digest of *key*'s blob."""
+    return key + CHECKSUM_SUFFIX
+
+
+def is_checksum_key(key: str) -> bool:
+    """Whether *key* names a checksum sidecar rather than a blob."""
+    return key.endswith(CHECKSUM_SUFFIX)
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex SHA-256 of *data* — the store's checksum format."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class IntegrityError(RuntimeError):
+    """A stored blob does not match its recorded SHA-256 checksum.
+
+    Raised by :meth:`StoreBackend.read` before the corrupt bytes reach
+    any deserializer.  Consumers reject-and-refetch: the
+    :class:`~repro.datasets.store.DatasetStore` deletes the blob and
+    regenerates, a fleet worker falls back to the coordinator relay.
+    """
+
+    def __init__(self, key: str, expected: str, actual: str) -> None:
+        super().__init__(
+            f"checksum mismatch for {key!r}: stored sha256 {expected[:16]}…, "
+            f"blob hashes to {actual[:16]}…")
+        self.key = key
+        self.expected = expected
+        self.actual = actual
 
 
 def _check_key(key: str) -> str:
@@ -67,11 +131,25 @@ class StoreBackend(abc.ABC):
     Keys are relative slash-separated paths (``datasets/foo.npz``).
     ``read``/``delete`` raise :class:`KeyError` for missing keys so the
     store can distinguish "absent" from transport failures uniformly
-    across backends.
+    across backends.  The public ``read``/``write``/``delete`` are
+    template methods owning the checksum-sidecar discipline; subclasses
+    implement the raw ``_read``/``_write``/``_delete`` byte moves.
     """
 
     #: URL scheme the backend registers under (``file``, ``memory``, ``http``).
     scheme: str = ""
+
+    #: Verify blobs against their checksum sidecar on read.  Off only for
+    #: backends that deliberately serve raw bytes (the object *server*
+    #: trusts its local disk; its HTTP *clients* verify end to end).
+    verify_reads: bool = True
+
+    #: Record a checksum sidecar on every write.  Off only where another
+    #: party owns the checksums: the object *server* stores exactly what
+    #: clients PUT (clients write the sidecar as its own key; the server
+    #: recomputing it would replace the end-to-end digest with a local
+    #: one and mask in-flight corruption).
+    record_checksums: bool = True
 
     @property
     @abc.abstractmethod
@@ -84,12 +162,16 @@ class StoreBackend(abc.ABC):
         """
 
     @abc.abstractmethod
-    def read(self, key: str) -> bytes:
-        """The stored bytes of *key*; :class:`KeyError` when absent."""
+    def _read(self, key: str) -> bytes:
+        """Raw bytes of *key*; :class:`KeyError` when absent."""
 
     @abc.abstractmethod
-    def write(self, key: str, data: bytes) -> None:
+    def _write(self, key: str, data: bytes) -> None:
         """Store *data* under *key* atomically (readers see old or new, never half)."""
+
+    @abc.abstractmethod
+    def _delete(self, key: str) -> None:
+        """Remove *key*; :class:`KeyError` when absent."""
 
     @abc.abstractmethod
     def exists(self, key: str) -> bool:
@@ -97,11 +179,52 @@ class StoreBackend(abc.ABC):
 
     @abc.abstractmethod
     def list(self, prefix: str = "") -> list[str]:
-        """Sorted keys starting with *prefix* (``""`` lists everything)."""
+        """Sorted keys starting with *prefix* (``""`` lists everything).
 
-    @abc.abstractmethod
+        Checksum sidecars are real keys and are listed; callers that
+        iterate artifacts filter with :func:`is_checksum_key`.
+        """
+
+    def read(self, key: str) -> bytes:
+        """The stored bytes of *key*, verified against the checksum sidecar.
+
+        :class:`KeyError` when absent, :class:`IntegrityError` when the
+        blob does not hash to the recorded digest.  A blob without a
+        sidecar (pre-checksum store) is returned unverified.
+        """
+        data = self._read(key)
+        if not self.verify_reads or is_checksum_key(key):
+            return data
+        try:
+            expected = self._read(checksum_key(key)).decode("ascii").strip()
+        except KeyError:
+            return data  # legacy blob predating the integrity layer
+        actual = sha256_hex(data)
+        if actual != expected:
+            raise IntegrityError(key, expected, actual)
+        return data
+
+    def write(self, key: str, data: bytes) -> None:
+        """Store *data* under *key* and record its SHA-256 sidecar.
+
+        The blob lands first, the sidecar second: artifacts are
+        content-addressed (one key always holds the same bytes), so the
+        only observable in-between state is "blob without sidecar" —
+        served unverified, never a false mismatch.
+        """
+        data = bytes(data)
+        self._write(key, data)
+        if self.record_checksums and not is_checksum_key(key):
+            self._write(checksum_key(key), sha256_hex(data).encode("ascii"))
+
     def delete(self, key: str) -> None:
-        """Remove *key*; :class:`KeyError` when absent."""
+        """Remove *key* and its checksum sidecar; :class:`KeyError` when absent."""
+        self._delete(key)
+        if not is_checksum_key(key):
+            try:
+                self._delete(checksum_key(key))
+            except KeyError:
+                pass  # legacy blob, or a concurrent delete got there first
 
 
 class LocalBackend(StoreBackend):
@@ -135,13 +258,13 @@ class LocalBackend(StoreBackend):
         # tooling insists on a .npz suffix.
         return Path(f"{path}.{os.getpid()}.tmp.npz")
 
-    def read(self, key: str) -> bytes:
+    def _read(self, key: str) -> bytes:
         try:
             return self.path(key).read_bytes()
         except FileNotFoundError:
             raise KeyError(key) from None
 
-    def write(self, key: str, data: bytes) -> None:
+    def _write(self, key: str, data: bytes) -> None:
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self._tmp_path(path)
@@ -172,7 +295,7 @@ class LocalBackend(StoreBackend):
         ]
         return sorted(key for key in keys if key.startswith(prefix))
 
-    def delete(self, key: str) -> None:
+    def _delete(self, key: str) -> None:
         try:
             self.path(key).unlink()
         except FileNotFoundError:
@@ -216,11 +339,11 @@ class MemoryBackend(StoreBackend):
     def locator(self) -> None:
         return None
 
-    def read(self, key: str) -> bytes:
+    def _read(self, key: str) -> bytes:
         with self._lock:
             return self._blobs[_check_key(key)]
 
-    def write(self, key: str, data: bytes) -> None:
+    def _write(self, key: str, data: bytes) -> None:
         with self._lock:
             self._blobs[_check_key(key)] = bytes(data)
 
@@ -232,9 +355,26 @@ class MemoryBackend(StoreBackend):
         with self._lock:
             return sorted(key for key in self._blobs if key.startswith(prefix))
 
-    def delete(self, key: str) -> None:
+    def _delete(self, key: str) -> None:
         with self._lock:
             del self._blobs[_check_key(key)]
+
+
+#: Default transport policy of :class:`ObjectStoreBackend`: three
+#: attempts, 100 ms first backoff, jittered, 30 s per-attempt timeout.
+OBJECT_STORE_RETRY = RetryPolicy(max_attempts=3, base_delay=0.1, max_delay=2.0,
+                                 attempt_timeout=30.0)
+
+#: Transient transport failures worth retrying: every OSError
+#: (connection refused/reset, DNS, socket timeouts, and urllib's URLError
+#: wrapper) plus http.client protocol breakage (mid-body truncation is
+#: IncompleteRead, a dropped keep-alive is RemoteDisconnected).
+_RETRYABLE = (OSError, http.client.HTTPException)
+
+
+def _giveup(exc: BaseException) -> bool:
+    """Client errors (4xx) are permanent; only 5xx HTTP errors retry."""
+    return isinstance(exc, urllib.error.HTTPError) and exc.code < 500
 
 
 class ObjectStoreBackend(StoreBackend):
@@ -250,20 +390,32 @@ class ObjectStoreBackend(StoreBackend):
     * ``DELETE /<key>`` — remove the key, 404 when absent;
     * ``GET /?prefix=<p>`` — JSON array of keys under the prefix.
 
+    Every request runs under *retry* (default
+    :data:`OBJECT_STORE_RETRY`): HTTP 5xx, connection refused/reset,
+    mid-body truncation and per-attempt timeouts back off and retry,
+    other 4xx fail immediately.  PUT requests carry an
+    ``X-Repro-SHA256`` header so the server can reject a body corrupted
+    in flight before storing it.
+
     ``reads``/``writes`` count successful blob transfers (the
     hit-counter instrumentation the fleet tests use to prove workers
-    bootstrap from the object store rather than the coordinator).
+    bootstrap from the object store rather than the coordinator);
+    ``retries`` counts backed-off attempts across all requests.
     """
 
     scheme = "http"
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(self, base_url: str, *, timeout: float | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ValueError(f"object store URL must be http(s), got {base_url!r}")
         self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
+        self.retry = retry or OBJECT_STORE_RETRY
+        self.timeout = timeout if timeout is not None else (
+            self.retry.attempt_timeout or 30.0)
         self.reads = 0
         self.writes = 0
+        self.retries = 0
 
     @property
     def locator(self) -> str:
@@ -273,13 +425,24 @@ class ObjectStoreBackend(StoreBackend):
         return f"{self.base_url}/{urllib.parse.quote(_check_key(key))}"
 
     def _request(self, method: str, url: str, data: bytes | None = None) -> bytes:
-        request = urllib.request.Request(url, data=data, method=method)
-        if data is not None:
-            request.add_header("Content-Type", "application/octet-stream")
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            return response.read()
+        def attempt() -> bytes:
+            request = urllib.request.Request(url, data=data, method=method)
+            if data is not None:
+                request.add_header("Content-Type", "application/octet-stream")
+                request.add_header("X-Repro-SHA256", sha256_hex(data))
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
 
-    def read(self, key: str) -> bytes:
+        def on_retry(attempt_no: int, exc: BaseException, delay: float) -> None:
+            self.retries += 1
+            logger.warning(
+                "object store %s %s failed (attempt %d/%d): %s; retrying in %.2fs",
+                method, url, attempt_no, self.retry.max_attempts, exc, delay)
+
+        return self.retry.call(attempt, retry_on=_RETRYABLE, giveup=_giveup,
+                               on_retry=on_retry)
+
+    def _read(self, key: str) -> bytes:
         try:
             data = self._request("GET", self._url(key))
         except urllib.error.HTTPError as exc:
@@ -289,7 +452,7 @@ class ObjectStoreBackend(StoreBackend):
         self.reads += 1
         return data
 
-    def write(self, key: str, data: bytes) -> None:
+    def _write(self, key: str, data: bytes) -> None:
         self._request("PUT", self._url(key), data=bytes(data))
         self.writes += 1
 
@@ -311,7 +474,7 @@ class ObjectStoreBackend(StoreBackend):
             raise ValueError(f"object store list endpoint returned {type(keys).__name__}")
         return sorted(str(key) for key in keys)
 
-    def delete(self, key: str) -> None:
+    def _delete(self, key: str) -> None:
         try:
             self._request("DELETE", self._url(key))
         except urllib.error.HTTPError as exc:
@@ -320,7 +483,7 @@ class ObjectStoreBackend(StoreBackend):
             raise
 
 
-def _file_backend(url: str) -> LocalBackend:
+def _file_backend(url: str, retry: RetryPolicy | None = None) -> LocalBackend:
     parsed = urllib.parse.urlsplit(url)
     if parsed.netloc not in ("", "localhost"):
         raise ValueError(
@@ -331,16 +494,20 @@ def _file_backend(url: str) -> LocalBackend:
     return LocalBackend(path)
 
 
-def _memory_backend(url: str) -> MemoryBackend:
+def _memory_backend(url: str, retry: RetryPolicy | None = None) -> MemoryBackend:
     name = url[len("memory://"):].strip("/")
     return MemoryBackend.named(name) if name else MemoryBackend()
+
+
+def _object_backend(url: str, retry: RetryPolicy | None = None) -> ObjectStoreBackend:
+    return ObjectStoreBackend(url, retry=retry)
 
 
 _SCHEMES = {
     "file": _file_backend,
     "memory": _memory_backend,
-    "http": ObjectStoreBackend,
-    "https": ObjectStoreBackend,
+    "http": _object_backend,
+    "https": _object_backend,
 }
 
 
@@ -349,13 +516,14 @@ def backend_schemes() -> tuple[str, ...]:
     return tuple(sorted(_SCHEMES))
 
 
-def resolve_backend(url: str) -> StoreBackend:
+def resolve_backend(url: str, *, retry: RetryPolicy | None = None) -> StoreBackend:
     """Instantiate the backend a ``--store-url`` locator names.
 
     ``file:///dir`` opens a :class:`LocalBackend`, ``memory://`` (or
     ``memory://name`` for a process-shared instance) a
     :class:`MemoryBackend`, ``http(s)://host:port/`` an
-    :class:`ObjectStoreBackend`.
+    :class:`ObjectStoreBackend`.  *retry* overrides the transport retry
+    policy on backends that have one (the object store client).
     """
     scheme, sep, _ = url.partition("://")
     if not sep:
@@ -368,4 +536,4 @@ def resolve_backend(url: str) -> StoreBackend:
         raise ValueError(
             f"unknown store URL scheme {scheme!r} in {url!r}; known schemes: "
             f"{', '.join(backend_schemes())}") from None
-    return factory(url)
+    return factory(url, retry)

@@ -18,6 +18,14 @@ Storage is delegated to any :class:`~repro.datasets.backends.StoreBackend`
 a thin HTTP skin: keys are validated against path traversal at the
 backend seam and writes inherit the backend's atomicity.
 
+Integrity is enforced at the edges, not in the middle: the server turns
+off read-side checksum verification on its backend (clients verify the
+blob against its ``.sha256`` sidecar end to end, covering the HTTP
+transport too), but a PUT whose body does not match the client-supplied
+``X-Repro-SHA256`` digest header is rejected with 422 before anything
+is stored, and an unexpected backend failure answers 500 (retryable)
+instead of severing the connection.
+
 Run it standalone::
 
     python -m repro.datasets.object_server --bind 127.0.0.1 --port 8123 --root ./store
@@ -38,7 +46,12 @@ import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.datasets.backends import LocalBackend, MemoryBackend, StoreBackend
+from repro.datasets.backends import (
+    LocalBackend,
+    MemoryBackend,
+    StoreBackend,
+    sha256_hex,
+)
 
 __all__ = ["ObjectStoreServer", "main"]
 
@@ -85,6 +98,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, b"no such key")
         except ValueError as exc:
             self._send(400, str(exc).encode())
+        except Exception as exc:  # noqa: BLE001 - 500 is retryable, a dead socket is not
+            self._server_error("GET", key, exc)
         else:
             self.server.count("gets")
             self._send(200, data)
@@ -95,6 +110,9 @@ class _Handler(BaseHTTPRequestHandler):
             exists = bool(key) and self.server.backend.exists(key)
         except ValueError:
             status = 400
+        except Exception:  # noqa: BLE001
+            status = 500
+            self.server.count("errors")
         else:
             status = 200 if exists else 404
         if status == 200:
@@ -107,10 +125,21 @@ class _Handler(BaseHTTPRequestHandler):
         key, _ = self._key()
         length = int(self.headers.get("Content-Length", 0) or 0)
         data = self.rfile.read(length)
+        expected = self.headers.get("X-Repro-SHA256")
+        if expected is not None and sha256_hex(data) != expected.strip().lower():
+            # The body was corrupted (or truncated) in flight: refuse to
+            # store it so garbage never lands under a valid key.  422 is
+            # a client-class status — the client's retry resends the
+            # request from its intact in-memory bytes.
+            self.server.count("rejected_puts")
+            self._send(422, b"body does not match X-Repro-SHA256 digest")
+            return
         try:
             self.server.backend.write(key, data)
         except ValueError as exc:
             self._send(400, str(exc).encode())
+        except Exception as exc:  # noqa: BLE001
+            self._server_error("PUT", key, exc)
         else:
             self.server.count("puts")
             self._send(201, b"stored")
@@ -123,9 +152,17 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, b"no such key")
         except ValueError as exc:
             self._send(400, str(exc).encode())
+        except Exception as exc:  # noqa: BLE001
+            self._server_error("DELETE", key, exc)
         else:
             self.server.count("deletes")
             self._send(204)
+
+    def _server_error(self, verb: str, key: str, exc: Exception) -> None:
+        """Unexpected backend failure: answer 500 (clients retry 5xx)."""
+        self.server.count("errors")
+        self.log_message("%s /%s failed: %s", verb, key, exc)
+        self._send(500, f"{type(exc).__name__}: {exc}".encode())
 
 
 class ObjectStoreServer(ThreadingHTTPServer):
@@ -147,8 +184,16 @@ class ObjectStoreServer(ThreadingHTTPServer):
                  address: tuple[str, int] = ("127.0.0.1", 0), *,
                  verbose: bool = False) -> None:
         self.backend = backend
+        # Clients own the integrity layer end to end: they verify blobs
+        # against the .sha256 sidecar (covering the HTTP hop) and PUT the
+        # sidecar as its own key.  The server stores and serves raw bytes
+        # — re-recording checksums here would replace the client's digest
+        # with a post-transport one and mask in-flight corruption.
+        self.backend.verify_reads = False
+        self.backend.record_checksums = False
         self.verbose = verbose
-        self.stats = {"gets": 0, "heads": 0, "puts": 0, "lists": 0, "deletes": 0}
+        self.stats = {"gets": 0, "heads": 0, "puts": 0, "lists": 0,
+                      "deletes": 0, "rejected_puts": 0, "errors": 0}
         self._stats_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         super().__init__(address, _Handler)

@@ -55,15 +55,25 @@ import dataclasses
 import hashlib
 import io
 import json
+import logging
 from dataclasses import dataclass
 from pathlib import Path, PurePosixPath
 
 import numpy as np
 
 from repro.core.features import PerformanceDataset
-from repro.datasets.backends import LocalBackend, StoreBackend, resolve_backend
+from repro.datasets.backends import (
+    CHECKSUM_SUFFIX,
+    IntegrityError,
+    LocalBackend,
+    StoreBackend,
+    is_checksum_key,
+    resolve_backend,
+)
 
 __all__ = ["DatasetSpec", "DatasetStore"]
+
+logger = logging.getLogger(__name__)
 
 #: Bump to invalidate every stored dataset/cache when the layout changes.
 #: Version 2 added the simulator-version token to the fingerprint recipe.
@@ -161,6 +171,9 @@ class DatasetStore:
         self.misses = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Blobs rejected by checksum verification (each one is deleted
+        #: and regenerated/refetched instead of deserializing garbage).
+        self.integrity_failures = 0
 
     @property
     def root(self) -> Path | None:
@@ -204,18 +217,33 @@ class DatasetStore:
 
         Read-first (no exists/read pair): one backend round trip on the
         warm path, and no window for a concurrent prune to turn an
-        observed hit into a crash.
+        observed hit into a crash.  A blob that fails checksum
+        verification is rejected — deleted and regenerated like a miss —
+        instead of deserializing garbage into an experiment.
         """
         key = self.dataset_key(spec)
         try:
             data = self.backend.read(key)
+        except IntegrityError as exc:
+            self.integrity_failures += 1
+            logger.warning("rejecting corrupt dataset blob: %s; regenerating", exc)
+            self._discard(key)
         except KeyError:
-            self.misses += 1
-            dataset = spec.build()
-            self.backend.write(key, self.encode_dataset(dataset))
-            return dataset
-        self.hits += 1
-        return self._load_dataset(io.BytesIO(data))
+            pass
+        else:
+            self.hits += 1
+            return self._load_dataset(io.BytesIO(data))
+        self.misses += 1
+        dataset = spec.build()
+        self.backend.write(key, self.encode_dataset(dataset))
+        return dataset
+
+    def _discard(self, key: str) -> None:
+        """Best-effort removal of a corrupt blob (and its sidecar)."""
+        try:
+            self.backend.delete(key)
+        except (KeyError, OSError):
+            pass
 
     @staticmethod
     def _config_classes() -> dict:
@@ -318,6 +346,12 @@ class DatasetStore:
         key = self.cache_key(model_key, spec)
         try:
             data = self.backend.read(key)
+        except IntegrityError as exc:
+            self.integrity_failures += 1
+            logger.warning("rejecting corrupt cache blob: %s; re-warming", exc)
+            self._discard(key)
+            self.cache_misses += 1
+            return None
         except KeyError:
             self.cache_misses += 1
             return None
@@ -364,20 +398,36 @@ class DatasetStore:
         fingerprint is not in *keep_fingerprints*.  Orphaned
         ``*.tmp.npz`` files (left by a writer killed between write and
         rename on a local backend) never parse to a kept fingerprint and
-        are collected too.  Returns the removed paths (real
-        :class:`Path` objects on local backends).  Not safe against
-        concurrent writers of the entries being pruned.
+        are collected too.  Checksum sidecars (``*.sha256``) are pruned
+        with their blob; a sidecar whose blob is gone (a crash between
+        blob delete and sidecar delete, or a kill mid-write) is an
+        orphan and is collected even when its fingerprint is kept.
+        Returns the removed blob paths (real :class:`Path` objects on
+        local backends; sidecars removed alongside a blob are not listed
+        separately, orphaned sidecars are).  Not safe against concurrent
+        writers of the entries being pruned.
         """
         keep = set(keep_fingerprints)
         removed: list = []
         for prefix in ("datasets/", "caches/"):
-            for key in self.backend.list(prefix):
-                fingerprint = PurePosixPath(key).stem.rsplit("-", 1)[-1]
-                if fingerprint in keep:
-                    continue
+            keys = self.backend.list(prefix)
+            present = set(keys)
+            for key in keys:
+                if is_checksum_key(key):
+                    # Sidecars ride with their blob: backend.delete of the
+                    # blob removes them, so only orphans (blob gone) or
+                    # stale fingerprints are handled here.
+                    base = key[:-len(CHECKSUM_SUFFIX)]
+                    fingerprint = PurePosixPath(base).stem.rsplit("-", 1)[-1]
+                    if base in present and fingerprint in keep:
+                        continue
+                else:
+                    fingerprint = PurePosixPath(key).stem.rsplit("-", 1)[-1]
+                    if fingerprint in keep:
+                        continue
                 try:
                     self.backend.delete(key)
                 except KeyError:
-                    continue  # a concurrent prune got there first
+                    continue  # pruned with its blob, or a concurrent prune
                 removed.append(self._artifact_path(key))
         return removed

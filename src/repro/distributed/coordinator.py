@@ -22,6 +22,21 @@ wrongly presumed dead may still return results later; completed-cell
 bookkeeping dedupes them, and because cells are pure either copy of a
 result is bit-identical.
 
+Straggler speculation rides on the same dedupe: once the queue drains,
+a lease held far longer than the fleet's typical lease duration (past
+``speculation_factor`` × the ``speculation_percentile`` of completed
+lease times) is *speculatively re-leased* — its unfinished cells are
+duplicated to the queue for a healthy worker to race, without charging
+the cell's retry budget.  Whichever copy lands first wins; the loser is
+counted as a duplicate and discarded.  This bounds plan latency by the
+healthy fleet, not by one degraded host.
+
+Elasticity hooks: :meth:`load` exposes queue depth for an autoscaler
+(:mod:`repro.distributed.autoscale`), :meth:`request_retire` marks
+workers for a polite Goodbye at their next between-plans poll, and
+setting :attr:`elastic` suppresses the all-local-workers-exited fail-fast
+(under an autoscaler an empty fleet is a transient, not a wreck).
+
 Store bootstrap
 ---------------
 When the parent store is shareable (``file://`` locator on a shared
@@ -50,6 +65,7 @@ from collections import deque
 from pathlib import Path
 
 from repro.core.evaluation import CellResult
+from repro.datasets.backends import IntegrityError
 from repro.datasets.store import _FORMAT_VERSION, DatasetStore, _simulator_versions
 from repro.distributed import protocol
 from repro.distributed.protocol import (
@@ -89,6 +105,8 @@ class _WorkerInfo:
         self.last_seen = now
         self.lease: list = []
         self.lease_plan_id: str | None = None
+        self.lease_since = 0.0
+        self.speculated = False  # this lease was already re-leased once
 
 
 class _Job:
@@ -107,6 +125,12 @@ class _Job:
         self.retries: dict[tuple, int] = {}
         self.dataset_blob = dataset_blob
         self.cache_blobs = cache_blobs
+        # Relay-blob content digests: workers verify what arrives over the
+        # socket against these before deserializing.
+        self.dataset_sha256 = hashlib.sha256(dataset_blob).hexdigest()
+        self.cache_sha256s = {key: hashlib.sha256(blob).hexdigest()
+                              for key, blob in cache_blobs.items()}
+        self.lease_durations: list[float] = []  # completed leases, seconds
         self.failure: str | None = None
 
     @property
@@ -134,18 +158,44 @@ class Coordinator:
         dead worker and fleet idle time at the tail of a plan.
     max_retries:
         Requeue budget per cell; exceeding it fails the plan.
+    speculation:
+        Enable straggler re-lease.  Once the queue is empty, a lease
+        outstanding longer than ``max(speculation_min_delay,
+        speculation_factor × P[speculation_percentile] of completed lease
+        durations)`` is duplicated to the queue (once per lease) so a
+        healthy worker races the straggler; dedupe-by-key keeps the
+        duplicate harmless and the cell's retry budget is not charged.
     """
 
     def __init__(self, bind: tuple[str, int] = ("127.0.0.1", 0), *,
                  heartbeat_timeout: float = 15.0, batch_size: int = 4,
-                 max_retries: int = 3) -> None:
+                 max_retries: int = 3, speculation: bool = True,
+                 speculation_factor: float = 3.0,
+                 speculation_percentile: float = 0.75,
+                 speculation_min_delay: float = 2.0) -> None:
+        if heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be > 0, got {heartbeat_timeout}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if speculation_factor < 1.0:
+            raise ValueError(
+                f"speculation_factor must be >= 1, got {speculation_factor}")
+        if not 0.0 <= speculation_percentile <= 1.0:
+            raise ValueError("speculation_percentile must be in [0, 1], "
+                             f"got {speculation_percentile}")
         self.heartbeat_timeout = heartbeat_timeout
         self.batch_size = batch_size
         self.max_retries = max_retries
+        self.speculation = speculation
+        self.speculation_factor = speculation_factor
+        self.speculation_percentile = speculation_percentile
+        self.speculation_min_delay = speculation_min_delay
+        #: An autoscaler may still spawn workers: suppress the
+        #: all-local-workers-exited fail-fast while True.
+        self.elastic = False
         self.coordinator_id = uuid.uuid4().hex[:12]
         self.stats = {
             "results_received": 0,
@@ -155,11 +205,14 @@ class Coordinator:
             "rejected_handshakes": 0,
             "datasets_served": 0,
             "caches_served": 0,
+            "speculative_releases": 0,
+            "workers_retired": 0,
         }
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
         self._workers: dict[str, _WorkerInfo] = {}
         self._job: _Job | None = None
+        self._retire_pending = 0
         self._closing = False
         self._procs: list[subprocess.Popen] = []
         self._threads: list[threading.Thread] = []
@@ -228,6 +281,41 @@ class Coordinator:
                 for info in self._workers.values()
             ]
 
+    def load(self) -> dict:
+        """A point-in-time load snapshot: the autoscaler's decision input.
+
+        ``queue_depth`` is cells waiting for a lease, ``leased`` cells out
+        with workers, ``outstanding`` their sum (work not yet completed),
+        ``workers`` live connections.  All zeros between plans.
+        """
+        with self._lock:
+            job = self._job
+            queue_depth = leased = 0
+            if job is not None and job.failure is None:
+                queue_depth = sum(1 for cell in job.queue
+                                  if cell.key not in job.completed)
+                leased = sum(
+                    len(info.lease) for info in self._workers.values()
+                    if info.lease_plan_id == job.plan_id)
+            return {
+                "queue_depth": queue_depth,
+                "leased": leased,
+                "outstanding": queue_depth + leased,
+                "workers": len(self._workers),
+                "retire_pending": self._retire_pending,
+            }
+
+    def request_retire(self, n: int = 1) -> None:
+        """Mark *n* workers for a polite Goodbye at their next idle poll.
+
+        Retirement only happens between plans (on a :class:`GetPlan` with
+        no active work for the worker), so no lease is abandoned.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        with self._lock:
+            self._retire_pending += n
+
     def execute(self, plan, cells: list, dataset, caches: dict, *,
                 store: DatasetStore | None = None,
                 dataset_override: bool = False) -> list[CellResult]:
@@ -272,6 +360,7 @@ class Coordinator:
             with self._cond:
                 while job.failure is None and not job.finished:
                     self._expire_silent_workers()
+                    self._release_stragglers(job)
                     self._check_fleet_alive(job)
                     self._cond.wait(timeout=0.1)
         finally:
@@ -321,7 +410,12 @@ class Coordinator:
     @staticmethod
     def _dataset_blob(plan, dataset, store: DatasetStore | None) -> bytes:
         if store is not None and store.has_dataset(plan.dataset):
-            return store.dataset_bytes(plan.dataset)
+            try:
+                return store.dataset_bytes(plan.dataset)
+            except IntegrityError:
+                # The stored blob is corrupt; the in-memory dataset is the
+                # source of truth, so re-encode instead of relaying garbage.
+                pass
         return DatasetStore.encode_dataset(dataset)
 
     @staticmethod
@@ -329,8 +423,11 @@ class Coordinator:
         blobs: dict[str, bytes] = {}
         for key, cache in caches.items():
             if store is not None and store.has_cache(key, plan.dataset):
-                blobs[key] = store.cache_bytes(key, plan.dataset)
-                continue
+                try:
+                    blobs[key] = store.cache_bytes(key, plan.dataset)
+                    continue
+                except IntegrityError:
+                    pass  # fall through: encode from the in-memory cache
             buf = io.BytesIO()
             cache.save(buf)
             blobs[key] = buf.getvalue()
@@ -353,14 +450,45 @@ class Coordinator:
 
         An external fleet (workers we did not spawn) may legitimately have
         nobody connected yet, so the check only fires when every spawned
-        local worker has exited and no connection remains.
+        local worker has exited and no connection remains.  Under an
+        autoscaler (:attr:`elastic`) an empty fleet is a transient — the
+        next scaling tick will spawn replacements — so the check is off.
         """
-        if self._workers or not self._procs:
+        if self.elastic or self._workers or not self._procs:
             return
         if all(proc.poll() is not None for proc in self._procs):
             job.failure = ("all local fleet workers exited "
                            f"({len(self._procs)} spawned, none connected)")
             self._cond.notify_all()
+
+    def _release_stragglers(self, job: _Job) -> None:
+        """Speculatively duplicate overdue leases to the queue (lock held).
+
+        Only fires when the queue has drained (otherwise idle workers have
+        plenty to race already) and at least one lease has completed (the
+        percentile needs a sample).  Each lease is speculated at most
+        once, and the duplicated cells do not charge the retry budget —
+        the straggler is presumed slow, not broken.
+        """
+        if not self.speculation or job.queue or not job.lease_durations:
+            return
+        durations = sorted(job.lease_durations)
+        index = int(self.speculation_percentile * (len(durations) - 1))
+        deadline = max(self.speculation_min_delay,
+                       self.speculation_factor * durations[index])
+        now = time.monotonic()
+        for info in self._workers.values():
+            if (not info.lease or info.lease_plan_id != job.plan_id
+                    or info.speculated or now - info.lease_since <= deadline):
+                continue
+            info.speculated = True
+            pending = [cell for cell in info.lease
+                       if cell.key not in job.completed]
+            for cell in reversed(pending):
+                job.queue.appendleft(cell)
+            if pending:
+                self.stats["speculative_releases"] += 1
+                self._cond.notify_all()
 
     @staticmethod
     def _sever(info: _WorkerInfo) -> None:
@@ -431,7 +559,9 @@ class Coordinator:
                 if isinstance(message, Heartbeat):
                     continue
                 protocol.send_message(conn, self._reply(info, message))
-        except (ConnectionClosed, ConnectionError, OSError):
+        except (ConnectionClosed, ConnectionError, OSError, protocol.ProtocolError):
+            # A corrupted frame (CRC mismatch) severs the connection; the
+            # worker's reconnect loop re-handshakes on a clean stream.
             pass
         finally:
             with self._cond:
@@ -495,18 +625,26 @@ class Coordinator:
                 if job is not None and job.failure is None and not job.finished:
                     return PlanAssignment(job.plan_id, job.plan, job.store_ok,
                                           job.store_url)
+                if self._retire_pending > 0:
+                    # Between plans is the safe retirement point: the
+                    # worker holds no lease and abandons nothing.
+                    self._retire_pending -= 1
+                    self.stats["workers_retired"] += 1
+                    return Goodbye("retired by autoscaler")
                 return NoPlan()
             if isinstance(message, FetchDataset):
                 if job is None or job.plan_id != message.plan_id:
                     return PlanDone(message.plan_id)
                 self.stats["datasets_served"] += 1
-                return DatasetBlob(job.plan_id, job.dataset_blob)
+                return DatasetBlob(job.plan_id, job.dataset_blob,
+                                   job.dataset_sha256)
             if isinstance(message, FetchCache):
                 if job is None or job.plan_id != message.plan_id:
                     return PlanDone(message.plan_id)
                 self.stats["caches_served"] += 1
                 return CacheBlob(job.plan_id, message.model_key,
-                                 job.cache_blobs[message.model_key])
+                                 job.cache_blobs[message.model_key],
+                                 job.cache_sha256s[message.model_key])
             if isinstance(message, GetBatch):
                 return self._lease_batch(info, job, message)
             if isinstance(message, Results):
@@ -529,6 +667,8 @@ class Coordinator:
         if lease:
             info.lease = lease
             info.lease_plan_id = job.plan_id
+            info.lease_since = time.monotonic()
+            info.speculated = False
             return Batch(job.plan_id, tuple(lease))
         if job.finished:
             return PlanDone(job.plan_id)
@@ -544,6 +684,7 @@ class Coordinator:
             else:
                 job.completed[result.key] = result
                 self.stats["results_received"] += 1
-        if info.lease_plan_id == message.plan_id:
+        if info.lease_plan_id == message.plan_id and info.lease:
             info.lease = []
+            job.lease_durations.append(time.monotonic() - info.lease_since)
         self._cond.notify_all()

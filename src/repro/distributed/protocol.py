@@ -2,11 +2,16 @@
 
 Framing
 -------
-Every message is one *frame*: an 8-byte big-endian length prefix followed
-by that many bytes of pickle payload.  Frames are written atomically under
-a caller-supplied lock (the worker's heartbeat thread shares its socket
-with the request loop), and :func:`recv_message` reads exactly one frame,
-so the stream never needs resynchronization.
+Every message is one *frame*: a 12-byte big-endian header — payload
+length plus the CRC32 of the payload — followed by that many bytes of
+pickle payload.  The receiver recomputes the CRC before unpickling, so a
+frame corrupted on the wire raises :class:`ProtocolError` instead of
+feeding garbage to :mod:`pickle` (the CRC is an integrity check against
+accidental corruption, not an authentication mechanism — see the trust
+model below).  Frames are written atomically under a caller-supplied lock
+(the worker's heartbeat thread shares its socket with the request loop),
+and :func:`recv_message` reads exactly one frame, so the stream never
+needs resynchronization.
 
 Message flow
 ------------
@@ -52,6 +57,7 @@ import pickle
 import socket
 import struct
 import threading
+import zlib
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -85,14 +91,16 @@ __all__ = [
 #: Bump on any incompatible change to the message set or framing; the
 #: HELLO handshake rejects workers whose version differs.
 #: Version 2 added the advertised store locator (``PlanAssignment.store_url``).
-PROTOCOL_VERSION = 2
+#: Version 3 added CRC32 frame checksums and blob digests
+#: (``DatasetBlob.sha256`` / ``CacheBlob.sha256``).
+PROTOCOL_VERSION = 3
 
 #: Upper bound on a single frame (a defensive cap, far above any real
 #: dataset blob; a corrupt or foreign length prefix fails fast instead of
 #: attempting a multi-gigabyte read).
 MAX_FRAME_BYTES = 1 << 31
 
-_HEADER = struct.Struct(">Q")
+_HEADER = struct.Struct(">QI")  # payload length, CRC32 of payload
 
 
 class ConnectionClosed(ConnectionError):
@@ -122,7 +130,7 @@ def send_message(sock: socket.socket, message, lock: threading.Lock | None = Non
     senders on the same socket (the worker's heartbeat thread).
     """
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    frame = _HEADER.pack(len(payload)) + payload
+    frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
     if lock is not None:
         with lock:
             sock.sendall(frame)
@@ -134,12 +142,21 @@ def recv_message(sock: socket.socket):
     """Read exactly one frame and unpickle it.
 
     Raises :class:`ConnectionClosed` on EOF and :class:`ProtocolError` on
-    an implausible length prefix.
+    an implausible length prefix, a CRC mismatch, or an unpicklable
+    payload — i.e. any frame that was corrupted in flight.
     """
-    (length,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    length, crc = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
-    return pickle.loads(_recv_exactly(sock, length))
+    payload = _recv_exactly(sock, length)
+    actual = zlib.crc32(payload)
+    if actual != crc:
+        raise ProtocolError(
+            f"frame CRC mismatch: header says {crc:#010x}, payload is {actual:#010x}")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
 
 
 def parse_address(address: str) -> tuple[str, int]:
@@ -248,10 +265,15 @@ class FetchDataset:
 
 @dataclass(frozen=True)
 class DatasetBlob:
-    """Raw ``.npz`` bytes of the plan's resolved dataset."""
+    """Raw ``.npz`` bytes of the plan's resolved dataset.
+
+    ``sha256`` is the hex content digest of ``data`` (empty when the
+    sender predates v3); receivers verify it before deserializing.
+    """
 
     plan_id: str
     data: bytes = field(repr=False)
+    sha256: str = ""
 
 
 @dataclass(frozen=True)
@@ -262,11 +284,15 @@ class FetchCache:
 
 @dataclass(frozen=True)
 class CacheBlob:
-    """Raw ``.npz`` bytes of one warmed analytical-prediction cache."""
+    """Raw ``.npz`` bytes of one warmed analytical-prediction cache.
+
+    ``sha256`` as on :class:`DatasetBlob`.
+    """
 
     plan_id: str
     model_key: str
     data: bytes = field(repr=False)
+    sha256: str = ""
 
 
 # --------------------------------------------------------------------------- #

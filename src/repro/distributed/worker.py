@@ -22,12 +22,22 @@ store-less worker keeps them in memory.  ``direct_fetches`` /
 
 A daemon thread heartbeats on an interval even while cells compute, so
 the coordinator can tell "slow" from "dead" without bounding cell cost.
+
+Failure semantics: a direct store fetch that fails for any reason
+(missing key, unreachable store, checksum mismatch) is **logged with its
+cause and counted** (``direct_fetch_errors``) before degrading to the
+coordinator relay — degradation is never silent.  Relay blobs are
+verified against the digest in the frame and retried on mismatch.  A
+lost coordinator connection is retried (``reconnect_attempts`` fresh
+handshakes, per-plan memo preserved) before the worker gives up and
+exits cleanly.
 """
 
 from __future__ import annotations
 
 import argparse
 import io
+import logging
 import os
 import socket
 import sys
@@ -37,6 +47,7 @@ import uuid
 
 from repro.analytical.cache import AnalyticalPredictionCache
 from repro.core.evaluation import evaluate_cell
+from repro.datasets.backends import IntegrityError, resolve_backend, sha256_hex
 from repro.datasets.store import _FORMAT_VERSION, DatasetStore, _simulator_versions
 from repro.distributed import protocol
 from repro.distributed.protocol import (
@@ -60,8 +71,15 @@ from repro.distributed.protocol import (
     Results,
     parse_address,
 )
+from repro.utils.retry import RetryPolicy
 
 __all__ = ["FleetWorker", "HandshakeRejected", "main"]
+
+logger = logging.getLogger(__name__)
+
+#: Default policy for a worker's fallible fetches (relay blob verify,
+#: advertised-store transport); jittered so a fleet does not stampede.
+WORKER_RETRY = RetryPolicy(max_attempts=3, base_delay=0.1, max_delay=1.0)
 
 
 class HandshakeRejected(RuntimeError):
@@ -96,12 +114,23 @@ class FleetWorker:
     cell_delay:
         Artificial per-cell sleep in seconds (fault-injection knob for
         tests and demos; defaults to ``$REPRO_FLEET_CELL_DELAY`` or 0).
+    retry:
+        :class:`~repro.utils.retry.RetryPolicy` for fallible fetches
+        (advertised-store transport, relay-blob digest verification).
+    reconnect_attempts:
+        Fresh connect+handshake attempts after the coordinator connection
+        drops mid-service (each within ``reconnect_timeout`` seconds)
+        before the worker exits cleanly.  The per-plan memo survives a
+        reconnect, so no artifact is re-fetched.
     """
 
     def __init__(self, address: tuple[str, int], *, store=None,
                  worker_id: str | None = None, connect_timeout: float = 20.0,
                  heartbeat_interval: float = 1.0,
-                 cell_delay: float | None = None) -> None:
+                 cell_delay: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 reconnect_attempts: int = 3,
+                 reconnect_timeout: float = 2.0) -> None:
         self.address = address
         if store is None or isinstance(store, DatasetStore):
             self.store = store
@@ -114,12 +143,24 @@ class FleetWorker:
         if cell_delay is None:
             cell_delay = float(os.environ.get("REPRO_FLEET_CELL_DELAY", "0") or 0)
         self.cell_delay = cell_delay
+        self.retry = retry or WORKER_RETRY
+        if reconnect_attempts < 0:
+            raise ValueError(
+                f"reconnect_attempts must be >= 0, got {reconnect_attempts}")
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_timeout = reconnect_timeout
         self.plans_served = 0
         self.cells_evaluated = 0
         #: Artifacts bootstrapped directly from the advertised store vs.
         #: relayed through the coordinator socket (hit-counter telemetry).
         self.direct_fetches = 0
         self.relay_fetches = 0
+        #: Failed direct fetches that degraded to relay — never silent.
+        self.direct_fetch_errors = 0
+        #: Relay blobs rejected for a digest mismatch (each is retried).
+        self.blob_integrity_errors = 0
+        #: Successful re-connect+handshake cycles after a dropped socket.
+        self.reconnects = 0
         self._send_lock = threading.Lock()
         self._memo: dict[str, tuple] = {}
         self._advertised: dict[str, DatasetStore | None] = {}
@@ -128,55 +169,82 @@ class FleetWorker:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def run(self) -> int:
-        """Serve the coordinator until Goodbye (0) or a failed start (1)."""
-        try:
-            sock = self._connect()
-        except OSError as exc:
-            print(f"fleet worker {self.worker_id}: cannot reach coordinator at "
-                  f"{self.address[0]}:{self.address[1]}: {exc}", file=sys.stderr)
-            return 1
-        stop_heartbeat = threading.Event()
-        try:
-            self._handshake(sock)
-            heartbeat = threading.Thread(
-                target=self._heartbeat_loop, args=(sock, stop_heartbeat),
-                name="fleet-heartbeat", daemon=True)
-            heartbeat.start()
-            while True:
-                reply = self._request(sock, GetPlan(self.worker_id))
-                if isinstance(reply, Goodbye):
-                    return 0
-                if isinstance(reply, NoPlan):
-                    time.sleep(reply.delay)
-                    continue
-                if isinstance(reply, PlanAssignment):
-                    try:
-                        self._serve_plan(sock, reply)
-                    except _StalePlan:
-                        continue
-        except HandshakeRejected as exc:
-            print(f"fleet worker {self.worker_id}: rejected: {exc}", file=sys.stderr)
-            return 2
-        except (ConnectionClosed, ConnectionError, OSError):
-            # The coordinator vanished — treat like Goodbye: nothing left
-            # to serve (leased cells are requeued on its side if it lives).
-            return 0
-        finally:
-            stop_heartbeat.set()
-            try:
-                sock.close()
-            except OSError:
-                pass
+        """Serve the coordinator until Goodbye (0) or a failed start (1).
 
-    def _connect(self) -> socket.socket:
-        deadline = time.monotonic() + self.connect_timeout
+        A connection lost mid-service (coordinator restart, network blip,
+        corrupted frame) is retried with a fresh connect + handshake up
+        to ``reconnect_attempts`` times; the per-plan memo is preserved,
+        so a reconnected worker resumes without re-fetching artifacts.
+        When the coordinator stays gone the worker exits 0 — its leased
+        cells are requeued on the coordinator's side if it lives.
+        """
+        attempts_left = self.reconnect_attempts
+        connected_before = False
         while True:
             try:
-                return socket.create_connection(self.address, timeout=None)
-            except OSError:
-                if time.monotonic() >= deadline:
-                    raise
-                time.sleep(0.1)
+                timeout = (self.reconnect_timeout if connected_before
+                           else self.connect_timeout)
+                sock = self._connect(timeout)
+            except OSError as exc:
+                if connected_before:
+                    logger.info("worker %s: coordinator did not come back "
+                                "within %.1fs: %s", self.worker_id,
+                                self.reconnect_timeout, exc)
+                    return 0
+                print(f"fleet worker {self.worker_id}: cannot reach coordinator "
+                      f"at {self.address[0]}:{self.address[1]}: {exc}",
+                      file=sys.stderr)
+                return 1
+            stop_heartbeat = threading.Event()
+            try:
+                self._handshake(sock)
+                if connected_before:
+                    self.reconnects += 1
+                    attempts_left = self.reconnect_attempts
+                connected_before = True
+                heartbeat = threading.Thread(
+                    target=self._heartbeat_loop, args=(sock, stop_heartbeat),
+                    name="fleet-heartbeat", daemon=True)
+                heartbeat.start()
+                while True:
+                    reply = self._request(sock, GetPlan(self.worker_id))
+                    if isinstance(reply, Goodbye):
+                        return 0
+                    if isinstance(reply, NoPlan):
+                        time.sleep(reply.delay)
+                        continue
+                    if isinstance(reply, PlanAssignment):
+                        try:
+                            self._serve_plan(sock, reply)
+                        except _StalePlan:
+                            continue
+            except HandshakeRejected as exc:
+                print(f"fleet worker {self.worker_id}: rejected: {exc}",
+                      file=sys.stderr)
+                return 2
+            except (ConnectionClosed, ConnectionError, OSError,
+                    protocol.ProtocolError) as exc:
+                if attempts_left <= 0:
+                    return 0
+                attempts_left -= 1
+                logger.warning(
+                    "worker %s: coordinator connection lost (%s: %s); "
+                    "reconnecting (%d attempts left)", self.worker_id,
+                    type(exc).__name__, exc, attempts_left)
+            finally:
+                stop_heartbeat.set()
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _connect(self, timeout: float) -> socket.socket:
+        # Effectively attempt-unbounded: the wall-clock budget governs.
+        policy = RetryPolicy(max_attempts=100_000, base_delay=0.1,
+                             multiplier=1.0, max_delay=0.1, jitter=0.0,
+                             max_elapsed=timeout)
+        return policy.call(
+            lambda: socket.create_connection(self.address, timeout=None))
 
     def _handshake(self, sock: socket.socket) -> None:
         reply = self._request(sock, Hello(
@@ -284,7 +352,8 @@ class FleetWorker:
             return None
         if url not in self._advertised:
             try:
-                self._advertised[url] = DatasetStore(url)
+                self._advertised[url] = DatasetStore(
+                    resolve_backend(url, retry=self.retry))
             except ValueError:
                 # Unknown scheme / malformed locator (e.g. a newer
                 # coordinator): the relay path still works.
@@ -296,24 +365,51 @@ class FleetWorker:
         """One artifact's bytes: advertised store first, coordinator relay fallback.
 
         *direct_read* takes the advertised :class:`DatasetStore` and
-        returns the artifact bytes; any miss or transport failure
-        (``KeyError`` for absent keys, ``OSError`` for an unreachable
-        object store or filesystem) falls back to a
-        ``FetchDataset``/``FetchCache`` round-trip on the coordinator
-        socket, so a worker that cannot see the shared store still
-        bootstraps — just without relieving the coordinator.
+        returns the artifact bytes; any miss or failure (``KeyError`` for
+        absent keys, ``OSError`` for an unreachable object store or
+        filesystem, ``IntegrityError`` for a checksum-rejected blob)
+        degrades to a ``FetchDataset``/``FetchCache`` round-trip on the
+        coordinator socket, so a worker that cannot see the shared store
+        still bootstraps — just without relieving the coordinator.  The
+        degradation is logged with its cause and counted
+        (``direct_fetch_errors``); relay blobs are verified against the
+        digest in the frame and retried on mismatch.
         """
         shared = self._advertised_store(assignment)
         if shared is not None:
             try:
                 data = direct_read(shared)
-            except (KeyError, OSError, ValueError):
-                pass
+            except (KeyError, OSError, ValueError, IntegrityError) as exc:
+                self.direct_fetch_errors += 1
+                logger.warning(
+                    "worker %s: direct fetch of %s from %s failed "
+                    "(%s: %s); degrading to coordinator relay",
+                    self.worker_id, type(request).__name__,
+                    assignment.store_url, type(exc).__name__, exc)
             else:
                 self.direct_fetches += 1
                 return data
         self.relay_fetches += 1
-        return self._fetch(sock, request, expected).data
+
+        def relay() -> bytes:
+            reply = self._fetch(sock, request, expected)
+            digest = getattr(reply, "sha256", "")
+            if digest:
+                actual = sha256_hex(reply.data)
+                if actual != digest:
+                    self.blob_integrity_errors += 1
+                    raise IntegrityError(type(reply).__name__, digest, actual)
+            return reply.data
+
+        def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            logger.warning(
+                "worker %s: relay blob failed verification (attempt %d: %s); "
+                "refetching in %.2fs", self.worker_id, attempt, exc, delay)
+
+        # _StalePlan is not an IntegrityError, so it propagates on the
+        # first occurrence — a vanished plan must never be retried.
+        return self.retry.call(relay, retry_on=(IntegrityError,),
+                               on_retry=on_retry)
 
     def _fetch(self, sock: socket.socket, request, expected: type):
         reply = self._request(sock, request)
@@ -350,21 +446,38 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cell-delay", type=float, default=None, metavar="S",
                         help="artificial per-cell sleep (fault-injection/testing; "
                              "default $REPRO_FLEET_CELL_DELAY or 0)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="retry attempts for fallible fetches: store transport "
+                             "and relay-blob digest verification (default "
+                             f"{WORKER_RETRY.max_attempts}; minimum 1)")
+    parser.add_argument("--reconnect-attempts", type=int, default=3, metavar="N",
+                        help="fresh connect+handshake attempts after the "
+                             "coordinator connection drops (default 3; 0 = exit "
+                             "on first drop)")
     args = parser.parse_args(argv)
+    if args.max_retries is not None and args.max_retries < 1:
+        parser.error(f"--max-retries must be >= 1, got {args.max_retries}")
+    if args.reconnect_attempts < 0:
+        parser.error(
+            f"--reconnect-attempts must be >= 0, got {args.reconnect_attempts}")
+    retry = None
+    if args.max_retries is not None:
+        retry = RetryPolicy(max_attempts=args.max_retries,
+                            base_delay=WORKER_RETRY.base_delay,
+                            max_delay=WORKER_RETRY.max_delay)
     store = args.store_dir
     if args.store_url is not None:
         # Resolved through the scheme registry so a malformed URL is a
         # usage error, not a silently-created local directory.
-        from repro.datasets.backends import resolve_backend
-
         try:
-            store = resolve_backend(args.store_url)
+            store = resolve_backend(args.store_url, retry=retry)
         except ValueError as exc:
             parser.error(str(exc))
     worker = FleetWorker(
         parse_address(args.connect), store=store,
         worker_id=args.worker_id, connect_timeout=args.connect_timeout,
-        heartbeat_interval=args.heartbeat_interval, cell_delay=args.cell_delay)
+        heartbeat_interval=args.heartbeat_interval, cell_delay=args.cell_delay,
+        retry=retry, reconnect_attempts=args.reconnect_attempts)
     return worker.run()
 
 

@@ -27,6 +27,10 @@ Options
 ``--store-prune`` after the run, delete store entries whose fingerprint none
                   of the executed experiments uses (stale settings, old
                   simulator versions)
+``--heartbeat-timeout`` / ``--batch-size`` / ``--max-retries``
+                  remote-executor fault-tolerance knobs: worker liveness
+                  deadline, cells per lease, and the per-cell requeue budget
+                  (see the README's "Operating a fleet" section)
 ``names``         experiment names (default: all; see ``EXPERIMENTS``)
 
 Fleet workers
@@ -79,6 +83,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="remote executor: spawn N localhost fleet workers "
                              "(default: --jobs without --bind, 0 with it)")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        metavar="S",
+                        help="remote executor: seconds of heartbeat silence "
+                             "before a worker is presumed dead and its leased "
+                             "cells are requeued (default 15; must be > 0 and "
+                             "well above the workers' 1s heartbeat interval)")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="N",
+                        help="remote executor: cells per lease (default 4; "
+                             "smaller bounds requeue cost and tail idle time, "
+                             "larger amortizes round-trips)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="remote executor: requeue budget per cell before "
+                             "the plan fails hard (default 3; 0 = any worker "
+                             "death fails the plan)")
     store_group = parser.add_mutually_exclusive_group()
     store_group.add_argument("--store-dir", default=None, metavar="DIR",
                              help="persistent dataset/analytical-cache store directory")
@@ -107,6 +125,19 @@ def main(argv: list[str] | None = None) -> int:
             executor = "serial" if args.jobs == 1 else "process"
     if executor != "remote" and (args.bind is not None or args.workers is not None):
         parser.error("--bind/--workers require --executor remote")
+    fleet_knobs = {"heartbeat_timeout": args.heartbeat_timeout,
+                   "batch_size": args.batch_size,
+                   "max_retries": args.max_retries}
+    fleet_knobs = {k: v for k, v in fleet_knobs.items() if v is not None}
+    if fleet_knobs and executor != "remote":
+        flags = ", ".join("--" + k.replace("_", "-") for k in fleet_knobs)
+        parser.error(f"{flags} require --executor remote")
+    if args.heartbeat_timeout is not None and args.heartbeat_timeout <= 0:
+        parser.error(f"--heartbeat-timeout must be > 0, got {args.heartbeat_timeout}")
+    if args.batch_size is not None and args.batch_size < 1:
+        parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
     if args.store_prune and args.store_url is None and args.store_dir is None:
         parser.error("--store-prune requires --store-dir or --store-url")
 
@@ -134,7 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.scheduler import _resolve_jobs
 
         bind = ("127.0.0.1", 0) if args.bind is None else parse_address(args.bind)
-        fleet = Coordinator(bind=bind)
+        fleet = Coordinator(bind=bind, **fleet_knobs)
         if args.bind is not None:
             host, port = fleet.address
             # A wildcard bind address is not connectable from other hosts;

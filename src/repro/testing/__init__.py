@@ -1,0 +1,5 @@
+"""Testing utilities shipped with the package (fault injection, chaos)."""
+
+from repro.testing.faults import FaultyBackend, FaultySocket, flip_bit
+
+__all__ = ["FaultyBackend", "FaultySocket", "flip_bit"]

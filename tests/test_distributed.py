@@ -542,3 +542,245 @@ class TestFleetWorkerCli:
             main(["figure6", "--quick", "--executor", "process", "--workers", "2"])
         with pytest.raises(SystemExit):
             main(["figure6", "--quick", "--store-prune"])
+
+
+class TestFaultTolerance:
+    """Degradation paths: every fallback is taken loudly and recovers."""
+
+    def test_direct_fetch_corruption_degrades_to_relay(self, tmp_path, caplog):
+        """A corrupt blob in the shared store is rejected by the worker's
+        checksum verification, logged with its cause, counted, and served
+        through the coordinator relay instead — rows stay correct."""
+        import logging
+
+        from repro.testing import flip_bit
+
+        parent = DatasetStore(tmp_path)
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan, store=parent)
+        with Coordinator() as coordinator:
+            thread, box = _run_plan_async(plan, coordinator, store=parent)
+            deadline = time.monotonic() + 60.0
+            while (coordinator.load()["outstanding"] == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            # The driver has resolved the plan (and snapshotted clean relay
+            # blobs); now rot the shared dataset blob on disk.  The sidecar
+            # still holds the original digest, so reads must be rejected.
+            blob_path = parent.dataset_path(plan.dataset)
+            blob_path.write_bytes(flip_bit(blob_path.read_bytes()))
+            worker = FleetWorker(coordinator.address)
+            worker_thread = threading.Thread(target=worker.run, daemon=True)
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.distributed.worker"):
+                worker_thread.start()
+                thread.join(timeout=120.0)
+                assert not thread.is_alive()
+        worker_thread.join(timeout=10.0)
+        assert "error" not in box, box.get("error")
+        assert _rows(box["result"]) == _rows(serial)
+        # The degradation was counted and logged exactly once, with cause.
+        assert worker.direct_fetch_errors == 1
+        assert worker.relay_fetches == 1   # dataset via relay
+        assert worker.direct_fetches == 1  # cache still came directly
+        assert "degrading to coordinator relay" in caplog.text
+        assert "IntegrityError" in caplog.text
+
+    def test_relay_blob_digest_mismatch_is_retried(self):
+        """A relay blob that fails digest verification is refetched; the
+        second copy passes and the plan completes bit-identically."""
+        from repro.testing import flip_bit
+
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan)
+        with Coordinator() as coordinator:
+            original_reply = coordinator._reply
+            tampered = {"done": False}
+
+            def tamper(info, message):
+                reply = original_reply(info, message)
+                if (isinstance(message, protocol.FetchDataset)
+                        and isinstance(reply, protocol.DatasetBlob)
+                        and not tampered["done"]):
+                    tampered["done"] = True
+                    return protocol.DatasetBlob(
+                        reply.plan_id, flip_bit(reply.data),
+                        sha256=reply.sha256)
+                return reply
+
+            coordinator._reply = tamper
+            worker = FleetWorker(coordinator.address)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            remote = run_plan(plan, executor="remote", fleet=coordinator)
+        thread.join(timeout=10.0)
+        assert tampered["done"]
+        assert worker.blob_integrity_errors == 1
+        assert _rows(remote) == _rows(serial)
+
+    def test_worker_reconnects_after_connection_cut(self):
+        """A severed coordinator connection is survived: the worker
+        re-handshakes (same id, memo intact) and serves the next plan."""
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan)
+        with Coordinator() as coordinator:
+            worker = FleetWorker(coordinator.address, reconnect_attempts=5,
+                                 reconnect_timeout=5.0)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            remote1 = run_plan(plan, executor="remote", fleet=coordinator)
+            with coordinator._lock:
+                infos = list(coordinator._workers.values())
+            assert infos
+            for info in infos:
+                coordinator._sever(info)
+            deadline = time.monotonic() + 20.0
+            while worker.reconnects == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert worker.reconnects >= 1
+            remote2 = run_plan(plan, executor="remote", fleet=coordinator)
+        thread.join(timeout=10.0)
+        assert _rows(remote1) == _rows(serial)
+        assert _rows(remote2) == _rows(serial)
+
+
+class TestSpeculation:
+    def test_straggler_lease_is_speculatively_duplicated(self):
+        """A worker that holds a lease forever does not stall the plan: once
+        the queue drains, its overdue cells are re-leased to a healthy
+        worker and dedupe-by-key keeps the duplication harmless."""
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan)
+        total = len(expand_cells(plan))
+        coordinator = Coordinator(batch_size=1, heartbeat_timeout=30.0,
+                                  speculation_min_delay=0.2,
+                                  speculation_factor=1.5)
+        try:
+            thread, box = _run_plan_async(plan, coordinator)
+            sock, welcome = _raw_handshake(coordinator.address,
+                                           worker_id="straggler")
+            assert isinstance(welcome, protocol.Welcome)
+            assignment = _await_plan(sock, worker_id="straggler")
+            protocol.send_message(
+                sock, protocol.GetBatch(assignment.plan_id, "straggler"))
+            batch = protocol.recv_message(sock)
+            assert isinstance(batch, protocol.Batch) and batch.cells
+            # Hold the lease forever (the socket stays open, no results
+            # ever come) while an honest worker drains the queue.
+            honest = FleetWorker(coordinator.address)
+            honest_thread = threading.Thread(target=honest.run, daemon=True)
+            honest_thread.start()
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+            sock.close()
+        finally:
+            coordinator.close()
+        assert "error" not in box, box.get("error")
+        assert coordinator.stats["speculative_releases"] >= 1
+        # The honest worker really raced the straggler's cells — it
+        # evaluated the whole plan, including the held lease.
+        assert honest.cells_evaluated == total
+        assert _rows(box["result"]) == _rows(serial)
+
+
+class TestElasticFleet:
+    def test_desired_workers_sizing_rule(self):
+        from repro.distributed.autoscale import desired_workers
+
+        def load(n):
+            return {"outstanding": n}
+
+        assert desired_workers(load(0), min_workers=0, max_workers=4) == 0
+        assert desired_workers(load(1), min_workers=0, max_workers=4) == 1
+        assert desired_workers(load(9), min_workers=0, max_workers=4,
+                               cells_per_worker=4) == 3
+        assert desired_workers(load(10**6), min_workers=0, max_workers=4) == 4
+        assert desired_workers(load(0), min_workers=2, max_workers=4) == 2
+        with pytest.raises(ValueError, match="min_workers"):
+            desired_workers(load(0), min_workers=3, max_workers=2)
+        with pytest.raises(ValueError, match="cells_per_worker"):
+            desired_workers(load(0), min_workers=0, max_workers=1,
+                            cells_per_worker=0)
+
+    def test_autoscaler_spawns_for_queue_and_retires_idle(self, tmp_path):
+        """Ticks are driven by hand for determinism: a queued plan scales
+        the fleet up to target, a drained queue retires it to zero — via
+        polite Goodbyes, never an abandoned lease."""
+        from repro.distributed.autoscale import LocalAutoscaler
+
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan)
+        total = len(expand_cells(plan))
+        with Coordinator() as coordinator:
+            scaler = LocalAutoscaler(coordinator, min_workers=0, max_workers=2,
+                                     cells_per_worker=max(1, total // 2),
+                                     idle_ticks=2, store_dir=tmp_path)
+            assert coordinator.elastic  # empty fleet is a transient now
+            thread, box = _run_plan_async(plan, coordinator)
+            deadline = time.monotonic() + 60.0
+            while (coordinator.load()["outstanding"] == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            scaler.tick()
+            assert scaler.stats["spawned"] == 2
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+            assert "error" not in box, box.get("error")
+            # The queue has drained: idle ticks retire the whole fleet.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                scaler.tick()
+                if (not coordinator.worker_snapshot()
+                        and coordinator.stats["workers_retired"] >= 2):
+                    break
+                time.sleep(0.1)
+            assert scaler.stats["retired"] >= 2
+            assert coordinator.stats["workers_retired"] >= 2
+            assert not coordinator.worker_snapshot()
+        assert _rows(box["result"]) == _rows(serial)
+
+
+class TestFleetKnobCli:
+    def test_knobs_require_remote_executor(self):
+        from repro.experiments.__main__ import main
+
+        for flag, value in [("--heartbeat-timeout", "5"),
+                            ("--batch-size", "2"), ("--max-retries", "1")]:
+            with pytest.raises(SystemExit):
+                main(["figure6", "--quick", flag, value])
+
+    def test_knob_value_validation(self):
+        from repro.experiments.__main__ import main
+
+        base = ["figure6", "--quick", "--executor", "remote", "--jobs", "1"]
+        for flag, bad in [("--heartbeat-timeout", "0"),
+                          ("--batch-size", "0"), ("--max-retries", "-1")]:
+            with pytest.raises(SystemExit):
+                main(base + [flag, bad])
+
+    def test_knobs_reach_the_coordinator(self, monkeypatch):
+        from repro.experiments.__main__ import main
+
+        captured = {}
+
+        class _Probe:
+            def __init__(self, **kwargs):
+                captured.update(kwargs)
+                raise RuntimeError("probe stop")
+
+        monkeypatch.setattr("repro.distributed.coordinator.Coordinator", _Probe)
+        with pytest.raises(RuntimeError, match="probe stop"):
+            main(["figure6", "--quick", "--executor", "remote", "--jobs", "2",
+                  "--heartbeat-timeout", "2.5", "--batch-size", "3",
+                  "--max-retries", "7"])
+        assert captured["heartbeat_timeout"] == 2.5
+        assert captured["batch_size"] == 3
+        assert captured["max_retries"] == 7
+
+    def test_worker_cli_rejects_bad_retry_knobs(self):
+        from repro.distributed.worker import main
+
+        with pytest.raises(SystemExit):
+            main(["--connect", "127.0.0.1:1", "--max-retries", "0"])
+        with pytest.raises(SystemExit):
+            main(["--connect", "127.0.0.1:1", "--reconnect-attempts", "-1"])

@@ -1,0 +1,125 @@
+"""Unit tests for the shared retry policy (`repro.utils.retry`).
+
+Everything runs with an injected fake sleep/clock, so the exact backoff
+schedule is asserted without any real waiting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.utils.retry import DEFAULT_POLICY, RetryPolicy
+
+
+class _Flaky:
+    """Fails the first *n* calls with *exc*, then returns *value*."""
+
+    def __init__(self, n: int, exc: Exception = OSError("boom"),
+                 value: str = "ok") -> None:
+        self.n = n
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise self.exc
+        return self.value
+
+
+class TestDelays:
+    def test_exponential_sequence_without_jitter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0,
+                             max_delay=10.0, jitter=0.0)
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0, multiplier=4.0,
+                             max_delay=5.0, jitter=0.0)
+        assert list(policy.delays()) == pytest.approx([1.0, 4.0, 5.0, 5.0, 5.0])
+
+    def test_jitter_shrinks_but_never_grows_delays(self):
+        policy = RetryPolicy(max_attempts=50, base_delay=1.0, multiplier=1.0,
+                             max_delay=1.0, jitter=0.5)
+        delays = list(policy.delays(random.Random(42)))
+        assert all(0.5 <= d <= 1.0 for d in delays)
+        assert len(set(delays)) > 1  # actually randomized
+
+    def test_single_attempt_means_no_delays(self):
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestCall:
+    def test_succeeds_after_transient_failures(self):
+        sleeps: list[float] = []
+        fn = _Flaky(2)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        assert policy.call(fn, sleep=sleeps.append) == "ok"
+        assert fn.calls == 3
+        assert sleeps == pytest.approx([0.1, 0.2])
+
+    def test_budget_exhaustion_reraises_last_exception(self):
+        fn = _Flaky(10, exc=ConnectionRefusedError("nope"))
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        with pytest.raises(ConnectionRefusedError, match="nope"):
+            policy.call(fn, sleep=lambda d: None)
+        assert fn.calls == 3
+
+    def test_non_matching_exception_propagates_immediately(self):
+        fn = _Flaky(1, exc=KeyError("absent"))
+        with pytest.raises(KeyError):
+            DEFAULT_POLICY.call(fn, sleep=lambda d: None)
+        assert fn.calls == 1
+
+    def test_giveup_stops_retrying(self):
+        fn = _Flaky(5, exc=OSError("HTTP 404"))
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(OSError):
+            policy.call(fn, giveup=lambda exc: "404" in str(exc),
+                        sleep=lambda d: None)
+        assert fn.calls == 1
+
+    def test_on_retry_observes_every_degradation(self):
+        events: list[tuple[int, float]] = []
+        fn = _Flaky(2)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        policy.call(fn, on_retry=lambda a, exc, d: events.append((a, d)),
+                    sleep=lambda d: None)
+        assert events == [(1, pytest.approx(0.1)), (2, pytest.approx(0.2))]
+
+    def test_max_elapsed_cuts_the_budget_short(self):
+        clock_now = [0.0]
+
+        def clock():
+            return clock_now[0]
+
+        def sleep(d):
+            clock_now[0] += d
+
+        fn = _Flaky(10)
+        policy = RetryPolicy(max_attempts=10, base_delay=1.0, multiplier=1.0,
+                             jitter=0.0, max_elapsed=2.5)
+        with pytest.raises(OSError):
+            policy.call(fn, sleep=sleep, clock=clock)
+        # Two 1s sleeps fit in the 2.5s budget; scheduling a third would
+        # exceed it, so the third failure is final.
+        assert fn.calls == 3
+
+    def test_retries_multiple_exception_types(self):
+        fn = _Flaky(1, exc=ValueError("transient"))
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.call(fn, retry_on=(ValueError,),
+                           sleep=lambda d: None) == "ok"

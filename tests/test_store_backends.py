@@ -23,7 +23,10 @@ from repro.datasets.backends import (
     MemoryBackend,
     ObjectStoreBackend,
     backend_schemes,
+    checksum_key,
+    is_checksum_key,
     resolve_backend,
+    sha256_hex,
 )
 from repro.datasets.object_server import ObjectStoreServer
 
@@ -75,9 +78,19 @@ class TestBackendContract:
         backend.write("datasets/b.npz", b"1")
         backend.write("datasets/a.npz", b"2")
         backend.write("caches/c.npz", b"3")
-        assert backend.list() == ["caches/c.npz", "datasets/a.npz", "datasets/b.npz"]
-        assert backend.list("datasets/") == ["datasets/a.npz", "datasets/b.npz"]
+        # Checksum sidecars are real keys and are listed alongside blobs.
+        assert backend.list() == [
+            "caches/c.npz", "caches/c.npz.sha256",
+            "datasets/a.npz", "datasets/a.npz.sha256",
+            "datasets/b.npz", "datasets/b.npz.sha256",
+        ]
+        assert backend.list("datasets/") == [
+            "datasets/a.npz", "datasets/a.npz.sha256",
+            "datasets/b.npz", "datasets/b.npz.sha256",
+        ]
         assert backend.list("nothing/") == []
+        blobs = [k for k in backend.list() if not is_checksum_key(k)]
+        assert blobs == ["caches/c.npz", "datasets/a.npz", "datasets/b.npz"]
 
     def test_traversal_keys_rejected(self, backend):
         for key in ("../escape", "a/../../b", "/absolute", "", "a\\b"):
@@ -240,6 +253,78 @@ class TestAtomicWriteRegressions:
         assert not orphan.exists()
         assert store.has_dataset(SPEC)
 
+    def test_prune_collects_orphaned_checksum_sidecars(self, tmp_path):
+        """Regression: a blob deleted out-of-band (or written by a
+        pre-checksum store and pruned by it) can leave a ``.sha256``
+        sidecar with no blob; prune must collect the orphan even when its
+        fingerprint is kept, and must keep live sidecars with their
+        blobs."""
+        store = DatasetStore(tmp_path)
+        store.get(SPEC)
+        backend = store.backend
+        blob_key = DatasetStore.dataset_key(SPEC)
+        sidecar = checksum_key(blob_key)
+        assert backend.exists(sidecar)
+        # Orphan it: remove the blob only (raw delete bypasses the
+        # template method that would also remove the sidecar).
+        backend._delete(blob_key)
+        assert backend.exists(sidecar)
+        removed = store.prune(keep_fingerprints={SPEC.fingerprint})
+        assert [p.name for p in removed] == [f"{blob_key.rsplit('/')[-1]}.sha256"]
+        assert not backend.exists(sidecar)
+        # Live blob + sidecar pairs are pruned (and kept) together; the
+        # sidecar riding with its blob is not listed separately.
+        store.get(SPEC)
+        store.get(OTHER)
+        removed = store.prune(keep_fingerprints={SPEC.fingerprint})
+        assert [p.name for p in removed] == [
+            f"{OTHER.name}-{OTHER.fingerprint}.npz"]
+        other_key = DatasetStore.dataset_key(OTHER)
+        assert not backend.exists(other_key)
+        assert not backend.exists(checksum_key(other_key))
+        assert store.has_dataset(SPEC)
+        assert backend.exists(checksum_key(blob_key))
+
+
+class TestChecksums:
+    """The integrity layer: sidecars on write, verification on read."""
+
+    def test_write_records_a_sha256_sidecar(self, backend):
+        backend.write("datasets/a.npz", b"alpha")
+        sidecar = backend.read(checksum_key("datasets/a.npz"))
+        assert sidecar.decode("ascii") == sha256_hex(b"alpha")
+
+    def test_corrupt_blob_is_rejected_on_read(self, backend):
+        from repro.datasets.backends import IntegrityError
+
+        backend.write("datasets/a.npz", b"alpha")
+        # Corrupt below the checksum layer, as bit rot would.
+        backend._write("datasets/a.npz", b"alphX")
+        with pytest.raises(IntegrityError, match="datasets/a.npz"):
+            backend.read("datasets/a.npz")
+
+    def test_legacy_blob_without_sidecar_reads_unverified(self, backend):
+        backend._write("datasets/legacy.npz", b"old")
+        assert backend.read("datasets/legacy.npz") == b"old"
+
+    def test_delete_removes_the_sidecar_too(self, backend):
+        backend.write("datasets/a.npz", b"alpha")
+        backend.delete("datasets/a.npz")
+        assert not backend.exists("datasets/a.npz")
+        assert not backend.exists(checksum_key("datasets/a.npz"))
+
+    def test_store_rejects_and_regenerates_corrupt_dataset(self, tmp_path):
+        store = DatasetStore(tmp_path)
+        dataset = store.get(SPEC)
+        blob_key = DatasetStore.dataset_key(SPEC)
+        good = store.backend._read(blob_key)
+        store.backend._write(blob_key, good[:-1] + bytes([good[-1] ^ 1]))
+        refetched = store.get(SPEC)  # detected, discarded, regenerated
+        assert store.integrity_failures == 1
+        assert store.backend._read(blob_key) == good  # byte-identical rebuild
+        np.testing.assert_array_equal(refetched.X, dataset.X)
+        np.testing.assert_array_equal(refetched.y, dataset.y)
+
 
 class TestObjectServer:
     def test_get_missing_is_404(self, object_server):
@@ -252,7 +337,8 @@ class TestObjectServer:
         backend.write("datasets/a.npz", b"1")
         backend.write("caches/b.npz", b"2")
         with urllib.request.urlopen(object_server.url + "?prefix=datasets/") as resp:
-            assert json.loads(resp.read()) == ["datasets/a.npz"]
+            assert json.loads(resp.read()) == [
+                "datasets/a.npz", "datasets/a.npz.sha256"]
 
     def test_traversal_is_rejected_with_400(self, object_server):
         request = urllib.request.Request(
