@@ -14,9 +14,18 @@ the heterogeneous machines that contribute history entries.  A workload
 counts as *tracked* when it records both a ``speedup`` and an acceptance
 ``threshold`` — ratios the benchmark suite itself asserts.  Purely
 informational ratios (the hist engine's extra-trees fit, which hovers
-around 1x and would flap a relative gate) and the ``scheduler_speedup``
-benchmark (its ratio tracks the host's core count, ~1 on a small CI
-runner) are reported by the suite but not gated.
+around 1x and would flap a relative gate) are reported by the suite but
+not gated.
+
+``scheduler_speedup`` gets an *absolute* floor instead of the relative
+one: parallel-vs-serial tracks the host's core count, so comparing
+entries from heterogeneous machines would gate noise.  The newest entry
+must beat serial (> 1.0x) when it was recorded on a multi-core host, and
+stay near parity (>= :data:`SCHEDULER_SINGLE_CORE_FLOOR`) on a
+single-core box, where parallel physically cannot win and the floor
+bounds pure scheduling overhead instead.  Only entries from the
+warm-pool benchmark protocol (they record a ``phases`` breakdown) are
+gated; older per-plan-spawn entries are informational history.
 
 Usage::
 
@@ -34,8 +43,16 @@ TOLERANCE = 0.25
 
 #: Benchmarks whose ``speedup`` fields are gated (hardware-independent
 #: engine-vs-engine ratios).  ``scheduler_speedup`` tracks core count and
-#: is informational only.
+#: gets an absolute cpus-conditional floor instead (see below).
 GATED_BENCHMARKS = ("engine_redesign", "hist_engine")
+
+#: Absolute floors for the newest warm-pool ``scheduler_speedup`` entry:
+#: on a multi-core host the parallel sweep must beat serial outright; on
+#: a single-core host it must stay near parity (the floor bounds the
+#: scheduler's total overhead — pool dispatch, pickling, merge — since a
+#: speedup > 1 is physically impossible there).
+SCHEDULER_MULTI_CORE_FLOOR = 1.0
+SCHEDULER_SINGLE_CORE_FLOOR = 0.65
 
 DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
@@ -69,6 +86,40 @@ def _baseline_for(entries: list[dict], name: str, scale) -> float | None:
     return None
 
 
+def check_scheduler(history: list[dict]) -> list[str]:
+    """Absolute-floor gate on the newest ``scheduler_speedup`` entry.
+
+    Only warm-pool entries (recording a ``phases`` breakdown) are gated;
+    entries predating the warm-pool protocol are informational.  The
+    floor depends on the ``cpus`` the entry recorded: > 1.0x on
+    multi-core hosts, near-parity on single-core ones.
+    """
+    failures: list[str] = []
+    entries = [e for e in history if e.get("benchmark") == "scheduler_speedup"]
+    if not entries:
+        print("[bench-gate] scheduler_speedup: no entries")
+        return failures
+    current = entries[-1]
+    for name, fields in current.get("workloads", {}).items():
+        if "phases" not in fields or "speedup" not in fields:
+            print(f"[bench-gate] scheduler_speedup/{name}: pre-warm-pool "
+                  f"entry — skipped")
+            continue
+        speedup = float(fields["speedup"])
+        multi_core = (current.get("cpus") or 1) > 1
+        floor = (SCHEDULER_MULTI_CORE_FLOOR if multi_core
+                 else SCHEDULER_SINGLE_CORE_FLOOR)
+        kind = "multi-core" if multi_core else "single-core"
+        status = "OK" if speedup > floor else "TOO SLOW"
+        print(f"[bench-gate] scheduler_speedup/{name}: {speedup:.2f}x vs "
+              f"{kind} floor {floor:.2f}x {status}")
+        if speedup <= floor:
+            failures.append(
+                f"scheduler_speedup/{name}: warm-pool speedup {speedup:.2f}x "
+                f"at or below the {kind} floor {floor:.2f}x")
+    return failures
+
+
 def check_history(history: list[dict]) -> list[str]:
     """Return a list of human-readable gate failures (empty = pass)."""
     failures: list[str] = []
@@ -93,6 +144,7 @@ def check_history(history: list[dict]) -> list[str]:
                 failures.append(
                     f"{benchmark}/{name}: speedup {speedup:.2f}x regressed more "
                     f"than {TOLERANCE:.0%} below the previous {baseline:.2f}x")
+    failures.extend(check_scheduler(history))
     return failures
 
 

@@ -146,6 +146,14 @@ class EvalCell:
     dataset_fingerprint:
         Optional fingerprint of the dataset the cell evaluates on (used
         by the scheduling layer to resolve datasets in worker processes).
+    cost_hint:
+        Estimated relative cost of the cell in arbitrary units
+        (``0.0`` = unknown).  Populated by the scheduling layer from its
+        cost model (estimator-family weight × ensemble size × fraction)
+        and consumed by cost-aware batch shaping — the distributed
+        coordinator's adaptive leases pack cells against a budget of
+        these units.  Purely advisory: it never affects the cell's
+        result, only how cells are grouped for dispatch.
     """
 
     series: str
@@ -155,6 +163,7 @@ class EvalCell:
     seed: int
     min_train: int = 3
     dataset_fingerprint: str = ""
+    cost_hint: float = 0.0
 
     @property
     def key(self) -> tuple[str, float, int]:

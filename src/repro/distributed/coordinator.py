@@ -93,6 +93,14 @@ from repro.distributed.protocol import (
 
 __all__ = ["Coordinator"]
 
+#: ``batch_size="auto"``: a lease targets the predicted cost of this many
+#: *average* cells of the plan, so cheap cells fuse into big leases and a
+#: cell costlier than the whole budget is leased alone.
+_AUTO_LEASE_TARGET_CELLS = 4
+#: Hard cap on cells per ``"auto"`` lease, bounding both the requeue cost
+#: of a dead worker and the damage of a bad cost estimate.
+_AUTO_LEASE_MAX_CELLS = 16
+
 
 class _WorkerInfo:
     """Coordinator-side record of one connected worker."""
@@ -114,13 +122,26 @@ class _Job:
 
     def __init__(self, plan, plan_id: str, cells: list,
                  dataset_blob: bytes, cache_blobs: dict[str, bytes],
-                 store_ok: bool, store_url: str | None = None) -> None:
+                 store_ok: bool, store_url: str | None = None,
+                 auto_leases: bool = False) -> None:
         self.plan = plan
         self.plan_id = plan_id
         self.store_ok = store_ok
         self.store_url = store_url
         self.cells = cells
-        self.queue = deque(cells)
+        self.lease_budget: float | None = None
+        if auto_leases:
+            # Cost-aware leasing: dispatch expensive cells first (LPT-style
+            # makespan) against a budget of N average cells per lease.
+            # Any lease shape is safe — requeue and dedupe key on the
+            # cell, and results merge in plan order regardless.
+            hints = [max(cell.cost_hint, 0.0) for cell in cells]
+            mean = sum(hints) / len(hints) if hints else 0.0
+            self.lease_budget = _AUTO_LEASE_TARGET_CELLS * mean
+            order = sorted(range(len(cells)), key=lambda i: (-hints[i], i))
+            self.queue = deque(cells[i] for i in order)
+        else:
+            self.queue = deque(cells)
         self.completed: dict[tuple, CellResult] = {}
         self.retries: dict[tuple, int] = {}
         self.dataset_blob = dataset_blob
@@ -156,6 +177,13 @@ class Coordinator:
     batch_size:
         Cells per lease.  Small batches bound both the requeue cost of a
         dead worker and fleet idle time at the tail of a plan.
+        ``"auto"`` makes leases cost-aware instead of fixed-size: cells
+        are dispatched expensive-first and packed against a budget of
+        :data:`_AUTO_LEASE_TARGET_CELLS` average cells (per the
+        cells' :attr:`~repro.core.evaluation.EvalCell.cost_hint`), so
+        many cheap cells fuse into one lease while a cell costlier than
+        the whole budget is leased alone — stragglers shrink without
+        giving up round-trip amortization.
     max_retries:
         Requeue budget per cell; exceeding it fails the plan.
     speculation:
@@ -168,7 +196,7 @@ class Coordinator:
     """
 
     def __init__(self, bind: tuple[str, int] = ("127.0.0.1", 0), *,
-                 heartbeat_timeout: float = 15.0, batch_size: int = 4,
+                 heartbeat_timeout: float = 15.0, batch_size: int | str = 4,
                  max_retries: int = 3, speculation: bool = True,
                  speculation_factor: float = 3.0,
                  speculation_percentile: float = 0.75,
@@ -176,8 +204,11 @@ class Coordinator:
         if heartbeat_timeout <= 0:
             raise ValueError(
                 f"heartbeat_timeout must be > 0, got {heartbeat_timeout}")
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_size != "auto" and (
+                not isinstance(batch_size, int) or isinstance(batch_size, bool)
+                or batch_size < 1):
+            raise ValueError(
+                f"batch_size must be 'auto' or an integer >= 1, got {batch_size!r}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if speculation_factor < 1.0:
@@ -348,7 +379,8 @@ class Coordinator:
                    self._dataset_blob(plan, dataset, store),
                    self._cache_blobs(plan, caches, store),
                    store_ok=not dataset_override,
-                   store_url=None if store is None else store.locator)
+                   store_url=None if store is None else store.locator,
+                   auto_leases=self.batch_size == "auto")
         with self._cond:
             if self._closing:
                 raise RuntimeError("coordinator is closed")
@@ -657,13 +689,30 @@ class Coordinator:
         if job is None or job.plan_id != message.plan_id or job.failure is not None:
             return PlanDone(message.plan_id)
         lease: list = []
-        while job.queue and len(lease) < self.batch_size:
-            cell = job.queue.popleft()
-            # A requeued cell may have been completed after all by a
-            # worker that was wrongly presumed dead; skip stale copies.
-            if cell.key in job.completed:
-                continue
-            lease.append(cell)
+        if self.batch_size == "auto":
+            lease_cost = 0.0
+            while job.queue and len(lease) < _AUTO_LEASE_MAX_CELLS:
+                cell = job.queue[0]
+                if cell.key in job.completed:
+                    job.queue.popleft()  # stale requeued copy
+                    continue
+                cost = max(cell.cost_hint, 0.0)
+                # The first cell is always taken (so a cell costlier than
+                # the whole budget goes out as a singleton lease); after
+                # that, stop before the budget overflows.
+                if lease and lease_cost + cost > job.lease_budget:
+                    break
+                job.queue.popleft()
+                lease.append(cell)
+                lease_cost += cost
+        else:
+            while job.queue and len(lease) < self.batch_size:
+                cell = job.queue.popleft()
+                # A requeued cell may have been completed after all by a
+                # worker that was wrongly presumed dead; skip stale copies.
+                if cell.key in job.completed:
+                    continue
+                lease.append(cell)
         if lease:
             info.lease = lease
             info.lease_plan_id = job.plan_id

@@ -42,6 +42,7 @@ from repro.experiments.plan import (
     expand_cells,
     experiment_plan,
 )
+from repro.experiments.pool import CostModel, WorkerPool
 from repro.experiments.reporting import format_curves, format_result, results_to_markdown
 from repro.experiments.runner import (
     EXPERIMENTS,
@@ -66,6 +67,8 @@ __all__ = [
     "PLANNED_EXPERIMENTS",
     "EXECUTORS",
     "run_plan",
+    "WorkerPool",
+    "CostModel",
     "figure3_stencil",
     "figure3_fmm",
     "figure5",

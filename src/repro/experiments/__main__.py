@@ -31,6 +31,14 @@ Options
                   remote-executor fault-tolerance knobs: worker liveness
                   deadline, cells per lease, and the per-cell requeue budget
                   (see the README's "Operating a fleet" section)
+``--batch-cells`` cell-fusion target for the process and remote executors:
+                  ``auto`` (default) shapes cost-balanced batches/leases from
+                  the calibrated cost model, an integer ``N`` forces ~N cells
+                  per batch/lease.  Batch shape never affects results.  For
+                  ``--executor process`` with ``--jobs`` > 1 a single warm
+                  worker pool additionally serves the whole experiment
+                  sequence, so workers spawn once and keep their per-plan
+                  memos across experiments
 ``names``         experiment names (default: all; see ``EXPERIMENTS``)
 
 Fleet workers
@@ -97,6 +105,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="remote executor: requeue budget per cell before "
                              "the plan fails hard (default 3; 0 = any worker "
                              "death fails the plan)")
+    parser.add_argument("--batch-cells", default=None, metavar="auto|N",
+                        help="process/remote executors: cell-fusion target — "
+                             "'auto' shapes cost-balanced batches (process) "
+                             "or adaptive leases (remote) from the cost "
+                             "model, an integer forces ~N cells per batch; "
+                             "results are bit-identical for any value")
     store_group = parser.add_mutually_exclusive_group()
     store_group.add_argument("--store-dir", default=None, metavar="DIR",
                              help="persistent dataset/analytical-cache store directory")
@@ -138,6 +152,23 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
     if args.max_retries is not None and args.max_retries < 0:
         parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    batch_cells = None
+    if args.batch_cells is not None:
+        if executor not in ("process", "remote"):
+            parser.error("--batch-cells requires --executor process or remote")
+        from repro.experiments.pool import resolve_batch_cells
+
+        try:
+            batch_cells = resolve_batch_cells(args.batch_cells)
+        except ValueError as exc:
+            parser.error(str(exc))
+        if executor == "remote":
+            if args.batch_size is not None:
+                parser.error("--batch-cells and --batch-size are mutually "
+                             "exclusive (both set the fleet lease size)")
+            # For the remote executor the fusion target IS the lease size.
+            fleet_knobs["batch_size"] = batch_cells
+            batch_cells = None
     if args.store_prune and args.store_url is None and args.store_dir is None:
         parser.error("--store-prune requires --store-dir or --store-url")
 
@@ -189,15 +220,30 @@ def main(argv: list[str] | None = None) -> int:
             fleet.spawn_local_workers(
                 n_local, store_url=None if store is None else store.locator)
 
+    pool = None
+    if executor == "process":
+        from repro.experiments.scheduler import _resolve_jobs
+
+        n_workers = _resolve_jobs(args.jobs)
+        if n_workers > 1:
+            # One warm pool for the whole sequence: workers spawn once and
+            # keep their per-plan memos across experiments.
+            from repro.experiments.pool import WorkerPool
+
+            pool = WorkerPool(n_workers)
+
     try:
         for name in args.names:
             result = run_experiment(name, settings=settings, executor=executor,
-                                    jobs=args.jobs, store=store, fleet=fleet)
+                                    jobs=args.jobs, store=store, fleet=fleet,
+                                    pool=pool, batch_cells=batch_cells)
             print(format_result(result))
             print()
     finally:
         if fleet is not None:
             fleet.close()
+        if pool is not None:
+            pool.close()
 
     if args.store_prune:
         from repro.experiments.plan import experiment_plan

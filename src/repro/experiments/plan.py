@@ -288,16 +288,31 @@ def expand_cells(plan: ExperimentPlan) -> list[EvalCell]:
 
     Each series spawns its seeds from its own stream (seeded with the
     plan's master seed), exactly as the serial per-curve evaluation did,
-    so the expansion is executor-independent.
+    so the expansion is executor-independent.  Every cell is stamped
+    with a :attr:`~repro.core.evaluation.EvalCell.cost_hint` (per-row
+    cost units from the scheduler's cost model) so cost-aware batch
+    shapers — the process executor's LPT fusion, the fleet
+    coordinator's adaptive leases — can balance work without
+    re-deriving estimator metadata.  The hint is advisory and excluded
+    from the plan fingerprint; results never depend on it.
     """
+    # Imported lazily: the pool module is package-internal machinery and
+    # importing it here at module level would re-enter the package
+    # __init__ while this module is still initializing.
+    from repro.experiments.pool import COST_MODEL
+
     cells: list[EvalCell] = []
     for spec in plan.series:
-        cells.extend(plan_learning_curve(
-            spec.fractions, plan.n_repeats,
-            series=spec.label, factory_key=spec.label,
-            min_train=plan.min_train, random_state=plan.random_state,
-            dataset_fingerprint=plan.dataset.fingerprint,
-        ))
+        cells.extend(
+            dataclasses.replace(
+                cell,
+                cost_hint=COST_MODEL.factory_units(spec.factory, cell.fraction))
+            for cell in plan_learning_curve(
+                spec.fractions, plan.n_repeats,
+                series=spec.label, factory_key=spec.label,
+                min_train=plan.min_train, random_state=plan.random_state,
+                dataset_fingerprint=plan.dataset.fingerprint,
+            ))
     return cells
 
 

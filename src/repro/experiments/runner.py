@@ -143,7 +143,8 @@ def _experiment_registry() -> dict:
 
 def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
                    executor: str = "serial", jobs: int = 1,
-                   store=None, fleet=None) -> ExperimentResult:
+                   store=None, fleet=None, pool=None,
+                   batch_cells=None) -> ExperimentResult:
     """Run one experiment by name.
 
     Parameters
@@ -166,22 +167,34 @@ def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
         Remote executor only: an existing
         :class:`~repro.distributed.coordinator.Coordinator` serving a
         worker fleet (``None`` spawns a localhost fleet per plan).
+    pool:
+        Process executor only: an existing warm
+        :class:`~repro.experiments.pool.WorkerPool` (``None`` spawns a
+        pool per plan; see :func:`run_all`, which shares one across the
+        whole sequence).
+    batch_cells:
+        Cell-fusion target (``"auto"`` or an int) for the process
+        executor / spawned remote fleet; batch shape never affects
+        results.
 
     The two plan-less experiments (``analytical_accuracy``,
     ``ablation_sampling_strategy``) always run serially in-process and
-    build their datasets directly (the store is not consulted); executor
-    and jobs are still validated so invalid values fail uniformly.
+    build their datasets directly (the store is not consulted); executor,
+    jobs and batch_cells are still validated so invalid values fail
+    uniformly.
     """
     registry = _experiment_registry()
     try:
         func = registry[name]
     except KeyError:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(registry)}") from None
+    from repro.experiments.pool import resolve_batch_cells
     from repro.experiments.scheduler import EXECUTORS, _resolve_jobs
 
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     _resolve_jobs(jobs)
+    batch_cells = resolve_batch_cells(batch_cells)
     settings = settings or ExperimentSettings()
     from repro.experiments.plan import experiment_plan
 
@@ -191,25 +204,47 @@ def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
     from repro.experiments.scheduler import run_plan
 
     return run_plan(plan, executor=executor, jobs=jobs,
-                    store=_resolve_store(store), fleet=fleet)
+                    store=_resolve_store(store), fleet=fleet, pool=pool,
+                    batch_cells=batch_cells)
 
 
 def run_all(settings: ExperimentSettings | None = None,
             names: tuple[str, ...] | None = None, *,
             executor: str = "serial", jobs: int = 1,
-            store=None, fleet=None) -> dict[str, ExperimentResult]:
+            store=None, fleet=None, pool=None,
+            batch_cells=None) -> dict[str, ExperimentResult]:
     """Run several (default: all) experiments and return their results by name.
 
     The optional *store* is shared across all experiments of the run, so
     e.g. the blocked-stencil dataset is generated once for figure 3, 6
     and the ablations instead of once each.  A *fleet* coordinator is
     likewise shared: its workers stay connected (and keep their per-plan
-    memos) across the whole sequence.
+    memos) across the whole sequence.  The process executor gets the
+    same treatment automatically: unless an external *pool* is passed,
+    one warm :class:`~repro.experiments.pool.WorkerPool` is created for
+    the whole sequence, so workers are spawned once and keep their
+    per-plan memos across experiments instead of being respawned per
+    plan.
     """
     store = _resolve_store(store)
+    own_pool = False
+    if pool is None and executor == "process":
+        from repro.experiments.scheduler import _resolve_jobs
+
+        n_workers = _resolve_jobs(jobs)
+        if n_workers > 1:
+            from repro.experiments.pool import WorkerPool
+
+            pool = WorkerPool(n_workers)
+            own_pool = True
     results: dict[str, ExperimentResult] = {}
-    for name in (names or EXPERIMENTS):
-        results[name] = run_experiment(name, settings=settings,
-                                       executor=executor, jobs=jobs,
-                                       store=store, fleet=fleet)
+    try:
+        for name in (names or EXPERIMENTS):
+            results[name] = run_experiment(name, settings=settings,
+                                           executor=executor, jobs=jobs,
+                                           store=store, fleet=fleet, pool=pool,
+                                           batch_cells=batch_cells)
+    finally:
+        if own_pool:
+            pool.close()
     return results

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
-__all__ = ["parallel_map", "chunk_indices"]
+__all__ = ["parallel_map", "chunk_indices", "weighted_chunk_indices"]
 
 
 def chunk_indices(n_items: int, n_chunks: int) -> list[range]:
@@ -34,6 +34,40 @@ def chunk_indices(n_items: int, n_chunks: int) -> list[range]:
         chunks.append(range(start, start + size))
         start += size
     return chunks
+
+
+def weighted_chunk_indices(weights: Sequence[float],
+                           n_chunks: int) -> list[list[int]]:
+    """Partition ``range(len(weights))`` into weight-balanced index chunks.
+
+    Greedy LPT (longest-processing-time-first): indices are assigned in
+    decreasing weight order, each to the currently lightest chunk — the
+    classic 4/3-optimal makespan heuristic.  Heavy items are isolated
+    early and light ones fused together, so with skewed weights the
+    chunks carry comparable total weight where :func:`chunk_indices`
+    would put the one expensive item and several cheap ones in the same
+    contiguous slice.
+
+    Ties break deterministically (original order among equal weights,
+    lowest chunk index among equal loads) and each returned chunk is
+    sorted ascending, so callers that care about intra-chunk ordering
+    see the original item order.  At most *n_chunks* chunks are
+    returned; empty chunks never are.
+    """
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    n_items = len(weights)
+    n_chunks = min(n_chunks, n_items)
+    if n_chunks == 0:
+        return []
+    order = sorted(range(n_items), key=lambda i: (-weights[i], i))
+    loads = [0.0] * n_chunks
+    members: list[list[int]] = [[] for _ in range(n_chunks)]
+    for i in order:
+        target = min(range(n_chunks), key=lambda c: (loads[c], c))
+        loads[target] += weights[i]
+        members[target].append(i)
+    return [sorted(chunk) for chunk in members if chunk]
 
 
 def parallel_map(func: Callable, items: Sequence, *, n_jobs: int = 1,

@@ -206,6 +206,28 @@ class TestRemoteExecutor:
                                 store=str(tmp_path))
         assert _rows(remote) == _rows(serial)
 
+    def test_auto_leases_bit_identical(self):
+        """``batch_size="auto"`` (cost-budget leases, expensive-first
+        queue) changes only the lease shapes: rows match serial and every
+        cell is evaluated exactly as often as the fixed-size path."""
+        plan = experiment_plan("figure6", TINY)
+        serial = run_plan(plan)
+        with Coordinator(batch_size="auto") as coordinator:
+            workers = [FleetWorker(coordinator.address) for _ in range(2)]
+            threads = [threading.Thread(target=w.run, daemon=True) for w in workers]
+            for thread in threads:
+                thread.start()
+            remote = run_plan(plan, executor="remote", fleet=coordinator)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert _rows(remote) == _rows(serial)
+        assert sum(w.cells_evaluated for w in workers) == len(expand_cells(plan))
+
+    def test_batch_size_validation(self):
+        for bad in (0, -1, "bogus", True, 2.5):
+            with pytest.raises(ValueError, match="batch_size"):
+                Coordinator(batch_size=bad)
+
     def test_worker_sigkill_mid_plan_requeues(self, tmp_path):
         """Kill a worker process mid-plan: its leased cells are requeued and
         the merged result is still bit-identical to serial."""
@@ -776,6 +798,41 @@ class TestFleetKnobCli:
         assert captured["heartbeat_timeout"] == 2.5
         assert captured["batch_size"] == 3
         assert captured["max_retries"] == 7
+
+    def test_batch_cells_reaches_the_coordinator(self, monkeypatch):
+        """``--batch-cells`` is the fleet's lease size for the remote
+        executor: ``auto`` and integers both land in ``batch_size``."""
+        from repro.experiments.__main__ import main
+
+        captured = {}
+
+        class _Probe:
+            def __init__(self, **kwargs):
+                captured.update(kwargs)
+                raise RuntimeError("probe stop")
+
+        monkeypatch.setattr("repro.distributed.coordinator.Coordinator", _Probe)
+        with pytest.raises(RuntimeError, match="probe stop"):
+            main(["figure6", "--quick", "--executor", "remote", "--jobs", "2",
+                  "--batch-cells", "auto"])
+        assert captured["batch_size"] == "auto"
+        captured.clear()
+        with pytest.raises(RuntimeError, match="probe stop"):
+            main(["figure6", "--quick", "--executor", "remote", "--jobs", "2",
+                  "--batch-cells", "6"])
+        assert captured["batch_size"] == 6
+
+    def test_batch_cells_flag_validation(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):  # needs a parallel executor
+            main(["figure6", "--quick", "--batch-cells", "auto"])
+        with pytest.raises(SystemExit):  # bad value
+            main(["figure6", "--quick", "--executor", "process", "--jobs", "2",
+                  "--batch-cells", "bogus"])
+        with pytest.raises(SystemExit):  # conflicts with the fleet knob
+            main(["figure6", "--quick", "--executor", "remote", "--jobs", "2",
+                  "--batch-cells", "4", "--batch-size", "2"])
 
     def test_worker_cli_rejects_bad_retry_knobs(self):
         from repro.distributed.worker import main

@@ -256,3 +256,14 @@ class TestCommandLine:
         out = capsys.readouterr().out
         assert "figure6" in out and "hybrid" in out
         assert (tmp_path / "datasets").exists() and (tmp_path / "caches").exists()
+
+    def test_cli_process_sequence_with_batch_cells(self, tmp_path, capsys):
+        """`--jobs 2 --batch-cells auto` runs the sequence on one warm
+        pool with cost-shaped batches and prints every experiment."""
+        from repro.experiments.__main__ import main
+
+        args = ["figure5", "figure6", "--quick", "--jobs", "2",
+                "--batch-cells", "auto", "--store-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "figure5" in out and "figure6" in out
