@@ -42,9 +42,11 @@ from pathlib import Path
 TOLERANCE = 0.25
 
 #: Benchmarks whose ``speedup`` fields are gated (hardware-independent
-#: engine-vs-engine ratios).  ``scheduler_speedup`` tracks core count and
-#: gets an absolute cpus-conditional floor instead (see below).
-GATED_BENCHMARKS = ("engine_redesign", "hist_engine")
+#: engine-vs-engine ratios — ``serving_latency``'s batched-vs-single
+#: request ratio divides out raw host speed the same way).
+#: ``scheduler_speedup`` tracks core count and gets an absolute
+#: cpus-conditional floor instead (see below).
+GATED_BENCHMARKS = ("engine_redesign", "hist_engine", "serving_latency")
 
 #: Absolute floors for the newest warm-pool ``scheduler_speedup`` entry:
 #: on a multi-core host the parallel sweep must beat serial outright; on

@@ -338,3 +338,103 @@ def test_scheduler_speedup(tmp_path):
     _append_history(entry)
     print()
     print(json.dumps(entry["workloads"], indent=2))
+
+
+#: Acceptance threshold of the serving-tier PR: serving N rows as one
+#: micro-batched request must beat N sequential single-row requests by
+#: at least this factor.  The ratio divides out raw hardware speed (both
+#: sides run the same model on the same host), so it is gateable.
+MIN_SERVING_BATCH_SPEEDUP = 3.0
+SERVING_BATCH_ROWS = 64
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_latency():
+    """Throughput of the model server: batched vs single-row requests.
+
+    Publishes the quick Figure-5 models into an in-memory store, serves
+    them over real HTTP, and times ``SERVING_BATCH_ROWS`` sequential
+    single-row ``/predict`` requests against one request carrying all
+    rows at once (the vectorized path micro-batching converges to under
+    concurrent load).  Records the speedup (gated, relative) plus
+    single-row latency percentiles (informational).
+    """
+    import json as _json
+    import urllib.request
+
+    from repro.experiments.plan import experiment_plan
+    from repro.experiments.scheduler import _resolve_data
+    from repro.serving import ModelServer, decode_model, publish_plan_models
+
+    settings = ExperimentSettings.quick()
+    plan = experiment_plan("figure5", settings)
+    store = DatasetStore("memory://")
+    dataset, caches = _resolve_data(plan, store)
+    publish_plan_models(plan, dataset, caches, store)
+    rows = dataset.X[:SERVING_BATCH_ROWS]
+
+    def post(url, body):
+        req = urllib.request.Request(url, data=_json.dumps(body).encode(),
+                                     headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req) as resp:
+            return _json.loads(resp.read())
+
+    with ModelServer(store) as server:
+        url = server.url + "predict"
+
+        def body(chunk):
+            return {"plan": plan.fingerprint, "series": "hybrid",
+                    "rows": chunk.tolist()}
+
+        post(url, body(rows[:1]))  # load + decode the model off the clock
+
+        def singles():
+            latencies = []
+            for row in rows:
+                t, out = _time(lambda r=row: post(url, body(r[None, :])))
+                latencies.append(t)
+                assert len(out["predictions"]) == 1
+            return latencies
+
+        t_singles, latencies = _time(singles)
+        t_batch = _best_of(lambda: post(url, body(rows)), reps=3)
+        batched = np.array(post(url, body(rows))["predictions"])
+
+    # Value check rides along: the batched reply must equal the
+    # concatenation of what single-row service would produce.
+    served = decode_model(store.model_bytes(plan.fingerprint, "hybrid"))
+    assert np.array_equal(batched, served.predict_rows(rows))
+
+    speedup = t_singles / t_batch
+    lat = np.sort(np.array(latencies))
+    entry = {
+        "benchmark": "serving_latency",
+        **_platform_fields(),
+        "workloads": {
+            "predict_batch_vs_single": {
+                "description": f"ModelServer /predict: {SERVING_BATCH_ROWS} "
+                               f"single-row requests vs one "
+                               f"{SERVING_BATCH_ROWS}-row request (hybrid, "
+                               f"quick figure5)",
+                "single_rows_seconds": round(t_singles, 4),
+                "batch_seconds": round(t_batch, 4),
+                "rows": SERVING_BATCH_ROWS,
+                "speedup": round(speedup, 2),
+                "threshold": MIN_SERVING_BATCH_SPEEDUP,
+            },
+            "single_row_latency": {
+                "description": "per-request wall clock of the single-row "
+                               "/predict path (informational)",
+                "p50_ms": round(float(lat[len(lat) // 2]) * 1e3, 3),
+                "p99_ms": round(float(lat[min(len(lat) - 1, int(len(lat) * 0.99))]) * 1e3, 3),
+                "max_ms": round(float(lat[-1]) * 1e3, 3),
+            },
+        },
+    }
+    _append_history(entry)
+    print()
+    print(json.dumps(entry["workloads"], indent=2))
+
+    assert speedup >= MIN_SERVING_BATCH_SPEEDUP, (
+        f"batched serving speedup {speedup:.1f}x below "
+        f"{MIN_SERVING_BATCH_SPEEDUP}x")

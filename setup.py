@@ -14,7 +14,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ipps-ibeid-hybrid-perf",
-    version="0.5.0",
+    version="0.6.0",
     description=(
         "Reproduction of conf_ipps_IbeidMDOG19: hybrid analytical/ML "
         "performance modeling for FMM and stencil kernels"
@@ -33,6 +33,9 @@ setup(
             # Bundled S3-style object store serving DatasetStore artifacts
             # (equivalent to `python -m repro.datasets.object_server`).
             "repro-object-server=repro.datasets.object_server:main",
+            # Prediction-as-a-service model server over published models
+            # (equivalent to `python -m repro.serving.server`).
+            "repro-serve=repro.serving.server:main",
         ],
     },
     classifiers=[

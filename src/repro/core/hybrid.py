@@ -167,6 +167,23 @@ class HybridPerformanceModel(BaseEstimator, RegressorMixin):
         parts = self.predict_components(X)
         return parts["final"]
 
+    def predict_rows(self, rows) -> np.ndarray:
+        """Vectorized serving path: final predictions for a batch of raw rows.
+
+        *rows* is any ``(n_rows, n_features)`` array-like — e.g. the
+        decoded JSON body of a model-server ``/predict`` request.  The
+        whole batch is served by one analytical pass, one scaler
+        transform and one ensemble descent; every prediction is
+        computed row-wise from elementwise/per-row operations, so any
+        concatenation of requests (the server's micro-batching) yields
+        the same value for a given row as serving it alone.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2:
+            raise ValueError(
+                f"rows must be 2-D (n_rows, n_features), got shape {rows.shape}")
+        return self.predict(rows)
+
     def predict_components(self, X) -> dict[str, np.ndarray]:
         """All intermediate predictions: analytical, stacked, and final."""
         check_is_fitted(self, "stacked_model_")

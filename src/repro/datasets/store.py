@@ -37,6 +37,15 @@ Key layout (identical on every backend)::
 
     datasets/<name>-<fingerprint>.npz    X, y, feature_names, JSON-encoded configs
     caches/<model_key>-<fingerprint>.npz warmed analytical-prediction caches
+    models/<series>-<plan_fp>.npz        published fitted models (serving tier)
+
+The ``models/`` family holds *fitted* hybrid/ML models published by
+``run_plan(..., publish_models=True)``, keyed by the experiment plan's
+content fingerprint plus the series label; the blob format (packed tree
+arenas + scaler/analytical state, no pickle) is owned by
+:mod:`repro.serving.model_io`, the store just moves the bytes — which is
+what gives the serving tier checksum sidecars and local/memory/HTTP
+backend independence for free.
 
 Configuration objects are serialized as JSON field dictionaries plus a
 *whitelisted* class name (never pickle), so loading a store can rebuild
@@ -384,6 +393,76 @@ class DatasetStore:
         return self._artifact_path(key)
 
     # ------------------------------------------------------------------ #
+    # Published fitted models (the serving tier's artifacts)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def model_key(plan_fingerprint: str, series: str) -> str:
+        """Backend key of the published model for ``(plan, series)``.
+
+        The plan fingerprint comes last, matching the
+        ``<name>-<fingerprint>`` convention of the other key families,
+        so :meth:`prune` parses it the same way.
+        """
+        if not plan_fingerprint or "/" in plan_fingerprint or "-" in plan_fingerprint:
+            raise ValueError(f"invalid plan fingerprint {plan_fingerprint!r}")
+        if not series or "/" in series:
+            raise ValueError(f"invalid series label {series!r}")
+        return f"models/{series}-{plan_fingerprint}.npz"
+
+    def model_path(self, plan_fingerprint: str, series: str):
+        """Path-like identity of the ``(plan, series)`` model artifact."""
+        return self._artifact_path(self.model_key(plan_fingerprint, series))
+
+    def has_model(self, plan_fingerprint: str, series: str) -> bool:
+        """Whether the ``(plan, series)`` model is stored (no counter update)."""
+        return self.backend.exists(self.model_key(plan_fingerprint, series))
+
+    def model_bytes(self, plan_fingerprint: str, series: str) -> bytes:
+        """Raw bytes of the ``(plan, series)`` model, checksum-verified.
+
+        :class:`KeyError` when absent.  A blob failing checksum
+        verification raises :class:`IntegrityError` after being counted
+        and discarded — unlike datasets there is nothing to regenerate
+        from here, so the caller (the model server answers 503) decides
+        what degraded service looks like; the next publish simply
+        rewrites the key.
+        """
+        key = self.model_key(plan_fingerprint, series)
+        try:
+            return self.backend.read(key)
+        except IntegrityError:
+            self.integrity_failures += 1
+            logger.warning("rejecting corrupt model blob %s", key)
+            self._discard(key)
+            raise
+
+    def put_model_bytes(self, plan_fingerprint: str, series: str, data: bytes):
+        """Publish pre-encoded model bytes under ``(plan, series)``."""
+        key = self.model_key(plan_fingerprint, series)
+        self.backend.write(key, data)
+        return self._artifact_path(key)
+
+    def list_models(self, plan_fingerprint: str | None = None) -> list[tuple[str, str]]:
+        """``(series, plan_fingerprint)`` pairs of every published model.
+
+        Optionally filtered to one plan.  Sidecars and stray tmp files
+        are skipped; ordering follows the backend's sorted key listing.
+        """
+        models: list[tuple[str, str]] = []
+        for key in self.backend.list("models/"):
+            if is_checksum_key(key) or not key.endswith(".npz"):
+                continue
+            stem = PurePosixPath(key).stem
+            if stem.endswith(".tmp"):
+                continue
+            series, sep, fingerprint = stem.rpartition("-")
+            if not sep or not series:
+                continue
+            if plan_fingerprint is None or fingerprint == plan_fingerprint:
+                models.append((series, fingerprint))
+        return models
+
+    # ------------------------------------------------------------------ #
     # Garbage collection
     # ------------------------------------------------------------------ #
     def prune(self, keep_fingerprints) -> list:
@@ -392,10 +471,15 @@ class DatasetStore:
         Long-lived stores accumulate entries for retired settings,
         subsample sizes and simulator versions (each fingerprint change
         *adds* artifacts, it never removes the stale ones).  ``prune``
-        lists the ``datasets/`` and ``caches/`` namespaces of the
-        backend, parses the fingerprint out of each
+        lists the ``datasets/``, ``caches/`` and ``models/`` namespaces
+        of the backend, parses the fingerprint out of each
         ``<name>-<fingerprint>.npz`` key and deletes artifacts whose
-        fingerprint is not in *keep_fingerprints*.  Orphaned
+        fingerprint is not in *keep_fingerprints*.  Note the families
+        are keyed by different fingerprint kinds — datasets and caches
+        by the *dataset* fingerprint, published models by the *plan*
+        fingerprint — so a keep set covering both kinds must contain
+        both (the CLI's ``--store-prune`` collects them from every
+        executed experiment).  Orphaned
         ``*.tmp.npz`` files (left by a writer killed between write and
         rename on a local backend) never parse to a kept fingerprint and
         are collected too.  Checksum sidecars (``*.sha256``) are pruned
@@ -409,7 +493,7 @@ class DatasetStore:
         """
         keep = set(keep_fingerprints)
         removed: list = []
-        for prefix in ("datasets/", "caches/"):
+        for prefix in ("datasets/", "caches/", "models/"):
             keys = self.backend.list(prefix)
             present = set(keys)
             for key in keys:

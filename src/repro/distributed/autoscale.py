@@ -102,12 +102,14 @@ class LocalAutoscaler:
         coordinator.elastic = True
 
     def start(self) -> LocalAutoscaler:
+        """Run the scaling loop on a daemon thread; returns ``self``."""
         self._thread = threading.Thread(
             target=self._loop, name="fleet-autoscaler", daemon=True)
         self._thread.start()
         return self
 
     def stop(self) -> None:
+        """Stop the scaling loop (spawned workers keep running until retired)."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

@@ -27,6 +27,11 @@ Options
 ``--store-prune`` after the run, delete store entries whose fingerprint none
                   of the executed experiments uses (stale settings, old
                   simulator versions)
+``--publish-models`` after each plan-backed experiment, fit one canonical
+                  model per servable series on the full dataset and publish
+                  it into the store under ``models/<series>-<plan_fp>.npz``;
+                  serve the store with ``repro-serve --store-url ...`` (see
+                  :mod:`repro.serving` and ``docs/serving.md``)
 ``--heartbeat-timeout`` / ``--batch-size`` / ``--max-retries``
                   remote-executor fault-tolerance knobs: worker liveness
                   deadline, cells per lease, and the per-cell requeue budget
@@ -122,6 +127,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="after the run, delete store entries not used by "
                              "the executed experiments (requires --store-dir "
                              "or --store-url)")
+    parser.add_argument("--publish-models", action="store_true",
+                        help="after each plan-backed experiment, fit one model "
+                             "per servable series on the full dataset and "
+                             "publish it into the store for the serving tier "
+                             "(serve with repro-serve --store-url ...; "
+                             "requires --store-dir or --store-url)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -171,6 +182,8 @@ def main(argv: list[str] | None = None) -> int:
             batch_cells = None
     if args.store_prune and args.store_url is None and args.store_dir is None:
         parser.error("--store-prune requires --store-dir or --store-url")
+    if args.publish_models and args.store_url is None and args.store_dir is None:
+        parser.error("--publish-models requires --store-dir or --store-url")
 
     store = None
     if args.store_url is not None:
@@ -234,10 +247,23 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         for name in args.names:
+            if args.publish_models:
+                from repro.experiments.plan import experiment_plan
+
+                publish = experiment_plan(name, settings) is not None
+            else:
+                publish = False
             result = run_experiment(name, settings=settings, executor=executor,
                                     jobs=args.jobs, store=store, fleet=fleet,
-                                    pool=pool, batch_cells=batch_cells)
+                                    pool=pool, batch_cells=batch_cells,
+                                    publish_models=publish)
             print(format_result(result))
+            if publish:
+                outcome = result.extra.get("published_models", {})
+                for series, key in sorted(outcome.get("published", {}).items()):
+                    print(f"published model: {series} -> {key}")
+                for series, reason in sorted(outcome.get("skipped", {}).items()):
+                    print(f"not servable:    {series} ({reason})")
             print()
     finally:
         if fleet is not None:
@@ -248,11 +274,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.store_prune:
         from repro.experiments.plan import experiment_plan
 
+        # Datasets/caches are keyed by dataset fingerprint, published
+        # models by plan fingerprint: keep both, or pruning right after
+        # --publish-models would delete the just-published models.
         keep = set()
         for name in args.names:
             plan = experiment_plan(name, settings)
             if plan is not None:
                 keep.add(plan.dataset.fingerprint)
+                keep.add(plan.fingerprint)
         removed = store.prune(keep)
         print(f"store prune: kept {len(keep)} fingerprint(s), "
               f"removed {len(removed)} file(s)")

@@ -144,7 +144,7 @@ def _experiment_registry() -> dict:
 def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
                    executor: str = "serial", jobs: int = 1,
                    store=None, fleet=None, pool=None,
-                   batch_cells=None) -> ExperimentResult:
+                   batch_cells=None, publish_models: bool = False) -> ExperimentResult:
     """Run one experiment by name.
 
     Parameters
@@ -176,12 +176,17 @@ def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
         Cell-fusion target (``"auto"`` or an int) for the process
         executor / spawned remote fleet; batch shape never affects
         results.
+    publish_models:
+        After the run, fit one canonical model per servable series on
+        the full dataset and publish it into the *store* for the
+        serving tier (see :mod:`repro.serving`); requires a store.
 
     The two plan-less experiments (``analytical_accuracy``,
     ``ablation_sampling_strategy``) always run serially in-process and
     build their datasets directly (the store is not consulted); executor,
     jobs and batch_cells are still validated so invalid values fail
-    uniformly.
+    uniformly.  They have no plan fingerprint, hence nothing to publish:
+    requesting ``publish_models`` for them is an error.
     """
     registry = _experiment_registry()
     try:
@@ -200,19 +205,23 @@ def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
 
     plan = experiment_plan(name, settings)
     if plan is None:
+        if publish_models:
+            raise ValueError(
+                f"experiment {name!r} has no plan, so it has no servable "
+                "models to publish")
         return func(settings=settings)
     from repro.experiments.scheduler import run_plan
 
     return run_plan(plan, executor=executor, jobs=jobs,
                     store=_resolve_store(store), fleet=fleet, pool=pool,
-                    batch_cells=batch_cells)
+                    batch_cells=batch_cells, publish_models=publish_models)
 
 
 def run_all(settings: ExperimentSettings | None = None,
             names: tuple[str, ...] | None = None, *,
             executor: str = "serial", jobs: int = 1,
             store=None, fleet=None, pool=None,
-            batch_cells=None) -> dict[str, ExperimentResult]:
+            batch_cells=None, publish_models: bool = False) -> dict[str, ExperimentResult]:
     """Run several (default: all) experiments and return their results by name.
 
     The optional *store* is shared across all experiments of the run, so
@@ -225,8 +234,17 @@ def run_all(settings: ExperimentSettings | None = None,
     the whole sequence, so workers are spawned once and keep their
     per-plan memos across experiments instead of being respawned per
     plan.
+
+    With ``publish_models``, every plan-backed experiment additionally
+    publishes its serving-tier models into the shared *store*; the two
+    plan-less experiments are silently left unpublished (they have no
+    plan fingerprint to key a model under).
     """
+    from repro.experiments.plan import experiment_plan
+
     store = _resolve_store(store)
+    if publish_models and store is None:
+        raise ValueError("publish_models requires a store to publish into")
     own_pool = False
     if pool is None and executor == "process":
         from repro.experiments.scheduler import _resolve_jobs
@@ -240,10 +258,12 @@ def run_all(settings: ExperimentSettings | None = None,
     results: dict[str, ExperimentResult] = {}
     try:
         for name in (names or EXPERIMENTS):
+            publish = publish_models and experiment_plan(name, settings) is not None
             results[name] = run_experiment(name, settings=settings,
                                            executor=executor, jobs=jobs,
                                            store=store, fleet=fleet, pool=pool,
-                                           batch_cells=batch_cells)
+                                           batch_cells=batch_cells,
+                                           publish_models=publish)
     finally:
         if own_pool:
             pool.close()

@@ -307,7 +307,7 @@ def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
              store: DatasetStore | None = None,
              dataset: PerformanceDataset | None = None,
              fleet=None, pool: WorkerPool | None = None,
-             batch_cells=None) -> ExperimentResult:
+             batch_cells=None, publish_models: bool = False) -> ExperimentResult:
     """Execute *plan* and merge the cell results into an :class:`ExperimentResult`.
 
     Parameters
@@ -345,6 +345,14 @@ def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
         cost-balanced batches (process) or adaptive leases (remote); an
         integer ``N`` forces ~``N`` cells per batch/lease.  Batch shape
         never affects results.
+    publish_models:
+        After a successful run, fit one canonical model per servable
+        series on the **full** dataset and publish it into the *store*
+        under ``models/<series>-<plan_fp>.npz`` for the serving tier
+        (:mod:`repro.serving`); the publish outcome lands in
+        ``result.extra["published_models"]``.  Requires a *store* (the
+        artifacts need somewhere to live) and no *dataset* override
+        (published models must be reproducible from the plan alone).
     """
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -353,6 +361,12 @@ def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
     if pool is not None and executor != "process":
         raise ValueError(
             f"pool requires the process executor, got executor={executor!r}")
+    if publish_models and store is None:
+        raise ValueError("publish_models requires a store to publish into")
+    if publish_models and dataset is not None:
+        raise ValueError(
+            "publish_models is incompatible with a dataset override: published "
+            "models must be reproducible from the plan's registered dataset")
     resolved, caches = _resolve_data(plan, store, dataset)
     cells = expand_cells(plan)
     used_pool = False
@@ -399,12 +413,19 @@ def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
     if used_pool:
         pool.record_merge(time.perf_counter() - merge_start, len(cells))
 
+    extra = compute_extras(plan, resolved, caches)
+    if publish_models:
+        from repro.serving.model_io import publish_plan_models
+
+        extra["published_models"] = publish_plan_models(
+            plan, resolved, caches, store)
+
     return ExperimentResult(
         experiment_id=plan.experiment_id,
         description=plan.description,
         dataset_name=resolved.name,
         curves=curves,
-        extra=compute_extras(plan, resolved, caches),
+        extra=extra,
     )
 
 
@@ -412,18 +433,19 @@ def run_named_plan(name: str, settings: ExperimentSettings | None = None,
                    dataset: PerformanceDataset | None = None, *,
                    executor: str = "serial", jobs: int = 1,
                    store=None, fleet=None, pool=None,
-                   batch_cells=None) -> ExperimentResult:
+                   batch_cells=None, publish_models: bool = False) -> ExperimentResult:
     """Resolve the plan of experiment *name* and execute it.
 
     The shared backend of the thin per-figure / per-ablation wrappers
     (``store`` may be a :class:`DatasetStore` or a directory path;
     ``fleet`` an existing remote-executor coordinator; ``pool`` an
     existing process-executor :class:`WorkerPool`; ``batch_cells`` the
-    cell-fusion target, ``"auto"`` or an int).
+    cell-fusion target, ``"auto"`` or an int; ``publish_models`` fits
+    and publishes serving-tier models into the store after the run).
     """
     plan = experiment_plan(name, settings or ExperimentSettings())
     if plan is None:
         raise KeyError(f"experiment {name!r} has no plan (runs opaquely)")
     return run_plan(plan, dataset=dataset, executor=executor, jobs=jobs,
                     store=_resolve_store(store), fleet=fleet, pool=pool,
-                    batch_cells=batch_cells)
+                    batch_cells=batch_cells, publish_models=publish_models)

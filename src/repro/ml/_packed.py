@@ -9,6 +9,13 @@ current-node entry per (row, tree) pair, and each iteration of the
 traversal loop advances every pair that has not yet reached a leaf.  The
 interpreter cost is ``O(max_tree_depth)`` NumPy calls for the whole
 ensemble instead of ``O(n_estimators * max_depth)``.
+
+The arenas double as the fitted-model *persistence* format of the
+serving tier (:mod:`repro.serving`): :meth:`PackedForest.state` exposes
+them as a flat ``name -> ndarray`` mapping and :meth:`PackedForest.from_state`
+rebuilds an identical instance from it, so a forest round-trips through
+``.npz`` bytes without pickle and predicts bit-identically on the other
+side (prediction only ever reads these six arrays).
 """
 
 from __future__ import annotations
@@ -18,6 +25,10 @@ import numpy as np
 from repro.ml.tree import _NO_CHILD, Tree
 
 __all__ = ["PackedForest"]
+
+#: Arena arrays that fully determine a packed forest's predictions, in
+#: the order :meth:`PackedForest.state` emits them.
+_STATE_FIELDS = ("roots", "feature", "threshold", "value", "left", "right")
 
 
 class PackedForest:
@@ -41,6 +52,57 @@ class PackedForest:
             np.where(t.right != _NO_CHILD, t.right + off, _NO_CHILD)
             for t, off in zip(trees, offsets, strict=True)
         ])
+
+    # ------------------------------------------------------------------ #
+    # Arena (de)serialization — the serving tier's model format
+    # ------------------------------------------------------------------ #
+    def state(self) -> dict[str, np.ndarray]:
+        """The six arena arrays as a ``name -> ndarray`` mapping.
+
+        The mapping is the forest's complete prediction state: feed it
+        to :meth:`from_state` (possibly after a round trip through
+        ``np.savez``/``np.load``) to rebuild an instance whose
+        :meth:`predict` / :meth:`predict_all` / :meth:`predict_std`
+        outputs are bit-identical to this one's.
+        """
+        return {name: getattr(self, name) for name in _STATE_FIELDS}
+
+    @classmethod
+    def from_state(cls, state) -> PackedForest:
+        """Rebuild a forest from the arenas :meth:`state` produced.
+
+        *state* is any mapping holding the six arrays (an ``np.load``
+        result works directly).  Shapes and child indices are validated
+        so a truncated or mismatched blob fails loudly here rather than
+        predicting garbage.
+        """
+        packed = cls.__new__(cls)
+        try:
+            arrays = {name: np.asarray(state[name]) for name in _STATE_FIELDS}
+        except KeyError as exc:
+            raise ValueError(f"packed-forest state is missing array {exc}") from None
+        roots = arrays["roots"].astype(np.int64, copy=False)
+        n_nodes = arrays["feature"].shape[0]
+        if roots.ndim != 1 or roots.size < 1:
+            raise ValueError("packed-forest state has no trees")
+        for name in ("feature", "threshold", "value", "left", "right"):
+            if arrays[name].shape != (n_nodes,):
+                raise ValueError(
+                    f"packed-forest arena {name!r} has shape "
+                    f"{arrays[name].shape}, expected ({n_nodes},)")
+        children = np.concatenate([arrays["left"], arrays["right"]])
+        children = children[children != _NO_CHILD]
+        if n_nodes == 0 or np.any((roots < 0) | (roots >= n_nodes)) or (
+                children.size and (children.min() < 0 or children.max() >= n_nodes)):
+            raise ValueError("packed-forest state has out-of-range node indices")
+        packed.n_trees = int(roots.size)
+        packed.roots = roots
+        packed.feature = arrays["feature"].astype(np.int64, copy=False)
+        packed.threshold = arrays["threshold"].astype(np.float64, copy=False)
+        packed.value = arrays["value"].astype(np.float64, copy=False)
+        packed.left = arrays["left"].astype(np.int64, copy=False)
+        packed.right = arrays["right"].astype(np.int64, copy=False)
+        return packed
 
     @property
     def node_count(self) -> int:

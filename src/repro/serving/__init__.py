@@ -1,0 +1,43 @@
+"""Prediction-as-a-service: fitted-model persistence + an HTTP model server.
+
+Two halves:
+
+* :mod:`repro.serving.model_io` — the pickle-free ``.npz`` model format.
+  :func:`encode_model` flattens a fitted pipeline or hybrid model into
+  :class:`~repro.ml._packed.PackedForest` arenas plus scaler/analytical
+  state; :func:`decode_model` rebuilds a prediction-only model whose
+  outputs are **bit-identical** to the original's.
+  :func:`publish_plan_models` fits every servable series of an
+  :class:`~repro.experiments.plan.ExperimentPlan` on the full dataset
+  and writes the blobs into a :class:`~repro.datasets.store.DatasetStore`
+  under ``models/<series>-<plan_fp>.npz``.
+* :mod:`repro.serving.server` — :class:`ModelServer`, a threaded
+  stdlib-HTTP service (console script ``repro-serve``) loading published
+  models from any store URL and answering micro-batched ``/predict``
+  and ``/recommend`` requests.
+
+See ``docs/serving.md`` for the deployment/operations guide.
+"""
+
+from repro.serving.model_io import (
+    MODEL_FORMAT_VERSION,
+    ModelNotServableError,
+    PackedRegressor,
+    ServedModel,
+    decode_model,
+    encode_model,
+    publish_plan_models,
+)
+from repro.serving.server import MicroBatcher, ModelServer
+
+__all__ = [
+    "MODEL_FORMAT_VERSION",
+    "MicroBatcher",
+    "ModelNotServableError",
+    "ModelServer",
+    "PackedRegressor",
+    "ServedModel",
+    "decode_model",
+    "encode_model",
+    "publish_plan_models",
+]

@@ -1,0 +1,469 @@
+"""``repro-serve``: the prediction-as-a-service HTTP tier.
+
+A stdlib-only model server (precedent: the bundled
+:mod:`repro.datasets.object_server`) that turns published
+``models/<series>-<plan_fp>.npz`` artifacts into a long-lived prediction
+endpoint.  Models are loaded lazily from any
+:class:`~repro.datasets.backends.StoreBackend` locator — a local store
+directory, ``memory://`` or the bundled HTTP object store — decoded once
+through :mod:`repro.serving.model_io`, and kept as read-only arenas in
+memory, shared by every request thread without locking.
+
+Endpoints (all JSON):
+
+* ``GET /healthz`` — liveness: ``{"status": "ok", ...}``;
+* ``GET /stats`` — request/prediction/batching/failure counters;
+* ``GET /models`` — models loaded in memory and available in the store;
+* ``POST /predict`` — ``{"plan": <fp>, "series": <label>, "rows": [[...]]}``
+  → ``{"predictions": [...]}``;
+* ``POST /recommend`` — same body; predicts every posted configuration row
+  and answers the argmin: ``{"index": i, "row": [...], "predicted": t}``.
+
+Failure semantics: malformed requests answer 400, an unpublished model
+404, a model blob that fails checksum verification or cannot be decoded
+answers **503** (the store counts the integrity failure, the corrupt
+blob is discarded, and the next publish repairs the key — the server
+never crashes on a bad artifact), unexpected errors answer 500.
+
+Concurrent ``/predict`` requests for the same model are **micro-batched**:
+while one vectorized :meth:`~repro.serving.model_io.ServedModel.predict_rows`
+pass is in flight, arriving requests queue up and the next pass serves
+all of them in a single concatenated descent.  Batching never waits — a
+lone request is served immediately — and never changes values: every
+prediction is computed row-wise, so a row's result is independent of
+whatever rows share its batch.
+
+Run it standalone::
+
+    repro-serve --store-url http://127.0.0.1:8123/
+    python -m repro.serving.server --store-url file:///srv/repro-store --port 8200
+
+Like the object server it authenticates nothing: trusted networks only
+(the default bind is loopback).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.datasets.backends import IntegrityError, StoreBackend
+from repro.datasets.store import DatasetStore
+from repro.serving.model_io import ServedModel, decode_model
+
+__all__ = ["ModelServer", "MicroBatcher", "main"]
+
+
+class _RequestError(Exception):
+    """A request that maps to a specific HTTP status (raised by handlers)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Pending:
+    """One caller's rows queued for a micro-batch pass."""
+
+    __slots__ = ("rows", "event", "result", "error")
+
+    def __init__(self, rows: np.ndarray) -> None:
+        self.rows = rows
+        self.event = threading.Event()
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent per-model predict calls into vectorized passes.
+
+    Natural batching, no added latency: the first caller for a model
+    becomes the *leader* and predicts immediately; callers arriving
+    while that pass is in flight queue up, and whoever acquires the
+    per-model leadership next drains the **whole** queue into one
+    concatenated :meth:`~repro.serving.model_io.ServedModel.predict_rows`
+    call, then scatters the per-caller slices.  Under load the batch
+    size approaches the concurrency level; a lone request costs exactly
+    one ungrouped pass.
+
+    Value-preserving by construction: predictions are computed row-wise
+    (elementwise scaler/analytical math plus an independent tree descent
+    per row), so a row's result does not depend on its batch mates — the
+    server's round-trip tests assert bit-identical outputs for batched
+    and unbatched service.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queues: dict[object, list[_Pending]] = {}
+        self._leaders: dict[object, threading.Lock] = {}
+        #: Passes executed / rows served / largest single pass.
+        self.stats = {"batches": 0, "batched_rows": 0, "max_batch_rows": 0,
+                      "max_batch_requests": 0}
+
+    def _leader_lock(self, key) -> threading.Lock:
+        with self._lock:
+            lock = self._leaders.get(key)
+            if lock is None:
+                lock = self._leaders[key] = threading.Lock()
+            return lock
+
+    def predict(self, key, model: ServedModel, rows: np.ndarray) -> np.ndarray:
+        """Predictions for *rows*, possibly served as part of a larger pass."""
+        entry = _Pending(rows)
+        with self._lock:
+            self._queues.setdefault(key, []).append(entry)
+        leader = self._leader_lock(key)
+        while not entry.event.is_set():
+            if leader.acquire(blocking=False):
+                try:
+                    self._run_pass(key, model)
+                finally:
+                    leader.release()
+            else:
+                # A pass is in flight; it (or the next leader) will take
+                # our entry.  The timeout only guards against a leader
+                # dying between drain and scatter — we then retry.
+                entry.event.wait(0.05)
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    def _run_pass(self, key, model: ServedModel) -> None:
+        with self._lock:
+            batch = self._queues.pop(key, [])
+        if not batch:
+            return
+        counts = [len(entry.rows) for entry in batch]
+        try:
+            predictions = model.predict_rows(np.concatenate([e.rows for e in batch]))
+        except BaseException as exc:  # noqa: BLE001 - scattered to each caller
+            for entry in batch:
+                entry.error = exc
+                entry.event.set()
+            return
+        with self._lock:
+            self.stats["batches"] += 1
+            self.stats["batched_rows"] += sum(counts)
+            self.stats["max_batch_rows"] = max(self.stats["max_batch_rows"],
+                                               sum(counts))
+            self.stats["max_batch_requests"] = max(
+                self.stats["max_batch_requests"], len(batch))
+        offset = 0
+        for entry, count in zip(batch, counts, strict=True):
+            entry.result = predictions[offset:offset + count]
+            offset += count
+            entry.event.set()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: route an endpoint to the server's model machinery."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "ReproModelServer/1.0"
+
+    # The ThreadingHTTPServer instance carries models + stats.
+    server: ModelServer
+
+    def log_message(self, fmt, *args):
+        """Per-request stderr logging, only under ``--verbose``."""
+        if self.server.verbose:
+            sys.stderr.write("model-server: " + fmt % args + "\n")
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self.server.count("errors" if status >= 500 else "client_errors")
+        self._send_json(status, {"error": message})
+
+    def do_GET(self) -> None:  # (BaseHTTPRequestHandler naming)
+        """Route ``/healthz``, ``/stats`` and ``/models``."""
+        path = urllib.parse.urlsplit(self.path).path.rstrip("/")
+        try:
+            if path == "/healthz":
+                self._send_json(200, self.server.health())
+            elif path == "/stats":
+                self._send_json(200, self.server.snapshot_stats())
+            elif path == "/models":
+                self._send_json(200, self.server.describe_models())
+            else:
+                self._error(404, f"no such endpoint {path or '/'}")
+        except _RequestError as exc:
+            self._error(exc.status, str(exc))
+        except Exception as exc:  # noqa: BLE001 - 500 is retryable, a dead socket is not
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:
+        """Route ``/predict`` and ``/recommend``."""
+        path = urllib.parse.urlsplit(self.path).path.rstrip("/")
+        try:
+            if path == "/predict":
+                self._send_json(200, self.server.predict(self._body()))
+            elif path == "/recommend":
+                self._send_json(200, self.server.recommend(self._body()))
+            else:
+                self._error(404, f"no such endpoint {path or '/'}")
+        except _RequestError as exc:
+            self._error(exc.status, str(exc))
+        except Exception as exc:  # noqa: BLE001
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _RequestError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        return body
+
+
+class ModelServer(ThreadingHTTPServer):
+    """Threaded HTTP prediction service over published store models.
+
+    Parameters
+    ----------
+    store:
+        Where published models live: a
+        :class:`~repro.datasets.store.DatasetStore`, a
+        :class:`~repro.datasets.backends.StoreBackend`, or a locator URL
+        (``file://``, ``memory://``, ``http(s)://``).
+    address:
+        ``(host, port)`` bind address (default: loopback, ephemeral port).
+
+    Models are fetched and decoded on first use and cached read-only for
+    the life of the process (``stats["model_loads"]`` counts decodes);
+    re-publishing a model under the same key is picked up only by a new
+    server — artifacts are content-addressed per plan fingerprint, so a
+    changed plan gets a new key anyway.
+
+    Use as a context manager in tests::
+
+        with ModelServer(store) as server:
+            urllib.request.urlopen(server.url + "healthz")
+    """
+
+    daemon_threads = True
+
+    def __init__(self, store: DatasetStore | StoreBackend | str,
+                 address: tuple[str, int] = ("127.0.0.1", 0), *,
+                 verbose: bool = False) -> None:
+        self.store = store if isinstance(store, DatasetStore) else DatasetStore(store)
+        self.verbose = verbose
+        self.batcher = MicroBatcher()
+        self.stats = {"requests": 0, "predictions": 0, "recommendations": 0,
+                      "model_loads": 0, "integrity_failures": 0,
+                      "client_errors": 0, "errors": 0}
+        self._stats_lock = threading.Lock()
+        self._models: dict[tuple[str, str], ServedModel] = {}
+        self._models_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        super().__init__(address, _Handler)
+
+    def count(self, op: str, n: int = 1) -> None:
+        """Bump the *op* stats counter (thread-safe)."""
+        with self._stats_lock:
+            self.stats[op] += n
+
+    @property
+    def url(self) -> str:
+        """Base URL clients POST to (wildcard binds advertise the hostname)."""
+        host, port = self.server_address[:2]
+        if host in ("0.0.0.0", "::"):
+            host = socket.gethostname()
+        return f"http://{host}:{port}/"
+
+    # ------------------------------------------------------------------ #
+    # Model loading
+    # ------------------------------------------------------------------ #
+    def load_model(self, plan_fingerprint: str, series: str) -> ServedModel:
+        """The decoded model for ``(plan, series)``, fetching on first use.
+
+        Raises :class:`_RequestError` with the HTTP status the failure
+        maps to: 404 for an unpublished model, 503 for a blob that fails
+        checksum verification or decoding.
+        """
+        key = (plan_fingerprint, series)
+        with self._models_lock:
+            model = self._models.get(key)
+        if model is not None:
+            return model
+        try:
+            blob = self.store.model_bytes(plan_fingerprint, series)
+        except KeyError:
+            raise _RequestError(
+                404, f"no published model for plan {plan_fingerprint!r} "
+                     f"series {series!r}") from None
+        except IntegrityError as exc:
+            self.count("integrity_failures")
+            raise _RequestError(
+                503, f"model blob failed checksum verification and was "
+                     f"discarded (republish to repair): {exc}") from None
+        except ValueError as exc:
+            raise _RequestError(400, str(exc)) from None
+        try:
+            model = decode_model(blob)
+        except ValueError as exc:
+            raise _RequestError(503, f"model blob cannot be decoded: {exc}") from None
+        with self._models_lock:
+            model = self._models.setdefault(key, model)
+        self.count("model_loads")
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Endpoint bodies
+    # ------------------------------------------------------------------ #
+    def _resolve(self, body: dict) -> tuple[tuple[str, str], ServedModel, np.ndarray]:
+        self.count("requests")
+        try:
+            plan = str(body["plan"])
+            series = str(body["series"])
+            rows = body["rows"]
+        except KeyError as exc:
+            raise _RequestError(400, f"request body is missing field {exc}") from None
+        model = self.load_model(plan, series)
+        try:
+            array = np.asarray(rows, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _RequestError(400, f"rows are not numeric: {exc}") from None
+        if array.ndim != 2 or array.shape[0] == 0:
+            raise _RequestError(
+                400, f"rows must be a non-empty list of feature rows, got "
+                     f"shape {array.shape}")
+        if array.shape[1] != model.n_features_in:
+            raise _RequestError(
+                400, f"rows have {array.shape[1]} features, but the model "
+                     f"expects {model.n_features_in}")
+        if not np.all(np.isfinite(array)):
+            raise _RequestError(400, "rows contain non-finite values")
+        return (plan, series), model, array
+
+    def predict(self, body: dict) -> dict:
+        """``POST /predict``: micro-batched vectorized predictions."""
+        key, model, rows = self._resolve(body)
+        try:
+            predictions = self.batcher.predict(key, model, rows)
+        except ValueError as exc:
+            raise _RequestError(400, str(exc)) from None
+        self.count("predictions", len(predictions))
+        return {"plan": key[0], "series": key[1],
+                "predictions": predictions.tolist()}
+
+    def recommend(self, body: dict) -> dict:
+        """``POST /recommend``: argmin of the predicted time over a config grid."""
+        key, model, rows = self._resolve(body)
+        try:
+            predictions = self.batcher.predict(key, model, rows)
+        except ValueError as exc:
+            raise _RequestError(400, str(exc)) from None
+        self.count("recommendations")
+        best = int(np.argmin(predictions))
+        return {"plan": key[0], "series": key[1], "index": best,
+                "row": rows[best].tolist(),
+                "predicted": float(predictions[best]),
+                "predictions": predictions.tolist()}
+
+    def health(self) -> dict:
+        """``GET /healthz`` payload."""
+        with self._models_lock:
+            loaded = len(self._models)
+        return {"status": "ok", "models_loaded": loaded,
+                "store": self.store.locator}
+
+    def snapshot_stats(self) -> dict:
+        """``GET /stats`` payload: server + batcher + store counters."""
+        with self._stats_lock:
+            stats = dict(self.stats)
+        stats.update(self.batcher.stats)
+        stats["store_integrity_failures"] = self.store.integrity_failures
+        return stats
+
+    def describe_models(self) -> dict:
+        """``GET /models`` payload: loaded models + store inventory."""
+        with self._models_lock:
+            loaded = {
+                f"{plan}/{series}": model.describe()
+                for (plan, series), model in sorted(self._models.items())
+            }
+        available = [{"plan": fingerprint, "series": series}
+                     for series, fingerprint in self.store.list_models()]
+        return {"loaded": loaded, "available": available}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> ModelServer:
+        """Serve requests on a daemon thread (the in-process test mode)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="model-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> ModelServer:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point (``repro-serve``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve published hybrid/ML performance models over HTTP",
+    )
+    parser.add_argument("--store-url", required=True, metavar="URL",
+                        help="store holding models/ artifacts: file://DIR, "
+                             "memory:// or http://HOST:PORT/ (an object store, "
+                             "e.g. repro-object-server)")
+    parser.add_argument("--bind", default="127.0.0.1", metavar="HOST",
+                        help="listen address (default loopback; the server is "
+                             "unauthenticated — trusted networks only)")
+    parser.add_argument("--port", type=int, default=8200, metavar="PORT",
+                        help="listen port (default 8200; 0 = ephemeral)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each request to stderr")
+    args = parser.parse_args(argv)
+
+    try:
+        server = ModelServer(args.store_url, (args.bind, args.port),
+                             verbose=args.verbose)
+    except ValueError as exc:
+        parser.error(str(exc))
+    models = server.store.list_models()
+    print(f"model server at {server.url} over store {args.store_url} "
+          f"({len(models)} published model(s))", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

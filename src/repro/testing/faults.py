@@ -65,6 +65,7 @@ class _Rule:
     skip_checksums: bool = True  # don't fire on ``.sha256`` sidecar keys
 
     def matches(self, op: str, key: str) -> bool:
+        """Whether this rule fires for backend operation *op* on *key*."""
         if self.times is not None and self.times <= 0:
             return False
         if self.op != "*" and self.op != op:
@@ -164,6 +165,7 @@ class FaultyBackend(StoreBackend):
     # ------------------------------------------------------------------ #
     @property
     def locator(self) -> str | None:
+        """The wrapped backend's shareable URL (faults are not advertised)."""
         return self.inner.locator
 
     def _read(self, key: str) -> bytes:
@@ -179,10 +181,12 @@ class FaultyBackend(StoreBackend):
         self.inner._delete(key)
 
     def exists(self, key: str) -> bool:
+        """Existence check on the inner backend (fault rules may fire first)."""
         self._apply("exists", key)
         return self.inner.exists(key)
 
     def list(self, prefix: str = "") -> list[str]:
+        """Key listing from the inner backend (fault rules may fire first)."""
         self._apply("list", prefix)
         return self.inner.list(prefix)
 
@@ -211,6 +215,7 @@ class FaultySocket:
     log: list = field(default_factory=list)
 
     def sendall(self, frame: bytes) -> None:
+        """Forward *frame*, corrupting/delaying/dropping per the armed rules."""
         self.frames_sent += 1
         if self.drop_after is not None and self.frames_sent > self.drop_after:
             self.log.append({"frame": self.frames_sent, "kind": "drop"})
@@ -225,9 +230,11 @@ class FaultySocket:
         self.sock.sendall(frame)
 
     def recv(self, n: int) -> bytes:
+        """Plain pass-through read (faults are injected on the send side)."""
         return self.sock.recv(n)
 
     def close(self) -> None:
+        """Close the underlying socket, swallowing double-close errors."""
         try:
             self.sock.close()
         except OSError:

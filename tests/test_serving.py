@@ -1,0 +1,407 @@
+"""Tests for the serving tier (`repro.serving`): model persistence + server.
+
+Covers the packed-forest arena round trip, the pickle-free model blob
+format (encode/decode bit-identity for both factory kinds), plan
+publishing (including non-servable series being skipped, not fatal),
+the ``models/`` key family of the store, and the HTTP model server:
+bit-identical ``/predict``, ``/recommend`` argmin, failure statuses
+(400/404/503), integrity accounting for corrupt blobs, and
+value-preserving micro-batching under concurrency.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetStore
+from repro.experiments.plan import build_factory, experiment_plan
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.scheduler import _resolve_data, run_plan
+from repro.ml._packed import PackedForest
+from repro.ml.forest import ExtraTreesRegressor
+from repro.ml.pipeline import Pipeline
+from repro.ml.preprocessing import StandardScaler
+from repro.serving import (
+    MicroBatcher,
+    ModelNotServableError,
+    ModelServer,
+    PackedRegressor,
+    decode_model,
+    encode_model,
+    publish_plan_models,
+)
+
+SETTINGS = ExperimentSettings.quick()
+
+
+@pytest.fixture(scope="module")
+def published():
+    """A quick figure5 plan published into a fresh in-memory store."""
+    plan = experiment_plan("figure5", SETTINGS)
+    store = DatasetStore("memory://")
+    dataset, caches = _resolve_data(plan, store)
+    outcome = publish_plan_models(plan, dataset, caches, store)
+    return plan, store, dataset, caches, outcome
+
+
+def _refit(plan, dataset, caches, label):
+    spec = next(s for s in plan.series if s.label == label)
+    factory = build_factory(spec.factory, dataset,
+                            caches.get(spec.factory.analytical))
+    model = factory(plan.random_state)
+    model.fit(dataset.X, dataset.y)
+    return model
+
+
+def _post(url, body, timeout=10):
+    req = urllib.request.Request(url, data=json.dumps(body).encode(),
+                                 headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _get(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+class TestPackedForestState:
+    def test_state_round_trip_is_bit_identical(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(80, 3))
+        y = X[:, 0] * 3.0 + rng.normal(scale=0.1, size=80)
+        forest = ExtraTreesRegressor(n_estimators=5, random_state=0).fit(X, y)
+        packed = forest.packed_ or PackedForest(
+            [est.tree_ for est in forest.estimators_])
+        rebuilt = PackedForest.from_state(packed.state())
+        assert rebuilt.n_trees == packed.n_trees
+        assert np.array_equal(rebuilt.predict(X), packed.predict(X))
+        assert np.array_equal(rebuilt.predict_std(X), packed.predict_std(X))
+
+    def test_missing_array_is_rejected(self):
+        state = {"roots": np.array([0])}
+        with pytest.raises(ValueError, match="missing array"):
+            PackedForest.from_state(state)
+
+    def test_out_of_range_children_are_rejected(self):
+        n = 3
+        state = {
+            "roots": np.array([0]),
+            "feature": np.array([0, -1, -1]),
+            "threshold": np.zeros(n),
+            "value": np.zeros(n),
+            "left": np.array([1, -1, -1]),
+            "right": np.array([99, -1, -1]),  # beyond the arena
+        }
+        with pytest.raises(ValueError, match="out-of-range"):
+            PackedForest.from_state(state)
+
+    def test_shape_mismatch_is_rejected(self):
+        state = {
+            "roots": np.array([0]),
+            "feature": np.array([-1, -1]),
+            "threshold": np.zeros(1),  # wrong length
+            "value": np.zeros(2),
+            "left": np.full(2, -1),
+            "right": np.full(2, -1),
+        }
+        with pytest.raises(ValueError, match="shape"):
+            PackedForest.from_state(state)
+
+
+class TestModelBlobFormat:
+    def test_pipeline_round_trip_is_bit_identical(self, published):
+        plan, store, dataset, caches, _ = published
+        original = _refit(plan, dataset, caches, "extra_trees")
+        served = decode_model(encode_model(original))
+        assert served.kind == "ml_pipeline"
+        assert np.array_equal(served.predict_rows(dataset.X),
+                              original.predict(dataset.X))
+
+    def test_hybrid_round_trip_is_bit_identical(self, published):
+        plan, store, dataset, caches, _ = published
+        original = _refit(plan, dataset, caches, "hybrid")
+        served = decode_model(encode_model(original, analytical_key="stencil"))
+        assert served.kind == "hybrid"
+        assert served.feature_names == tuple(dataset.feature_names)
+        assert np.array_equal(served.predict_rows(dataset.X),
+                              original.predict(dataset.X))
+
+    def test_decoded_model_is_prediction_only(self, published):
+        plan, store, dataset, caches, _ = published
+        served = decode_model(store.model_bytes(plan.fingerprint, "extra_trees"))
+        regressor = served.model.steps_[-1][1]
+        assert isinstance(regressor, PackedRegressor)
+        with pytest.raises(TypeError, match="prediction-only"):
+            regressor.fit(dataset.X, dataset.y)
+
+    def test_hybrid_without_analytical_key_is_rejected(self, published):
+        plan, store, dataset, caches, _ = published
+        original = _refit(plan, dataset, caches, "hybrid")
+        with pytest.raises(ValueError, match="analytical_key"):
+            encode_model(original)
+
+    def test_mismatched_analytical_key_is_rejected(self, published):
+        plan, store, dataset, caches, _ = published
+        original = _refit(plan, dataset, caches, "hybrid")
+        with pytest.raises(ValueError, match="rebuilds"):
+            encode_model(original, analytical_key="fmm")
+
+    def test_knn_pipeline_is_not_servable(self):
+        from repro.ml.neighbors import KNeighborsRegressor
+
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(40, 2))
+        y = X.sum(axis=1)
+        pipe = Pipeline(steps=[("scale", StandardScaler()),
+                               ("model", KNeighborsRegressor())]).fit(X, y)
+        with pytest.raises(ModelNotServableError, match="packed-arena"):
+            encode_model(pipe)
+
+    def test_unknown_format_version_is_rejected(self, published):
+        plan, store, *_ = published
+        blob = store.model_bytes(plan.fingerprint, "hybrid")
+        import io
+
+        with np.load(io.BytesIO(blob)) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["format"] = np.array(99)
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        with pytest.raises(ValueError, match="format version 99"):
+            decode_model(buf.getvalue())
+
+
+class TestPublishing:
+    def test_publish_writes_every_servable_series(self, published):
+        plan, store, _, _, outcome = published
+        assert sorted(outcome["published"]) == ["extra_trees", "hybrid"]
+        assert outcome["skipped"] == {}
+        for series in outcome["published"]:
+            assert store.has_model(plan.fingerprint, series)
+        listed = store.list_models(plan.fingerprint)
+        assert sorted(series for series, _ in listed) == ["extra_trees", "hybrid"]
+
+    def test_published_predictions_match_refit(self, published):
+        plan, store, dataset, caches, _ = published
+        for label in ("extra_trees", "hybrid"):
+            served = decode_model(store.model_bytes(plan.fingerprint, label))
+            original = _refit(plan, dataset, caches, label)
+            assert np.array_equal(served.predict_rows(dataset.X[:64]),
+                                  original.predict(dataset.X[:64]))
+
+    def test_non_servable_series_is_skipped_with_reason(self):
+        plan = experiment_plan("ablation_ml_backend", SETTINGS)
+        labels = [s.label for s in plan.series]
+        assert "hybrid_knn" in labels and "hybrid_bagged_tree" in labels
+        store = DatasetStore("memory://")
+        dataset, caches = _resolve_data(plan, store)
+        outcome = publish_plan_models(plan, dataset, caches, store)
+        assert "hybrid_knn" in outcome["skipped"]
+        assert "hybrid_bagged_tree" in outcome["skipped"]
+        assert "hybrid_extra_trees" in outcome["published"]
+        assert not store.has_model(plan.fingerprint, "hybrid_knn")
+
+    def test_model_key_validates_its_parts(self):
+        assert (DatasetStore.model_key("abc123", "hybrid")
+                == "models/hybrid-abc123.npz")
+        with pytest.raises(ValueError):
+            DatasetStore.model_key("has-dash", "hybrid")
+        with pytest.raises(ValueError):
+            DatasetStore.model_key("abc123", "bad/series")
+        with pytest.raises(ValueError):
+            DatasetStore.model_key("", "hybrid")
+
+    def test_run_plan_publish_models_requires_store(self):
+        plan = experiment_plan("figure5", SETTINGS)
+        with pytest.raises(ValueError, match="store"):
+            run_plan(plan, publish_models=True)
+
+    def test_run_plan_publish_models_rejects_dataset_override(self, published):
+        plan, store, dataset, *_ = published
+        with pytest.raises(ValueError, match="dataset override"):
+            run_plan(plan, store=store, dataset=dataset, publish_models=True)
+
+
+class TestModelServer:
+    def test_predict_is_bit_identical_to_in_process_model(self, published):
+        plan, store, dataset, caches, _ = published
+        rows = dataset.X[:16]
+        with ModelServer(store) as server:
+            for label in ("extra_trees", "hybrid"):
+                original = _refit(plan, dataset, caches, label)
+                out = _post(server.url + "predict",
+                            {"plan": plan.fingerprint, "series": label,
+                             "rows": rows.tolist()})
+                served = np.array(out["predictions"])
+                assert np.array_equal(served, original.predict(rows)), label
+
+    def test_recommend_answers_the_argmin(self, published):
+        plan, store, dataset, *_ = published
+        rows = dataset.X[:24]
+        with ModelServer(store) as server:
+            out = _post(server.url + "recommend",
+                        {"plan": plan.fingerprint, "series": "hybrid",
+                         "rows": rows.tolist()})
+            predictions = np.array(out["predictions"])
+            assert out["index"] == int(np.argmin(predictions))
+            assert out["row"] == rows[out["index"]].tolist()
+            assert out["predicted"] == predictions[out["index"]]
+
+    def test_health_stats_and_models_endpoints(self, published):
+        plan, store, dataset, *_ = published
+        with ModelServer(store) as server:
+            assert _get(server.url + "healthz")["status"] == "ok"
+            _post(server.url + "predict",
+                  {"plan": plan.fingerprint, "series": "hybrid",
+                   "rows": dataset.X[:4].tolist()})
+            stats = _get(server.url + "stats")
+            assert stats["predictions"] == 4
+            assert stats["model_loads"] == 1
+            models = _get(server.url + "models")
+            assert f"{plan.fingerprint}/hybrid" in models["loaded"]
+            available = {(m["plan"], m["series"]) for m in models["available"]}
+            assert (plan.fingerprint, "hybrid") in available
+
+    def test_unknown_model_is_404(self, published):
+        _, store, dataset, *_ = published
+        with ModelServer(store) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(server.url + "predict",
+                      {"plan": "feedc0de", "series": "hybrid",
+                       "rows": dataset.X[:2].tolist()})
+            assert err.value.code == 404
+
+    def test_malformed_requests_are_400(self, published):
+        plan, store, dataset, *_ = published
+        ok = {"plan": plan.fingerprint, "series": "hybrid",
+              "rows": dataset.X[:2].tolist()}
+        with ModelServer(store) as server:
+            for body in (
+                {**ok, "rows": [[1.0, 2.0]]},          # wrong width
+                {**ok, "rows": []},                     # empty
+                {**ok, "rows": [["a", "b", "c"]]},      # non-numeric
+                {"series": "hybrid", "rows": ok["rows"]},  # missing plan
+            ):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _post(server.url + "predict", body)
+                assert err.value.code == 400, body
+            req = urllib.request.Request(
+                server.url + "predict", data=b"{not json",
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 400
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "nosuch")
+            assert err.value.code == 404
+
+    def test_corrupt_blob_is_503_and_counted(self):
+        plan = experiment_plan("figure5", SETTINGS)
+        store = DatasetStore("memory://")
+        dataset, caches = _resolve_data(plan, store)
+        publish_plan_models(plan, dataset, caches, store)
+        key = store.model_key(plan.fingerprint, "hybrid")
+        raw = bytearray(store.backend._read(key))
+        raw[len(raw) // 2] ^= 0xFF
+        store.backend._write(key, bytes(raw))
+        with ModelServer(store) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(server.url + "predict",
+                      {"plan": plan.fingerprint, "series": "hybrid",
+                       "rows": dataset.X[:2].tolist()})
+            assert err.value.code == 503
+            stats = _get(server.url + "stats")
+            assert stats["integrity_failures"] == 1
+            assert stats["store_integrity_failures"] == 1
+        # The corrupt blob was discarded: the next publish repairs the key.
+        assert not store.backend.exists(key)
+
+    def test_concurrent_requests_batch_and_preserve_values(self, published):
+        plan, store, dataset, caches, _ = published
+        original = _refit(plan, dataset, caches, "hybrid")
+        chunks = [dataset.X[i * 8:(i + 1) * 8] for i in range(6)]
+        expected = [original.predict(chunk) for chunk in chunks]
+        results: dict[int, np.ndarray] = {}
+        errors: list[Exception] = []
+        with ModelServer(store) as server:
+            def worker(i):
+                try:
+                    out = _post(server.url + "predict",
+                                {"plan": plan.fingerprint, "series": "hybrid",
+                                 "rows": chunks[i].tolist()})
+                    results[i] = np.array(out["predictions"])
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(len(chunks))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            stats = _get(server.url + "stats")
+        assert errors == []
+        for i, chunk_expected in enumerate(expected):
+            assert np.array_equal(results[i], chunk_expected), i
+        assert stats["batched_rows"] == sum(len(c) for c in chunks)
+        assert stats["batches"] >= 1
+
+
+class TestMicroBatcher:
+    class _CountingModel:
+        """Stand-in model recording the batch shapes it was asked for."""
+
+        def __init__(self):
+            self.calls: list[int] = []
+            self.lock = threading.Lock()
+
+        def predict_rows(self, rows):
+            with self.lock:
+                self.calls.append(len(rows))
+            return np.asarray(rows)[:, 0] * 2.0
+
+    def test_single_caller_runs_immediately(self):
+        batcher = MicroBatcher()
+        model = self._CountingModel()
+        rows = np.arange(6.0).reshape(3, 2)
+        out = batcher.predict("k", model, rows)
+        assert np.array_equal(out, rows[:, 0] * 2.0)
+        assert model.calls == [3]
+        assert batcher.stats["batches"] == 1
+
+    def test_concurrent_callers_coalesce_without_changing_values(self):
+        batcher = MicroBatcher()
+        model = self._CountingModel()
+        barrier = threading.Barrier(8)
+        results: dict[int, np.ndarray] = {}
+
+        def worker(i):
+            rows = np.full((4, 2), float(i))
+            barrier.wait()
+            results[i] = batcher.predict("k", model, rows)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        for i in range(8):
+            assert np.array_equal(results[i], np.full(4, 2.0 * i)), i
+        assert sum(model.calls) == 32
+        assert batcher.stats["batched_rows"] == 32
+
+    def test_model_error_propagates_to_every_caller(self):
+        class Exploding:
+            def predict_rows(self, rows):
+                raise ValueError("boom")
+
+        batcher = MicroBatcher()
+        with pytest.raises(ValueError, match="boom"):
+            batcher.predict("k", Exploding(), np.zeros((2, 2)))

@@ -285,6 +285,25 @@ class TestAtomicWriteRegressions:
         assert store.has_dataset(SPEC)
         assert backend.exists(checksum_key(blob_key))
 
+    def test_prune_knows_the_models_family(self, tmp_path):
+        """Regression: ``prune`` only walked ``datasets/`` and ``caches/``,
+        so published ``models/`` blobs (and their sidecars) from retired
+        plans were never collected — and, conversely, a keep set without
+        the plan fingerprint silently deleted just-published models."""
+        store = DatasetStore(tmp_path)
+        store.put_model_bytes("feedc0de12345678", "hybrid", b"live-model")
+        store.put_model_bytes("0dd0dd0dd0dd0dd0", "hybrid", b"stale-model")
+        removed = store.prune(keep_fingerprints={"feedc0de12345678"})
+        assert sorted(p.name for p in removed) == [
+            "hybrid-0dd0dd0dd0dd0dd0.npz"]
+        assert store.has_model("feedc0de12345678", "hybrid")
+        assert not store.has_model("0dd0dd0dd0dd0dd0", "hybrid")
+        stale_key = DatasetStore.model_key("0dd0dd0dd0dd0dd0", "hybrid")
+        assert not store.backend.exists(checksum_key(stale_key))
+        live_key = DatasetStore.model_key("feedc0de12345678", "hybrid")
+        assert store.backend.exists(checksum_key(live_key))
+        assert store.model_bytes("feedc0de12345678", "hybrid") == b"live-model"
+
 
 class TestChecksums:
     """The integrity layer: sidecars on write, verification on read."""
