@@ -55,6 +55,7 @@ import urllib.parse
 import urllib.request
 from pathlib import Path, PurePosixPath
 
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.utils.retry import RetryPolicy
 
 __all__ = [
@@ -413,13 +414,35 @@ class ObjectStoreBackend(StoreBackend):
         self.retry = retry or OBJECT_STORE_RETRY
         self.timeout = timeout if timeout is not None else (
             self.retry.attempt_timeout or 30.0)
-        self.reads = 0
-        self.writes = 0
-        self.retries = 0
+        # Transfer counters on the shared telemetry plane; the public
+        # ``reads``/``writes``/``retries`` attributes stay as properties.
+        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        self._reads = self.metrics.counter(
+            "repro_object_client_reads_total", "Blob GETs completed")
+        self._writes = self.metrics.counter(
+            "repro_object_client_writes_total", "Blob PUTs completed")
+        self._retries = self.metrics.counter(
+            "repro_object_client_retries_total",
+            "Backed-off HTTP attempts across all requests")
 
     @property
     def locator(self) -> str:
         return self.base_url + "/"
+
+    @property
+    def reads(self) -> int:
+        """Successful blob GETs (compatibility view of the counter)."""
+        return int(self._reads.value)
+
+    @property
+    def writes(self) -> int:
+        """Successful blob PUTs (compatibility view of the counter)."""
+        return int(self._writes.value)
+
+    @property
+    def retries(self) -> int:
+        """Backed-off attempts (compatibility view of the counter)."""
+        return int(self._retries.value)
 
     def _url(self, key: str) -> str:
         return f"{self.base_url}/{urllib.parse.quote(_check_key(key))}"
@@ -434,7 +457,7 @@ class ObjectStoreBackend(StoreBackend):
                 return response.read()
 
         def on_retry(attempt_no: int, exc: BaseException, delay: float) -> None:
-            self.retries += 1
+            self._retries.inc()
             logger.warning(
                 "object store %s %s failed (attempt %d/%d): %s; retrying in %.2fs",
                 method, url, attempt_no, self.retry.max_attempts, exc, delay)
@@ -449,12 +472,12 @@ class ObjectStoreBackend(StoreBackend):
             if exc.code == 404:
                 raise KeyError(key) from None
             raise
-        self.reads += 1
+        self._reads.inc()
         return data
 
     def _write(self, key: str, data: bytes) -> None:
         self._request("PUT", self._url(key), data=bytes(data))
-        self.writes += 1
+        self._writes.inc()
 
     def exists(self, key: str) -> bool:
         # HEAD: one round trip, no body, no server-side listing walk.

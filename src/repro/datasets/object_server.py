@@ -10,7 +10,10 @@ external service.  It serves the four-verb API
 * ``HEAD /<key>`` — existence probe (200/404, no body);
 * ``PUT /<key>`` — store the request body under the key (201);
 * ``DELETE /<key>`` — remove the key (204, 404 when absent);
-* ``GET /?prefix=<p>`` — JSON array of keys under the prefix.
+* ``GET /?prefix=<p>`` — JSON array of keys under the prefix;
+* ``GET /metrics`` — Prometheus text exposition of the server's request
+  counters (a reserved key: real blob keys are always prefixed
+  ``datasets/``/``caches/``/``models/``, so no artifact can shadow it).
 
 Storage is delegated to any :class:`~repro.datasets.backends.StoreBackend`
 (a :class:`LocalBackend` directory for persistence, a
@@ -52,6 +55,11 @@ from repro.datasets.backends import (
     StoreBackend,
     sha256_hex,
 )
+from repro.obs.http import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.obs.http import metrics_body
+from repro.obs.logging import add_logging_args, configure_logging
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.tracing import TRACER
 
 __all__ = ["ObjectStoreServer", "main"]
 
@@ -87,13 +95,21 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # (BaseHTTPRequestHandler naming)
         key, query = self._key()
         try:
-            if not key:
-                prefix = query.get("prefix", [""])[0]
-                body = json.dumps(self.server.backend.list(prefix)).encode()
-                self.server.count("lists")
-                self._send(200, body, content_type="application/json")
-                return
-            data = self.server.backend.read(key)
+            with TRACER.span("request", attrs={"method": "GET", "key": key}):
+                if not key:
+                    prefix = query.get("prefix", [""])[0]
+                    body = json.dumps(self.server.backend.list(prefix)).encode()
+                    self.server.count("lists")
+                    self._send(200, body, content_type="application/json")
+                    return
+                if key == "metrics":
+                    # Reserved telemetry endpoint (store keys are always
+                    # prefixed — datasets/, caches/, models/ — so no blob
+                    # can shadow it): the process-wide Prometheus view.
+                    self._send(200, metrics_body(),
+                               content_type=_METRICS_CONTENT_TYPE)
+                    return
+                data = self.server.backend.read(key)
         except KeyError:
             self._send(404, b"no such key")
         except ValueError as exc:
@@ -124,6 +140,11 @@ class _Handler(BaseHTTPRequestHandler):
     def do_PUT(self) -> None:
         key, _ = self._key()
         length = int(self.headers.get("Content-Length", 0) or 0)
+        with TRACER.span("request",
+                         attrs={"method": "PUT", "key": key, "bytes": length}):
+            self._put(key, length)
+
+    def _put(self, key: str, length: int) -> None:
         data = self.rfile.read(length)
         expected = self.headers.get("X-Repro-SHA256")
         if expected is not None and sha256_hex(data) != expected.strip().lower():
@@ -192,15 +213,32 @@ class ObjectStoreServer(ThreadingHTTPServer):
         self.backend.verify_reads = False
         self.backend.record_checksums = False
         self.verbose = verbose
-        self.stats = {"gets": 0, "heads": 0, "puts": 0, "lists": 0,
-                      "deletes": 0, "rejected_puts": 0, "errors": 0}
-        self._stats_lock = threading.Lock()
+        # Registry-backed operation counters; ``stats`` stays available
+        # as the property view below.
+        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        self._counters = {
+            op: self.metrics.counter(f"repro_object_store_{op}_total", help)
+            for op, help in (
+                ("gets", "Blob GETs served"),
+                ("heads", "Existence probes answered 200"),
+                ("puts", "Blobs stored"),
+                ("lists", "Prefix listings served"),
+                ("deletes", "Blobs deleted"),
+                ("rejected_puts", "PUTs refused for a digest mismatch"),
+                ("errors", "Requests answered with a 5xx status"),
+            )
+        }
         self._thread: threading.Thread | None = None
         super().__init__(address, _Handler)
 
+    @property
+    def stats(self) -> dict[str, int]:
+        """Compatibility view of the operation counters (atomic snapshot)."""
+        return {op: int(counter.value)
+                for op, counter in self._counters.items()}
+
     def count(self, op: str) -> None:
-        with self._stats_lock:
-            self.stats[op] += 1
+        self._counters[op].inc()
 
     @property
     def url(self) -> str:
@@ -253,7 +291,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="keep blobs in memory only (CI smoke stores)")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    configure_logging(fmt=args.log_format, level=args.log_level)
 
     backend: StoreBackend
     if args.root is not None:

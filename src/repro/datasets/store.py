@@ -79,6 +79,7 @@ from repro.datasets.backends import (
     is_checksum_key,
     resolve_backend,
 )
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 
 __all__ = ["DatasetSpec", "DatasetStore"]
 
@@ -176,13 +177,48 @@ class DatasetStore:
             self.backend = resolve_backend(root)
         else:
             self.backend = LocalBackend(root)
-        self.hits = 0
-        self.misses = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        #: Blobs rejected by checksum verification (each one is deleted
-        #: and regenerated/refetched instead of deserializing garbage).
-        self.integrity_failures = 0
+        # Hit/miss/integrity counters live on the shared telemetry plane
+        # (visible on any /metrics endpoint); the public attribute names
+        # stay available as the read-only properties below.
+        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        self._counters = {
+            key: self.metrics.counter(f"repro_store_{key}_total", help)
+            for key, help in (
+                ("hits", "Dataset reads served from the backend"),
+                ("misses", "Dataset reads that had to generate"),
+                ("cache_hits", "Analytical-cache reads served from the backend"),
+                ("cache_misses", "Analytical-cache reads that had to re-warm"),
+                ("integrity_failures",
+                 "Blobs rejected by checksum verification (each one is "
+                 "deleted and regenerated/refetched instead of "
+                 "deserializing garbage)"),
+            )
+        }
+
+    @property
+    def hits(self) -> int:
+        """Dataset reads served from the backend."""
+        return int(self._counters["hits"].value)
+
+    @property
+    def misses(self) -> int:
+        """Dataset reads that had to generate."""
+        return int(self._counters["misses"].value)
+
+    @property
+    def cache_hits(self) -> int:
+        """Analytical-cache reads served from the backend."""
+        return int(self._counters["cache_hits"].value)
+
+    @property
+    def cache_misses(self) -> int:
+        """Analytical-cache reads that had to re-warm."""
+        return int(self._counters["cache_misses"].value)
+
+    @property
+    def integrity_failures(self) -> int:
+        """Blobs rejected by checksum verification."""
+        return int(self._counters["integrity_failures"].value)
 
     @property
     def root(self) -> Path | None:
@@ -234,15 +270,15 @@ class DatasetStore:
         try:
             data = self.backend.read(key)
         except IntegrityError as exc:
-            self.integrity_failures += 1
+            self._counters["integrity_failures"].inc()
             logger.warning("rejecting corrupt dataset blob: %s; regenerating", exc)
             self._discard(key)
         except KeyError:
             pass
         else:
-            self.hits += 1
+            self._counters["hits"].inc()
             return self._load_dataset(io.BytesIO(data))
-        self.misses += 1
+        self._counters["misses"].inc()
         dataset = spec.build()
         self.backend.write(key, self.encode_dataset(dataset))
         return dataset
@@ -356,15 +392,15 @@ class DatasetStore:
         try:
             data = self.backend.read(key)
         except IntegrityError as exc:
-            self.integrity_failures += 1
+            self._counters["integrity_failures"].inc()
             logger.warning("rejecting corrupt cache blob: %s; re-warming", exc)
             self._discard(key)
-            self.cache_misses += 1
+            self._counters["cache_misses"].inc()
             return None
         except KeyError:
-            self.cache_misses += 1
+            self._counters["cache_misses"].inc()
             return None
-        self.cache_hits += 1
+        self._counters["cache_hits"].inc()
         return AnalyticalPredictionCache.load(io.BytesIO(data), model, feature_names)
 
     def save_analytical_cache(self, model_key: str, spec: DatasetSpec, cache):
@@ -431,7 +467,7 @@ class DatasetStore:
         try:
             return self.backend.read(key)
         except IntegrityError:
-            self.integrity_failures += 1
+            self._counters["integrity_failures"].inc()
             logger.warning("rejecting corrupt model blob %s", key)
             self._discard(key)
             raise

@@ -30,6 +30,7 @@ import logging
 import threading
 
 from repro.distributed.coordinator import Coordinator
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 
 __all__ = ["desired_workers", "LocalAutoscaler"]
 
@@ -95,11 +96,29 @@ class LocalAutoscaler:
         self.store_dir = store_dir
         self.store_url = store_url
         self.cell_delay = cell_delay
-        self.stats = {"spawned": 0, "retired": 0, "ticks": 0}
+        # Registry-backed counters: the ticker thread increments while
+        # any other thread reads .stats, so the updates must be atomic
+        # (they mutate under the registry lock — the unlocked dict this
+        # replaces could tear a snapshot mid-increment).
+        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        self._counters = {
+            "spawned": self.metrics.counter(
+                "repro_autoscaler_spawned_total", "Workers spawned on scale-up"),
+            "retired": self.metrics.counter(
+                "repro_autoscaler_retired_total", "Workers retired on scale-down"),
+            "ticks": self.metrics.counter(
+                "repro_autoscaler_ticks_total", "Scaling decisions evaluated"),
+        }
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._under_target = 0
         coordinator.elastic = True
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Compatibility view of the registry counters (atomic snapshot)."""
+        return {name: int(counter.value)
+                for name, counter in self._counters.items()}
 
     def start(self) -> LocalAutoscaler:
         """Run the scaling loop on a daemon thread; returns ``self``."""
@@ -133,7 +152,7 @@ class LocalAutoscaler:
 
     def tick(self) -> None:
         """One scaling decision (public so tests can drive it directly)."""
-        self.stats["ticks"] += 1
+        self._counters["ticks"].inc()
         load = self.coordinator.load()
         # Workers already marked for retirement will leave on their own;
         # count them as gone so ticks don't stack retire requests.
@@ -147,7 +166,7 @@ class LocalAutoscaler:
             self.coordinator.spawn_local_workers(
                 n, store_dir=self.store_dir, store_url=self.store_url,
                 cell_delay=self.cell_delay)
-            self.stats["spawned"] += n
+            self._counters["spawned"].inc(n)
             logger.info("autoscaler: spawned %d worker(s) -> %d "
                         "(outstanding=%d)", n, want, load["outstanding"])
         elif want < effective:
@@ -156,7 +175,7 @@ class LocalAutoscaler:
                 self._under_target = 0
                 n = effective - want
                 self.coordinator.request_retire(n)
-                self.stats["retired"] += n
+                self._counters["retired"].inc(n)
                 logger.info("autoscaler: retiring %d worker(s) -> %d", n, want)
         else:
             self._under_target = 0

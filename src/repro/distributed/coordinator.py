@@ -90,6 +90,8 @@ from repro.distributed.protocol import (
     Results,
     Welcome,
 )
+from repro.obs.metrics import REGISTRY, MetricsRegistry, MetricsSnapshot
+from repro.obs.tracing import TRACER
 
 __all__ = ["Coordinator"]
 
@@ -153,6 +155,8 @@ class _Job:
                               for key, blob in cache_blobs.items()}
         self.lease_durations: list[float] = []  # completed leases, seconds
         self.failure: str | None = None
+        #: Plan span context shipped in every Batch (None = tracing off).
+        self.trace = None
 
     @property
     def finished(self) -> bool:
@@ -228,17 +232,48 @@ class Coordinator:
         #: all-local-workers-exited fail-fast while True.
         self.elastic = False
         self.coordinator_id = uuid.uuid4().hex[:12]
-        self.stats = {
-            "results_received": 0,
-            "duplicate_results": 0,
-            "requeued_cells": 0,
-            "workers_failed": 0,
-            "rejected_handshakes": 0,
-            "datasets_served": 0,
-            "caches_served": 0,
-            "speculative_releases": 0,
-            "workers_retired": 0,
+        # Registry-backed counters (the old ``stats`` dict is now a
+        # property view): results_received doubles as the fleet-facing
+        # ``repro_cells_completed_total`` — the metric the status port's
+        # /metrics endpoint is judged on.
+        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        _counter_specs = {
+            "results_received": (
+                "repro_cells_completed_total",
+                "Distinct cell results recorded (duplicates excluded)"),
+            "duplicate_results": (
+                "repro_fleet_duplicate_results_total",
+                "Results discarded as duplicates (speculation losers)"),
+            "requeued_cells": (
+                "repro_fleet_requeued_cells_total",
+                "Cells requeued after a worker death"),
+            "workers_failed": (
+                "repro_fleet_workers_failed_total",
+                "Workers presumed dead (connection loss or silent heartbeat)"),
+            "rejected_handshakes": (
+                "repro_fleet_rejected_handshakes_total",
+                "HELLO handshakes refused for a version mismatch"),
+            "datasets_served": (
+                "repro_fleet_datasets_served_total",
+                "Dataset blobs relayed over the coordinator socket"),
+            "caches_served": (
+                "repro_fleet_caches_served_total",
+                "Cache blobs relayed over the coordinator socket"),
+            "speculative_releases": (
+                "repro_fleet_speculative_releases_total",
+                "Straggler leases speculatively duplicated"),
+            "workers_retired": (
+                "repro_fleet_workers_retired_total",
+                "Workers politely retired between plans"),
         }
+        self._counters = {key: self.metrics.counter(name, help)
+                          for key, (name, help) in _counter_specs.items()}
+        self._workers_gauge = self.metrics.gauge(
+            "repro_fleet_workers", "Live worker connections")
+        #: Latest per-worker counter snapshot, from Heartbeat/Results
+        #: frames (v4); survives the worker so completed work stays
+        #: visible in the fleet aggregate.
+        self._worker_metrics: dict[str, MetricsSnapshot] = {}
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
         self._workers: dict[str, _WorkerInfo] = {}
@@ -263,6 +298,56 @@ class Coordinator:
     def address(self) -> tuple[str, int]:
         """The ``(host, port)`` the coordinator is listening on."""
         return self._listener.getsockname()[:2]
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Compatibility view of the registry counters (atomic snapshot)."""
+        return {key: int(counter.value)
+                for key, counter in self._counters.items()}
+
+    def fleet_snapshot(self) -> MetricsSnapshot:
+        """The fleet-wide metrics view the status port's ``/metrics`` serves.
+
+        The coordinator's own registry, plus every worker's last shipped
+        snapshot twice: once labeled ``worker="<id>"`` (per-worker
+        series) and once summed into ``worker="fleet"`` (the aggregate).
+        Worker snapshots outlive their connections, so completed work
+        never vanishes from the aggregate when a worker retires.
+        """
+        with self._lock:
+            worker_snaps = dict(self._worker_metrics)
+            self._workers_gauge.set(len(self._workers))
+        snap = self.metrics.snapshot()
+        aggregate: MetricsSnapshot | None = None
+        for worker_id in sorted(worker_snaps):
+            worker_snap = worker_snaps[worker_id]
+            snap = snap.merge(worker_snap.with_labels(worker=worker_id))
+            aggregate = (worker_snap if aggregate is None
+                         else aggregate.merge(worker_snap))
+        if aggregate is not None:
+            snap = snap.merge(aggregate.with_labels(worker="fleet"))
+        return snap
+
+    def health(self) -> dict:
+        """The ``/healthz`` JSON document: liveness plus a load snapshot."""
+        with self._lock:
+            closing = self._closing
+        return {"status": "closing" if closing else "ok",
+                "coordinator_id": self.coordinator_id,
+                "protocol_version": PROTOCOL_VERSION,
+                **self.load()}
+
+    def serve_status(self, address: tuple[str, int] = ("127.0.0.1", 0)):
+        """Start the read-only ``/metrics`` + ``/healthz`` status sidecar.
+
+        Returns the started :class:`~repro.obs.http.StatusServer` (the
+        caller owns its lifetime); the CLI mounts it via
+        ``--status-port``.
+        """
+        from repro.obs.http import StatusServer
+
+        return StatusServer(metrics=self.fleet_snapshot, health=self.health,
+                            address=address).start()
 
     def __enter__(self) -> Coordinator:
         return self
@@ -381,6 +466,11 @@ class Coordinator:
                    store_ok=not dataset_override,
                    store_url=None if store is None else store.locator,
                    auto_leases=self.batch_size == "auto")
+        # Under an active trace collection the caller's current span (the
+        # scheduler's plan span) becomes the parent of every worker-side
+        # batch/cell span; None keeps the fleet span-free.
+        if TRACER.enabled:
+            job.trace = TRACER.current_context()
         with self._cond:
             if self._closing:
                 raise RuntimeError("coordinator is closed")
@@ -519,7 +609,7 @@ class Coordinator:
             for cell in reversed(pending):
                 job.queue.appendleft(cell)
             if pending:
-                self.stats["speculative_releases"] += 1
+                self._counters["speculative_releases"].inc()
                 self._cond.notify_all()
 
     @staticmethod
@@ -539,7 +629,7 @@ class Coordinator:
         lease, info.lease = info.lease, []
         if job is None or not lease or info.lease_plan_id != job.plan_id:
             return
-        self.stats["workers_failed"] += 1
+        self._counters["workers_failed"].inc()
         for cell in reversed(lease):
             if cell.key in job.completed:
                 continue
@@ -552,7 +642,7 @@ class Coordinator:
                     f"{info.worker_id} at {info.addr} died: {reason}")
             else:
                 job.queue.appendleft(cell)
-                self.stats["requeued_cells"] += 1
+                self._counters["requeued_cells"].inc()
         self._cond.notify_all()
 
     # ------------------------------------------------------------------ #
@@ -589,6 +679,9 @@ class Coordinator:
                 with self._lock:
                     info.last_seen = now
                 if isinstance(message, Heartbeat):
+                    if message.metrics is not None:
+                        with self._lock:
+                            self._worker_metrics[info.worker_id] = message.metrics
                     continue
                 protocol.send_message(conn, self._reply(info, message))
         except (ConnectionClosed, ConnectionError, OSError, protocol.ProtocolError):
@@ -629,8 +722,7 @@ class Coordinator:
                       f"{hello.simulator_versions!r}, coordinator "
                       f"{_simulator_versions()!r} — fingerprints would not agree")
         if reason is not None:
-            with self._lock:
-                self.stats["rejected_handshakes"] += 1
+            self._counters["rejected_handshakes"].inc()
             protocol.send_message(conn, Reject(reason))
             return None
         info = _WorkerInfo(conn, addr, hello.worker_id, hello.pid, now)
@@ -661,19 +753,19 @@ class Coordinator:
                     # Between plans is the safe retirement point: the
                     # worker holds no lease and abandons nothing.
                     self._retire_pending -= 1
-                    self.stats["workers_retired"] += 1
+                    self._counters["workers_retired"].inc()
                     return Goodbye("retired by autoscaler")
                 return NoPlan()
             if isinstance(message, FetchDataset):
                 if job is None or job.plan_id != message.plan_id:
                     return PlanDone(message.plan_id)
-                self.stats["datasets_served"] += 1
+                self._counters["datasets_served"].inc()
                 return DatasetBlob(job.plan_id, job.dataset_blob,
                                    job.dataset_sha256)
             if isinstance(message, FetchCache):
                 if job is None or job.plan_id != message.plan_id:
                     return PlanDone(message.plan_id)
-                self.stats["caches_served"] += 1
+                self._counters["caches_served"].inc()
                 return CacheBlob(job.plan_id, message.model_key,
                                  job.cache_blobs[message.model_key],
                                  job.cache_sha256s[message.model_key])
@@ -718,21 +810,25 @@ class Coordinator:
             info.lease_plan_id = job.plan_id
             info.lease_since = time.monotonic()
             info.speculated = False
-            return Batch(job.plan_id, tuple(lease))
+            return Batch(job.plan_id, tuple(lease), trace=job.trace)
         if job.finished:
             return PlanDone(job.plan_id)
         return Idle()
 
     def _record_results(self, info: _WorkerInfo, job: _Job | None,
                         message: Results) -> None:
+        if message.metrics is not None:
+            self._worker_metrics[info.worker_id] = message.metrics
         if job is None or job.plan_id != message.plan_id:
             return  # stale results from a previous plan: ack and discard
+        if message.spans:
+            TRACER.record(message.spans)
         for result in message.results:
             if result.key in job.completed:
-                self.stats["duplicate_results"] += 1
+                self._counters["duplicate_results"].inc()
             else:
                 job.completed[result.key] = result
-                self.stats["results_received"] += 1
+                self._counters["results_received"].inc()
         if info.lease_plan_id == message.plan_id and info.lease:
             info.lease = []
             job.lease_durations.append(time.monotonic() - info.lease_since)

@@ -93,7 +93,11 @@ __all__ = [
 #: Version 2 added the advertised store locator (``PlanAssignment.store_url``).
 #: Version 3 added CRC32 frame checksums and blob digests
 #: (``DatasetBlob.sha256`` / ``CacheBlob.sha256``).
-PROTOCOL_VERSION = 3
+#: Version 4 added telemetry: ``Heartbeat.metrics`` / ``Results.metrics``
+#: (worker-side counter snapshots the coordinator merges into its
+#: fleet-wide view), ``Batch.trace`` (the parent span context) and
+#: ``Results.spans`` (the worker's finished batch/cell spans).
+PROTOCOL_VERSION = 4
 
 #: Upper bound on a single frame (a defensive cap, far above any real
 #: dataset blob; a corrupt or foreign length prefix fails fast instead of
@@ -307,10 +311,19 @@ class GetBatch:
 @dataclass(frozen=True)
 class Batch:
     """A leased batch of cells; the lease is released by :class:`Results`
-    or requeued when the worker dies."""
+    or requeued when the worker dies.
+
+    ``trace`` (v4) is the plan span's
+    :class:`~repro.obs.tracing.SpanContext` when the coordinator side
+    runs under an active trace collection: the worker parents its batch
+    and cell spans to it and ships them back in :attr:`Results.spans`.
+    ``None`` (the default, and the only value when tracing is off) asks
+    the worker to create no spans at all.
+    """
 
     plan_id: str
     cells: tuple
+    trace: object | None = None
 
 
 @dataclass(frozen=True)
@@ -329,9 +342,20 @@ class PlanDone:
 
 @dataclass(frozen=True)
 class Results:
+    """Worker → coordinator: one batch's cell results.
+
+    ``spans`` (v4) carries the worker's finished batch/cell
+    :class:`~repro.obs.tracing.Span` objects when the :class:`Batch`
+    shipped a ``trace`` context; ``metrics`` (v4) a
+    :class:`~repro.obs.metrics.MetricsSnapshot` of the worker's
+    registry, folded into the coordinator's fleet-wide view.
+    """
+
     plan_id: str
     worker_id: str
     results: tuple
+    spans: tuple = ()
+    metrics: object | None = None
 
 
 @dataclass(frozen=True)
@@ -341,6 +365,14 @@ class Ack:
 
 @dataclass(frozen=True)
 class Heartbeat:
-    """Fire-and-forget liveness signal; resets the coordinator's lease timer."""
+    """Fire-and-forget liveness signal; resets the coordinator's lease timer.
+
+    ``metrics`` (v4) is a :class:`~repro.obs.metrics.MetricsSnapshot`
+    of the worker's counters (``direct_fetches``, ``relay_fetches``,
+    ``reconnects``, cells completed, ...), so the coordinator exposes
+    per-worker and aggregate fleet gauges on its status port even while
+    cells are still computing.
+    """
 
     worker_id: str
+    metrics: object | None = None

@@ -71,6 +71,9 @@ from repro.distributed.protocol import (
     Results,
     parse_address,
 )
+from repro.obs.logging import add_logging_args, configure_logging
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.tracing import span_into
 from repro.utils.retry import RetryPolicy
 
 __all__ = ["FleetWorker", "HandshakeRejected", "main"]
@@ -149,21 +152,80 @@ class FleetWorker:
                 f"reconnect_attempts must be >= 0, got {reconnect_attempts}")
         self.reconnect_attempts = reconnect_attempts
         self.reconnect_timeout = reconnect_timeout
-        self.plans_served = 0
-        self.cells_evaluated = 0
-        #: Artifacts bootstrapped directly from the advertised store vs.
-        #: relayed through the coordinator socket (hit-counter telemetry).
-        self.direct_fetches = 0
-        self.relay_fetches = 0
-        #: Failed direct fetches that degraded to relay — never silent.
-        self.direct_fetch_errors = 0
-        #: Relay blobs rejected for a digest mismatch (each is retried).
-        self.blob_integrity_errors = 0
-        #: Successful re-connect+handshake cycles after a dropped socket.
-        self.reconnects = 0
+        # The worker's telemetry registry: every counter below is shipped
+        # to the coordinator inside Heartbeat/Results frames (protocol
+        # v4) and merged into the fleet-wide view its status port serves.
+        # The legacy int attributes (`worker.direct_fetches`, ...) remain
+        # as read-only properties over these counters.
+        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        self._counters = {
+            "plans_served": self.metrics.counter(
+                "repro_worker_plans_served_total", "Plans this worker served"),
+            "cells_evaluated": self.metrics.counter(
+                "repro_worker_cells_evaluated_total",
+                "Cells this worker evaluated"),
+            # Artifacts bootstrapped directly from the advertised store
+            # vs. relayed through the coordinator socket.
+            "direct_fetches": self.metrics.counter(
+                "repro_worker_direct_fetches_total",
+                "Artifacts fetched directly from the advertised store"),
+            "relay_fetches": self.metrics.counter(
+                "repro_worker_relay_fetches_total",
+                "Artifacts relayed through the coordinator socket"),
+            # Failed direct fetches that degraded to relay — never silent.
+            "direct_fetch_errors": self.metrics.counter(
+                "repro_worker_direct_fetch_errors_total",
+                "Direct fetches that failed and degraded to relay"),
+            # Relay blobs rejected for a digest mismatch (each is retried).
+            "blob_integrity_errors": self.metrics.counter(
+                "repro_worker_blob_integrity_errors_total",
+                "Relay blobs rejected for a digest mismatch"),
+            # Successful re-connect+handshake cycles after a dropped socket.
+            "reconnects": self.metrics.counter(
+                "repro_worker_reconnects_total",
+                "Successful reconnect+handshake cycles"),
+        }
         self._send_lock = threading.Lock()
         self._memo: dict[str, tuple] = {}
         self._advertised: dict[str, DatasetStore | None] = {}
+
+    # Compatibility views over the registry counters (tests and callers
+    # read these as plain ints; writes go through the registry so every
+    # increment is atomic and wire-shippable).
+    @property
+    def plans_served(self) -> int:
+        """Plans this worker served (registry-backed view)."""
+        return int(self._counters["plans_served"].value)
+
+    @property
+    def cells_evaluated(self) -> int:
+        """Cells this worker evaluated (registry-backed view)."""
+        return int(self._counters["cells_evaluated"].value)
+
+    @property
+    def direct_fetches(self) -> int:
+        """Artifacts fetched directly from the advertised store."""
+        return int(self._counters["direct_fetches"].value)
+
+    @property
+    def relay_fetches(self) -> int:
+        """Artifacts relayed through the coordinator socket."""
+        return int(self._counters["relay_fetches"].value)
+
+    @property
+    def direct_fetch_errors(self) -> int:
+        """Direct fetches that failed and degraded to relay."""
+        return int(self._counters["direct_fetch_errors"].value)
+
+    @property
+    def blob_integrity_errors(self) -> int:
+        """Relay blobs rejected for a digest mismatch."""
+        return int(self._counters["blob_integrity_errors"].value)
+
+    @property
+    def reconnects(self) -> int:
+        """Successful reconnect+handshake cycles."""
+        return int(self._counters["reconnects"].value)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -199,7 +261,7 @@ class FleetWorker:
             try:
                 self._handshake(sock)
                 if connected_before:
-                    self.reconnects += 1
+                    self._counters["reconnects"].inc()
                     attempts_left = self.reconnect_attempts
                 connected_before = True
                 heartbeat = threading.Thread(
@@ -256,9 +318,12 @@ class FleetWorker:
             raise HandshakeRejected(reply.reason)
 
     def _heartbeat_loop(self, sock: socket.socket, stop: threading.Event) -> None:
-        beat = Heartbeat(self.worker_id)
         while not stop.wait(self.heartbeat_interval):
             try:
+                # Each beat carries a fresh counter snapshot (v4), so the
+                # coordinator's fleet view stays live even while a long
+                # batch computes.
+                beat = Heartbeat(self.worker_id, metrics=self.metrics.snapshot())
                 protocol.send_message(sock, beat, self._send_lock)
             except OSError:
                 return
@@ -278,7 +343,7 @@ class FleetWorker:
     def _serve_plan(self, sock: socket.socket, assignment: PlanAssignment) -> None:
         dataset, factories = self._ensure_state(sock, assignment)
         plan_id = assignment.plan_id
-        self.plans_served += 1
+        self._counters["plans_served"].inc()
         while True:
             reply = self._request(sock, GetBatch(plan_id, self.worker_id))
             if isinstance(reply, PlanDone):
@@ -289,14 +354,45 @@ class FleetWorker:
             if not isinstance(reply, Batch):
                 raise protocol.ProtocolError(
                     f"expected a batch, got {type(reply).__name__}")
-            results = []
-            for cell in reply.cells:
+            results, spans = self._evaluate_batch(reply, factories, dataset)
+            self._counters["cells_evaluated"].inc(len(results))
+            self._request(sock, Results(
+                plan_id, self.worker_id, tuple(results), spans=tuple(spans),
+                metrics=self.metrics.snapshot()))
+
+    def _evaluate_batch(self, batch: Batch, factories, dataset):
+        """One leased batch's results plus (when traced) its finished spans.
+
+        With a ``trace`` context in the frame the worker builds a
+        ``batch`` span parented to the coordinator side's plan span and
+        one ``cell`` span per cell under it — the exact hierarchy the
+        in-process executors produce — and ships them back inside the
+        :class:`Results` frame.  Without one (tracing off), no span
+        objects are created at all.
+        """
+        results = []
+        if batch.trace is None:
+            for cell in batch.cells:
                 if self.cell_delay:
                     time.sleep(self.cell_delay)
                 results.append(evaluate_cell(
                     cell, factories[cell.factory_key], dataset))
-            self.cells_evaluated += len(results)
-            self._request(sock, Results(plan_id, self.worker_id, tuple(results)))
+            return results, ()
+        spans: list = []
+        with span_into(spans, "batch", parent=batch.trace,
+                       attrs={"executor": "remote", "worker": self.worker_id,
+                              "cells": len(batch.cells)}) as batch_span:
+            for cell in batch.cells:
+                if self.cell_delay:
+                    time.sleep(self.cell_delay)
+                with span_into(spans, "cell", parent=batch_span,
+                               attrs={"series": cell.series,
+                                      "fraction": cell.fraction,
+                                      "repeat": cell.repeat,
+                                      "worker": self.worker_id}):
+                    results.append(evaluate_cell(
+                        cell, factories[cell.factory_key], dataset))
+        return results, spans
 
     def _ensure_state(self, sock: socket.socket, assignment: PlanAssignment):
         """Dataset + series factories for the plan, memoized by fingerprint."""
@@ -380,16 +476,16 @@ class FleetWorker:
             try:
                 data = direct_read(shared)
             except (KeyError, OSError, ValueError, IntegrityError) as exc:
-                self.direct_fetch_errors += 1
+                self._counters["direct_fetch_errors"].inc()
                 logger.warning(
                     "worker %s: direct fetch of %s from %s failed "
                     "(%s: %s); degrading to coordinator relay",
                     self.worker_id, type(request).__name__,
                     assignment.store_url, type(exc).__name__, exc)
             else:
-                self.direct_fetches += 1
+                self._counters["direct_fetches"].inc()
                 return data
-        self.relay_fetches += 1
+        self._counters["relay_fetches"].inc()
 
         def relay() -> bytes:
             reply = self._fetch(sock, request, expected)
@@ -397,7 +493,7 @@ class FleetWorker:
             if digest:
                 actual = sha256_hex(reply.data)
                 if actual != digest:
-                    self.blob_integrity_errors += 1
+                    self._counters["blob_integrity_errors"].inc()
                     raise IntegrityError(type(reply).__name__, digest, actual)
             return reply.data
 
@@ -454,7 +550,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="fresh connect+handshake attempts after the "
                              "coordinator connection drops (default 3; 0 = exit "
                              "on first drop)")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    configure_logging(fmt=args.log_format, level=args.log_level)
     if args.max_retries is not None and args.max_retries < 1:
         parser.error(f"--max-retries must be >= 1, got {args.max_retries}")
     if args.reconnect_attempts < 0:

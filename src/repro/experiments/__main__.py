@@ -44,6 +44,16 @@ Options
                   worker pool additionally serves the whole experiment
                   sequence, so workers spawn once and keep their per-plan
                   memos across experiments
+``--trace``       record every experiment/plan/batch/cell span of the run —
+                  across threads, worker processes and the fleet wire — to
+                  FILE as JSON lines and print a per-phase summary (see
+                  ``docs/observability.md``)
+``--status-port`` remote executor: serve the coordinator's read-only
+                  ``/metrics`` (fleet-wide Prometheus text) and ``/healthz``
+                  (JSON liveness + load) on this port (0 = ephemeral)
+``--log-format`` / ``--log-level``
+                  structured logging: ``json`` emits one JSON object per
+                  line (machine-ingestable), ``text`` the classic format
 ``names``         experiment names (default: all; see ``EXPERIMENTS``)
 
 Fleet workers
@@ -65,6 +75,8 @@ import sys
 from repro.experiments.reporting import format_result
 from repro.experiments.runner import EXPERIMENTS, ExperimentSettings, run_experiment
 from repro.experiments.scheduler import EXECUTORS
+from repro.obs.logging import add_logging_args, configure_logging
+from repro.obs.tracing import TRACER, write_trace
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -133,7 +145,19 @@ def main(argv: list[str] | None = None) -> int:
                              "publish it into the store for the serving tier "
                              "(serve with repro-serve --store-url ...; "
                              "requires --store-dir or --store-url)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record every experiment/plan/batch/cell span of "
+                             "the run to FILE as JSON lines and print a "
+                             "per-phase summary (works with every executor; "
+                             "spans cross the process-pool and fleet-wire "
+                             "boundaries)")
+    parser.add_argument("--status-port", type=int, default=None, metavar="PORT",
+                        help="remote executor: serve the coordinator's "
+                             "read-only /metrics (fleet-wide Prometheus text) "
+                             "and /healthz (JSON) on this port (0 = ephemeral)")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    configure_logging(fmt=args.log_format, level=args.log_level)
 
     if args.quick:
         settings = ExperimentSettings.quick()
@@ -163,6 +187,9 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
     if args.max_retries is not None and args.max_retries < 0:
         parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.status_port is not None and executor != "remote":
+        parser.error("--status-port requires --executor remote (it serves "
+                     "the fleet coordinator's metrics)")
     batch_cells = None
     if args.batch_cells is not None:
         if executor not in ("process", "remote"):
@@ -203,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
         store = DatasetStore(args.store_dir)
 
     fleet = None
+    status_server = None
     if executor == "remote":
         from repro.distributed.coordinator import Coordinator
         from repro.distributed.protocol import parse_address
@@ -222,6 +250,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"fleet coordinator listening on {host}:{port} "
                   f"(connect workers with: python -m repro.experiments "
                   f"fleet-worker --connect {connect_host}:{port})")
+        if args.status_port is not None:
+            status_server = fleet.serve_status(("127.0.0.1", args.status_port))
+            print(f"fleet status at {status_server.url} "
+                  f"(/metrics and /healthz, read-only)")
         n_local = args.workers
         if n_local is None:
             n_local = 0 if args.bind is not None else _resolve_jobs(args.jobs)
@@ -245,31 +277,44 @@ def main(argv: list[str] | None = None) -> int:
 
             pool = WorkerPool(n_workers)
 
-    try:
-        for name in args.names:
-            if args.publish_models:
-                from repro.experiments.plan import experiment_plan
+    from contextlib import nullcontext
 
-                publish = experiment_plan(name, settings) is not None
-            else:
-                publish = False
-            result = run_experiment(name, settings=settings, executor=executor,
-                                    jobs=args.jobs, store=store, fleet=fleet,
-                                    pool=pool, batch_cells=batch_cells,
-                                    publish_models=publish)
-            print(format_result(result))
-            if publish:
-                outcome = result.extra.get("published_models", {})
-                for series, key in sorted(outcome.get("published", {}).items()):
-                    print(f"published model: {series} -> {key}")
-                for series, reason in sorted(outcome.get("skipped", {}).items()):
-                    print(f"not servable:    {series} ({reason})")
-            print()
+    collect = TRACER.collect() if args.trace is not None else nullcontext([])
+    try:
+        with collect as trace_spans:
+            for name in args.names:
+                if args.publish_models:
+                    from repro.experiments.plan import experiment_plan
+
+                    publish = experiment_plan(name, settings) is not None
+                else:
+                    publish = False
+                result = run_experiment(name, settings=settings, executor=executor,
+                                        jobs=args.jobs, store=store, fleet=fleet,
+                                        pool=pool, batch_cells=batch_cells,
+                                        publish_models=publish)
+                print(format_result(result))
+                if publish:
+                    outcome = result.extra.get("published_models", {})
+                    for series, key in sorted(outcome.get("published", {}).items()):
+                        print(f"published model: {series} -> {key}")
+                    for series, reason in sorted(outcome.get("skipped", {}).items()):
+                        print(f"not servable:    {series} ({reason})")
+                print()
     finally:
+        if status_server is not None:
+            status_server.stop()
         if fleet is not None:
             fleet.close()
         if pool is not None:
             pool.close()
+
+    if args.trace is not None:
+        from repro.experiments.reporting import format_trace_summary, summarize_trace
+
+        write_trace(args.trace, trace_spans)
+        print(f"trace written to {args.trace}")
+        print(format_trace_summary(summarize_trace(trace_spans)))
 
     if args.store_prune:
         from repro.experiments.plan import experiment_plan

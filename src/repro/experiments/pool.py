@@ -52,6 +52,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.features import PerformanceDataset
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.parallel.threadpool import weighted_chunk_indices
 
 __all__ = [
@@ -429,16 +430,26 @@ class WorkerPool:
     scheduler).
     """
 
+    #: Phase-breakdown keys accumulated in seconds (floats in ``.stats``).
+    _SECONDS_KEYS = ("spawn_seconds", "dispatch_seconds",
+                     "compute_seconds", "merge_seconds")
+    #: Work-volume keys (ints in ``.stats``).
+    _COUNT_KEYS = ("batches", "cells", "plans")
+
     def __init__(self, jobs: int = -1, *, prime: bool = True) -> None:
         self.jobs = _resolve_pool_jobs(jobs)
-        self.stats: dict[str, float] = {
-            "spawn_seconds": 0.0,
-            "dispatch_seconds": 0.0,
-            "compute_seconds": 0.0,
-            "merge_seconds": 0.0,
-            "batches": 0,
-            "cells": 0,
-            "plans": 0,
+        # Registry-backed phase counters: run_batches mutates them from
+        # whichever thread drives the plan while monitors read .stats —
+        # every increment happens under the registry lock, so a snapshot
+        # taken mid-increment can never tear (regression-tested in
+        # tests/test_obs.py; the bare dict this replaces could).
+        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        self._counters = {
+            key: self.metrics.counter(
+                f"repro_pool_{key}" if key.endswith("_seconds")
+                else f"repro_pool_{key}_total",
+                f"Worker pool {key.replace('_', ' ')}")
+            for key in self._SECONDS_KEYS + self._COUNT_KEYS
         }
         self._pids: set[int] = set()
         self._shared: dict[str, SharedDataset] = {}
@@ -450,9 +461,22 @@ class WorkerPool:
             futures = [self._executor.submit(_prime_worker, delay)
                        for _ in range(self.jobs)]
             self._pids.update(f.result() for f in futures)
-        self.stats["spawn_seconds"] += time.perf_counter() - t0
+        self._counters["spawn_seconds"].inc(time.perf_counter() - t0)
 
     # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> dict[str, float]:
+        """Compatibility view of the registry counters (atomic snapshot).
+
+        Seconds keys stay floats, volume keys ints — the shape the
+        benchmark entries and tests always consumed.
+        """
+        out: dict[str, float] = {key: self._counters[key].value
+                                 for key in self._SECONDS_KEYS}
+        out.update({key: int(self._counters[key].value)
+                    for key in self._COUNT_KEYS})
+        return out
+
     @property
     def spawn_count(self) -> int:
         """Distinct worker processes observed over the pool's lifetime."""
@@ -506,15 +530,15 @@ class WorkerPool:
         for args in batch_args:
             submit_times.append(time.perf_counter())
             futures.append(self._executor.submit(_timed_call, fn, args))
-        self.stats["dispatch_seconds"] += time.perf_counter() - t0
+        self._counters["dispatch_seconds"].inc(time.perf_counter() - t0)
         out = []
         for submitted, future in zip(submit_times, futures, strict=True):
             pid, started, seconds, result = future.result()
             self._pids.add(pid)
-            self.stats["dispatch_seconds"] += max(0.0, started - submitted)
-            self.stats["compute_seconds"] += seconds
+            self._counters["dispatch_seconds"].inc(max(0.0, started - submitted))
+            self._counters["compute_seconds"].inc(seconds)
             out.append((seconds, result))
-        self.stats["batches"] += len(batch_args)
+        self._counters["batches"].inc(len(batch_args))
         return out
 
     def probe(self, fn, *args):
@@ -531,9 +555,9 @@ class WorkerPool:
 
     def record_merge(self, seconds: float, cells: int) -> None:
         """Fold one plan's merge time into the phase stats (scheduler hook)."""
-        self.stats["merge_seconds"] += seconds
-        self.stats["cells"] += cells
-        self.stats["plans"] += 1
+        self._counters["merge_seconds"].inc(seconds)
+        self._counters["cells"].inc(cells)
+        self._counters["plans"].inc()
 
     def close(self) -> None:
         """Shut down workers and unlink every shared segment (idempotent)."""

@@ -202,19 +202,25 @@ def run_experiment(name: str, settings: ExperimentSettings | None = None, *,
     batch_cells = resolve_batch_cells(batch_cells)
     settings = settings or ExperimentSettings()
     from repro.experiments.plan import experiment_plan
+    from repro.obs.tracing import TRACER
 
-    plan = experiment_plan(name, settings)
-    if plan is None:
-        if publish_models:
-            raise ValueError(
-                f"experiment {name!r} has no plan, so it has no servable "
-                "models to publish")
-        return func(settings=settings)
-    from repro.experiments.scheduler import run_plan
+    # Under an active trace collection the whole experiment runs inside
+    # one span; the scheduler's plan span nests under it.  A no-op (one
+    # attribute check) when tracing is off.
+    with TRACER.span("experiment", attrs={"experiment": name,
+                                          "executor": executor}):
+        plan = experiment_plan(name, settings)
+        if plan is None:
+            if publish_models:
+                raise ValueError(
+                    f"experiment {name!r} has no plan, so it has no servable "
+                    "models to publish")
+            return func(settings=settings)
+        from repro.experiments.scheduler import run_plan
 
-    return run_plan(plan, executor=executor, jobs=jobs,
-                    store=_resolve_store(store), fleet=fleet, pool=pool,
-                    batch_cells=batch_cells, publish_models=publish_models)
+        return run_plan(plan, executor=executor, jobs=jobs,
+                        store=_resolve_store(store), fleet=fleet, pool=pool,
+                        batch_cells=batch_cells, publish_models=publish_models)
 
 
 def run_all(settings: ExperimentSettings | None = None,

@@ -71,6 +71,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     _resolve_store,
 )
+from repro.obs.tracing import TRACER, span_into
 
 __all__ = ["EXECUTORS", "run_plan", "run_named_plan", "worker_state_stats"]
 
@@ -220,6 +221,41 @@ def _evaluate_batch(plan: ExperimentPlan, cells: list, store_locator: str | None
             for cell in cells]
 
 
+def _cell_attrs(cell) -> dict:
+    """Span attributes identifying one cell (kept to its key fields only)."""
+    return {"series": cell.series, "fraction": cell.fraction,
+            "repeat": cell.repeat}
+
+
+def _evaluate_batch_traced(plan: ExperimentPlan, cells: list,
+                           store_locator: str | None,
+                           dataset: PerformanceDataset | None = None,
+                           shared_ref: SharedDatasetRef | None = None,
+                           trace=None) -> tuple[list[CellResult], list]:
+    """Traced twin of :func:`_evaluate_batch`: results plus finished spans.
+
+    Dispatched instead of the plain function only when the parent runs
+    under an active trace collection, so the untraced hot path stays
+    byte-for-byte identical.  *trace* is the parent plan span's
+    :class:`~repro.obs.tracing.SpanContext`; the batch and per-cell spans
+    created here parent to it and travel back over the pool's pickle
+    boundary as plain :class:`~repro.obs.tracing.Span` values.
+    """
+    spans: list = []
+    with span_into(spans, "batch",
+                   parent=trace,
+                   attrs={"executor": "process", "pid": os.getpid(),
+                          "cells": len(cells)}) as batch_span:
+        results: list[CellResult] = []
+        for cell in cells:
+            with span_into(spans, "cell", parent=batch_span,
+                           attrs=_cell_attrs(cell)):
+                results.extend(
+                    _evaluate_batch(plan, [cell], store_locator,
+                                    dataset, shared_ref))
+    return results, spans
+
+
 # --------------------------------------------------------------------------- #
 # Remote (worker-fleet) dispatch
 # --------------------------------------------------------------------------- #
@@ -288,9 +324,25 @@ def _run_process(plan: ExperimentPlan, cells: list, resolved: PerformanceDataset
         # (when a shareable locator exists) or in-band pickling.
         shipped = None if store_locator is not None else resolved
 
-    timed = pool.run_batches(
-        _evaluate_batch,
-        [(plan, batch, store_locator, shipped, shared_ref) for batch in batches])
+    # Tracing on: dispatch the traced twin, which ships finished spans
+    # back with the results.  Off (the common case): the dispatched
+    # callable and its argument tuples are identical to the untraced
+    # build, so the pool's hot path pays nothing.
+    trace = TRACER.current_context() if TRACER.enabled else None
+    if trace is None:
+        timed = pool.run_batches(
+            _evaluate_batch,
+            [(plan, batch, store_locator, shipped, shared_ref)
+             for batch in batches])
+    else:
+        traced = pool.run_batches(
+            _evaluate_batch_traced,
+            [(plan, batch, store_locator, shipped, shared_ref, trace)
+             for batch in batches])
+        timed = []
+        for seconds, (batch_results, spans) in traced:
+            TRACER.record(spans)
+            timed.append((seconds, batch_results))
     for batch, (seconds, _) in zip(batches, timed, strict=True):
         by_family: dict[str, float] = {}
         for cell in batch:
@@ -371,47 +423,70 @@ def run_plan(plan: ExperimentPlan, *, executor: str = "serial", jobs: int = 1,
     cells = expand_cells(plan)
     used_pool = False
 
-    if executor == "remote":
-        results = _run_remote(plan, cells, resolved, caches,
-                              store if dataset is None else None, fleet, jobs,
-                              dataset_override=dataset is not None,
-                              batch_cells=batch_cells)
-    elif (executor == "serial" or len(cells) <= 1
-          or (jobs == 1 and not (executor == "process" and pool is not None))):
-        factories = _series_factories(plan, resolved, caches)
-        results = [evaluate_cell(cell, factories[cell.factory_key], resolved)
-                   for cell in cells]
-    elif executor == "thread":
-        factories = _series_factories(plan, resolved, caches)
-        with ThreadPoolExecutor(max_workers=jobs) as thread_pool:
-            results = list(thread_pool.map(
-                lambda cell: evaluate_cell(cell, factories[cell.factory_key], resolved),
-                cells))
-    else:  # process
-        store_locator = store.locator if (store is not None and dataset is None) else None
-        own_pool = pool is None
-        if own_pool:
-            pool = WorkerPool(jobs)
-        try:
-            results = _run_process(plan, cells, resolved, store_locator,
-                                   dataset_override=dataset is not None,
-                                   pool=pool, batch_cells=batch_cells)
-            used_pool = True
-        finally:
+    # Under an active trace collection (``TRACER.collect()`` / the CLI's
+    # ``--trace``) the whole dispatch+merge runs inside a plan span; every
+    # executor parents its batch and cell spans to it (over the wire for
+    # remote, over the pool's pickle boundary for process).  With tracing
+    # off — the default — every ``TRACER.span`` below yields None after a
+    # single attribute check, which is the basis of the scheduler's <2%
+    # overhead guarantee (see benchmarks/test_bench_perf.py).
+    with TRACER.span("plan", attrs={"plan": plan.experiment_id,
+                                    "executor": executor,
+                                    "cells": len(cells)}):
+        if executor == "remote":
+            results = _run_remote(plan, cells, resolved, caches,
+                                  store if dataset is None else None, fleet, jobs,
+                                  dataset_override=dataset is not None,
+                                  batch_cells=batch_cells)
+        elif (executor == "serial" or len(cells) <= 1
+              or (jobs == 1 and not (executor == "process" and pool is not None))):
+            factories = _series_factories(plan, resolved, caches)
+            with TRACER.span("batch", attrs={"executor": "serial",
+                                             "cells": len(cells)}) as batch_span:
+                results = []
+                for cell in cells:
+                    with TRACER.span("cell", parent=batch_span,
+                                     attrs=_cell_attrs(cell)):
+                        results.append(evaluate_cell(
+                            cell, factories[cell.factory_key], resolved))
+        elif executor == "thread":
+            factories = _series_factories(plan, resolved, caches)
+            with TRACER.span("batch", attrs={"executor": "thread", "jobs": jobs,
+                                             "cells": len(cells)}) as batch_span:
+                def _eval_one(cell):
+                    # Pool threads don't inherit the contextvar; parent
+                    # each cell span to the batch explicitly.
+                    with TRACER.span("cell", parent=batch_span,
+                                     attrs=_cell_attrs(cell)):
+                        return evaluate_cell(
+                            cell, factories[cell.factory_key], resolved)
+                with ThreadPoolExecutor(max_workers=jobs) as thread_pool:
+                    results = list(thread_pool.map(_eval_one, cells))
+        else:  # process
+            store_locator = store.locator if (store is not None and dataset is None) else None
+            own_pool = pool is None
             if own_pool:
-                pool.close()
+                pool = WorkerPool(jobs)
+            try:
+                results = _run_process(plan, cells, resolved, store_locator,
+                                       dataset_override=dataset is not None,
+                                       pool=pool, batch_cells=batch_cells)
+                used_pool = True
+            finally:
+                if own_pool:
+                    pool.close()
 
-    merge_start = time.perf_counter()
-    by_series: dict[str, list[CellResult]] = {}
-    for result in results:
-        by_series.setdefault(result.series, []).append(result)
-    curves = {}
-    for spec in plan.series:
-        series_cells = [c for c in cells if c.series == spec.label]
-        curves[spec.label] = merge_cell_results(
-            series_cells, by_series.get(spec.label, []), label=spec.label)
-    if used_pool:
-        pool.record_merge(time.perf_counter() - merge_start, len(cells))
+        merge_start = time.perf_counter()
+        by_series: dict[str, list[CellResult]] = {}
+        for result in results:
+            by_series.setdefault(result.series, []).append(result)
+        curves = {}
+        for spec in plan.series:
+            series_cells = [c for c in cells if c.series == spec.label]
+            curves[spec.label] = merge_cell_results(
+                series_cells, by_series.get(spec.label, []), label=spec.label)
+        if used_pool:
+            pool.record_merge(time.perf_counter() - merge_start, len(cells))
 
     extra = compute_extras(plan, resolved, caches)
     if publish_models:

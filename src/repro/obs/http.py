@@ -1,0 +1,132 @@
+"""HTTP exposition: the shared ``/metrics`` body and the status server.
+
+Two pieces mount the metrics pillar onto the wire:
+
+* :func:`metrics_body` — the one payload every ``/metrics`` endpoint
+  serves: the process-wide :data:`~repro.obs.metrics.REGISTRY` (or an
+  explicit snapshot) rendered in the Prometheus text format.  The
+  object server and :class:`~repro.serving.server.ModelServer` route
+  ``GET /metrics`` through it, so any process hosting an HTTP surface
+  is scrapeable for free.
+* :class:`StatusServer` — a read-only sidecar for processes whose main
+  socket speaks the binary fleet protocol (the coordinator): ``GET
+  /metrics`` serves a caller-supplied snapshot (the coordinator's
+  fleet-wide merged view) and ``GET /healthz`` a small JSON health
+  document.  The CLI mounts it with ``--status-port``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from collections.abc import Callable
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import REGISTRY, MetricsSnapshot, render_prometheus
+
+__all__ = ["CONTENT_TYPE", "StatusServer", "metrics_body"]
+
+#: The Prometheus text exposition content type.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metrics_body(snapshot: MetricsSnapshot | None = None) -> bytes:
+    """The ``/metrics`` response body (process-wide registry by default)."""
+    if snapshot is None:
+        snapshot = REGISTRY.snapshot()
+    return render_prometheus(snapshot).encode("utf-8")
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    """One read-only request against the status surface."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "ReproStatus/1.0"
+
+    server: StatusServer
+
+    def log_message(self, fmt, *args):
+        """Suppress per-request logging (a scrape per second is noise)."""
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # (BaseHTTPRequestHandler naming)
+        """Serve ``/metrics`` (Prometheus text) or ``/healthz`` (JSON)."""
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._send(200, metrics_body(self.server.metrics_source()),
+                           CONTENT_TYPE)
+            elif path == "/healthz":
+                body = json.dumps(self.server.health_source(),
+                                  sort_keys=True).encode()
+                self._send(200, body, "application/json")
+            else:
+                self._send(404, b"try /metrics or /healthz", "text/plain")
+        except Exception as exc:  # noqa: BLE001 - a scrape must never kill the server
+            self._send(500, f"{type(exc).__name__}: {exc}".encode(),
+                       "text/plain")
+
+
+class StatusServer(ThreadingHTTPServer):
+    """Read-only ``/metrics`` + ``/healthz`` sidecar (the ``--status-port``).
+
+    Parameters
+    ----------
+    metrics:
+        Zero-argument callable returning the :class:`MetricsSnapshot`
+        to expose (e.g. ``coordinator.fleet_snapshot``); ``None`` serves
+        the process-wide registry.
+    health:
+        Zero-argument callable returning the ``/healthz`` JSON document
+        (default: ``{"status": "ok"}``).
+    address:
+        Bind address; port 0 picks an ephemeral port (tests).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, metrics: Callable[[], MetricsSnapshot] | None = None,
+                 health: Callable[[], dict] | None = None,
+                 address: tuple[str, int] = ("127.0.0.1", 0)) -> None:
+        self.metrics_source = metrics if metrics is not None \
+            else (lambda: None)
+        self.health_source = health if health is not None \
+            else (lambda: {"status": "ok"})
+        self._thread: threading.Thread | None = None
+        super().__init__(address, _StatusHandler)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the status surface (scrape ``<url>metrics``)."""
+        host, port = self.server_address[:2]
+        if host in ("0.0.0.0", "::"):
+            host = socket.gethostname()
+        return f"http://{host}:{port}/"
+
+    def start(self) -> StatusServer:
+        """Serve scrapes on a daemon thread; returns ``self``."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="status-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> StatusServer:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,90 @@
+"""Structured logging: a JSON formatter and one-call CLI configuration.
+
+All four CLIs (``repro.experiments``, the fleet worker, the object
+server, the model server) expose ``--log-format json|text`` and
+``--log-level``; :func:`add_logging_args` declares the flags and
+:func:`configure_logging` applies them.  The JSON format emits one
+object per line — ``ts`` (ISO-8601 UTC), ``level``, ``logger``,
+``message``, plus any ``extra={...}`` fields the call site attached —
+so fleet logs are machine-mergeable across hosts::
+
+    >>> import logging
+    >>> from repro.obs.logging import JsonFormatter
+    >>> record = logging.LogRecord("repro.demo", logging.INFO, __file__, 1,
+    ...                            "served %d cells", (3,), None)
+    >>> import json; payload = json.loads(JsonFormatter().format(record))
+    >>> payload["logger"], payload["level"], payload["message"]
+    ('repro.demo', 'INFO', 'served 3 cells')
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from datetime import datetime, timezone
+
+__all__ = ["JsonFormatter", "add_logging_args", "configure_logging"]
+
+#: Attributes present on every ``LogRecord``; anything else on the
+#: record arrived via ``extra={...}`` and is emitted as a JSON field.
+_RESERVED = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None).__dict__) | {"message", "asctime",
+                                             "taskName"}
+
+LOG_FORMATS = ("text", "json")
+
+
+class JsonFormatter(logging.Formatter):
+    """Format records as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render *record* as a compact JSON line."""
+        payload = {
+            "ts": datetime.fromtimestamp(
+                record.created, tz=timezone.utc).isoformat(),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value if isinstance(
+                    value, (str, int, float, bool, type(None))) else repr(value)
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def configure_logging(*, fmt: str = "text", level: str = "INFO",
+                      stream=None) -> None:
+    """Configure root logging for a CLI process.
+
+    *fmt* is ``"text"`` (the classic ``level name: message`` line) or
+    ``"json"`` (one :class:`JsonFormatter` object per line); *level* a
+    standard level name.  Reconfigures idempotently — an existing root
+    handler installed by a previous call is replaced, not stacked.
+    """
+    if fmt not in LOG_FORMATS:
+        raise ValueError(f"log format must be one of {LOG_FORMATS}, got {fmt!r}")
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(stream)
+    if fmt == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger()
+    for existing in list(root.handlers):
+        root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(numeric)
+
+
+def add_logging_args(parser) -> None:
+    """Declare the shared ``--log-format`` / ``--log-level`` CLI flags."""
+    parser.add_argument("--log-format", choices=LOG_FORMATS, default="text",
+                        help="log line format (default: text)")
+    parser.add_argument("--log-level", default="INFO",
+                        help="root log level (default: INFO)")

@@ -56,6 +56,11 @@ import numpy as np
 
 from repro.datasets.backends import IntegrityError, StoreBackend
 from repro.datasets.store import DatasetStore
+from repro.obs.http import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.obs.http import metrics_body
+from repro.obs.logging import add_logging_args, configure_logging
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.tracing import TRACER
 from repro.serving.model_io import ServedModel, decode_model
 
 __all__ = ["ModelServer", "MicroBatcher", "main"]
@@ -104,9 +109,27 @@ class MicroBatcher:
         self._lock = threading.Lock()
         self._queues: dict[object, list[_Pending]] = {}
         self._leaders: dict[object, threading.Lock] = {}
-        #: Passes executed / rows served / largest single pass.
-        self.stats = {"batches": 0, "batched_rows": 0, "max_batch_rows": 0,
-                      "max_batch_requests": 0}
+        # Passes executed / rows served / largest single pass, on the
+        # shared telemetry plane (the old ``stats`` dict is a property).
+        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        self._batches = self.metrics.counter(
+            "repro_serving_batches_total", "Micro-batch prediction passes")
+        self._batched_rows = self.metrics.counter(
+            "repro_serving_batched_rows_total",
+            "Rows served through micro-batched passes")
+        self._max_batch_rows = self.metrics.gauge(
+            "repro_serving_max_batch_rows", "Largest single pass, in rows")
+        self._max_batch_requests = self.metrics.gauge(
+            "repro_serving_max_batch_requests",
+            "Largest single pass, in coalesced requests")
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Compatibility view of the batching counters (atomic snapshot)."""
+        return {"batches": int(self._batches.value),
+                "batched_rows": int(self._batched_rows.value),
+                "max_batch_rows": int(self._max_batch_rows.value),
+                "max_batch_requests": int(self._max_batch_requests.value)}
 
     def _leader_lock(self, key) -> threading.Lock:
         with self._lock:
@@ -149,13 +172,13 @@ class MicroBatcher:
                 entry.error = exc
                 entry.event.set()
             return
-        with self._lock:
-            self.stats["batches"] += 1
-            self.stats["batched_rows"] += sum(counts)
-            self.stats["max_batch_rows"] = max(self.stats["max_batch_rows"],
-                                               sum(counts))
-            self.stats["max_batch_requests"] = max(
-                self.stats["max_batch_requests"], len(batch))
+        with self._lock:  # the max updates are read-modify-write
+            self._batches.inc()
+            self._batched_rows.inc(sum(counts))
+            self._max_batch_rows.set(
+                max(self._max_batch_rows.value, sum(counts)))
+            self._max_batch_requests.set(
+                max(self._max_batch_requests.value, len(batch)))
         offset = 0
         for entry, count in zip(batch, counts, strict=True):
             entry.result = predictions[offset:offset + count]
@@ -190,17 +213,27 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(status, {"error": message})
 
     def do_GET(self) -> None:  # (BaseHTTPRequestHandler naming)
-        """Route ``/healthz``, ``/stats`` and ``/models``."""
+        """Route ``/healthz``, ``/stats``, ``/models`` and ``/metrics``."""
         path = urllib.parse.urlsplit(self.path).path.rstrip("/")
         try:
-            if path == "/healthz":
-                self._send_json(200, self.server.health())
-            elif path == "/stats":
-                self._send_json(200, self.server.snapshot_stats())
-            elif path == "/models":
-                self._send_json(200, self.server.describe_models())
-            else:
-                self._error(404, f"no such endpoint {path or '/'}")
+            with TRACER.span("request", attrs={"method": "GET", "path": path}):
+                if path == "/healthz":
+                    self._send_json(200, self.server.health())
+                elif path == "/stats":
+                    self._send_json(200, self.server.snapshot_stats())
+                elif path == "/models":
+                    self._send_json(200, self.server.describe_models())
+                elif path == "/metrics":
+                    # The process-wide view: this server, its batcher, the
+                    # store backend — everything attached to the registry.
+                    body = metrics_body()
+                    self.send_response(200)
+                    self.send_header("Content-Type", _METRICS_CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                else:
+                    self._error(404, f"no such endpoint {path or '/'}")
         except _RequestError as exc:
             self._error(exc.status, str(exc))
         except Exception as exc:  # noqa: BLE001 - 500 is retryable, a dead socket is not
@@ -210,12 +243,13 @@ class _Handler(BaseHTTPRequestHandler):
         """Route ``/predict`` and ``/recommend``."""
         path = urllib.parse.urlsplit(self.path).path.rstrip("/")
         try:
-            if path == "/predict":
-                self._send_json(200, self.server.predict(self._body()))
-            elif path == "/recommend":
-                self._send_json(200, self.server.recommend(self._body()))
-            else:
-                self._error(404, f"no such endpoint {path or '/'}")
+            with TRACER.span("request", attrs={"method": "POST", "path": path}):
+                if path == "/predict":
+                    self._send_json(200, self.server.predict(self._body()))
+                elif path == "/recommend":
+                    self._send_json(200, self.server.recommend(self._body()))
+                else:
+                    self._error(404, f"no such endpoint {path or '/'}")
         except _RequestError as exc:
             self._error(exc.status, str(exc))
         except Exception as exc:  # noqa: BLE001
@@ -266,19 +300,35 @@ class ModelServer(ThreadingHTTPServer):
         self.store = store if isinstance(store, DatasetStore) else DatasetStore(store)
         self.verbose = verbose
         self.batcher = MicroBatcher()
-        self.stats = {"requests": 0, "predictions": 0, "recommendations": 0,
-                      "model_loads": 0, "integrity_failures": 0,
-                      "client_errors": 0, "errors": 0}
-        self._stats_lock = threading.Lock()
+        # Registry-backed request counters; the old ``stats`` dict is the
+        # property view below, so ``/stats`` semantics are unchanged.
+        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        self._counters = {
+            key: self.metrics.counter(f"repro_serving_{key}_total", help)
+            for key, help in (
+                ("requests", "Prediction-tier requests resolved"),
+                ("predictions", "Rows predicted"),
+                ("recommendations", "Recommendation (argmin) requests served"),
+                ("model_loads", "Model blobs fetched and decoded"),
+                ("integrity_failures", "Model blobs that failed checksums"),
+                ("client_errors", "Requests answered with a 4xx status"),
+                ("errors", "Requests answered with a 5xx status"),
+            )
+        }
         self._models: dict[tuple[str, str], ServedModel] = {}
         self._models_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         super().__init__(address, _Handler)
 
+    @property
+    def stats(self) -> dict[str, int]:
+        """Compatibility view of the request counters (atomic snapshot)."""
+        return {key: int(counter.value)
+                for key, counter in self._counters.items()}
+
     def count(self, op: str, n: int = 1) -> None:
         """Bump the *op* stats counter (thread-safe)."""
-        with self._stats_lock:
-            self.stats[op] += n
+        self._counters[op].inc(n)
 
     @property
     def url(self) -> str:
@@ -387,8 +437,7 @@ class ModelServer(ThreadingHTTPServer):
 
     def snapshot_stats(self) -> dict:
         """``GET /stats`` payload: server + batcher + store counters."""
-        with self._stats_lock:
-            stats = dict(self.stats)
+        stats = dict(self.stats)
         stats.update(self.batcher.stats)
         stats["store_integrity_failures"] = self.store.integrity_failures
         return stats
@@ -446,7 +495,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="listen port (default 8200; 0 = ephemeral)")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    configure_logging(fmt=args.log_format, level=args.log_level)
 
     try:
         server = ModelServer(args.store_url, (args.bind, args.port),

@@ -11,6 +11,13 @@ every degradation — a retry is never silent).
 The policy is deliberately dependency-free and deterministic under test:
 ``sleep`` and ``rng`` are injectable, so unit tests assert the exact
 delay sequence without waiting for it.
+
+Beyond the caller's ``on_retry`` hook, every scheduled retry also lands
+on the shared telemetry plane (:mod:`repro.obs`): the process-wide
+``repro_retry_attempts_total{error=...}`` counter increments and, when
+the call runs inside an active trace span, a ``retry`` event is stamped
+onto it — so backoff storms are visible on any ``/metrics`` endpoint
+and in ``--trace`` dumps without each call site re-instrumenting.
 """
 
 from __future__ import annotations
@@ -20,7 +27,17 @@ import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import TRACER
+
 __all__ = ["RetryPolicy", "DEFAULT_POLICY"]
+
+#: Process-wide count of scheduled retries, labeled by exception type
+#: (a small closed set: the transport errors ``retry_on`` admits).
+RETRY_ATTEMPTS = REGISTRY.counter(
+    "repro_retry_attempts_total",
+    "Retries scheduled by RetryPolicy.call, by exception type",
+    labelnames=("error",))
 
 
 @dataclass(frozen=True)
@@ -113,6 +130,9 @@ class RetryPolicy:
                 if (self.max_elapsed is not None
                         and clock() - start + delay > self.max_elapsed):
                     raise
+                RETRY_ATTEMPTS.labels(error=type(exc).__name__).inc()
+                TRACER.event("retry", attempt=attempt,
+                             error=type(exc).__name__, delay=round(delay, 4))
                 if on_retry is not None:
                     on_retry(attempt, exc, delay)
                 sleep(delay)
