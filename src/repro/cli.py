@@ -1,0 +1,156 @@
+"""Shared CLI surface: the flag groups every entry point speaks.
+
+Four console surfaces ship with the project — the experiment runner
+(``python -m repro.experiments``), the fleet worker
+(``python -m repro.distributed.worker``), the object server
+(``python -m repro.datasets.object_server``) and the model server
+(``repro-serve``) — and they must agree on how common concerns are
+spelled.  This module owns those flag groups as argparse *parent
+parsers* so each group is declared exactly once:
+
+* :func:`add_store_args` — ``--store-dir`` / ``--store-url`` (where
+  artifacts live);
+* :func:`add_auth_args` — ``--auth-key-file`` / ``--insecure`` (the
+  shared-secret credential every wire surface accepts);
+* :func:`add_logging_parent` — ``--log-format`` / ``--log-level``
+  (wrapping :func:`repro.obs.logging.add_logging_args`);
+* :func:`add_bind_args` — ``--bind`` / ``--port`` for the HTTP servers.
+
+Plus the policy helpers the flags feed:
+
+* :func:`load_auth_key` reads and validates a key file;
+* :func:`check_bind_safety` enforces the safe-by-default rule — binding
+  a non-loopback interface without a key is a hard startup error
+  unless ``--insecure`` explicitly opts out.
+
+``tests/test_cli_surfaces.py`` asserts, table-driven, that all four
+entry points keep exposing these groups — a new surface that forgets
+``--auth-key-file`` fails CI, not a production rollout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ipaddress
+from pathlib import Path
+
+from repro.obs.logging import add_logging_args
+
+__all__ = [
+    "add_auth_args",
+    "add_bind_args",
+    "add_logging_parent",
+    "add_store_args",
+    "check_bind_safety",
+    "is_loopback",
+    "load_auth_key",
+]
+
+
+def _parent() -> argparse.ArgumentParser:
+    return argparse.ArgumentParser(add_help=False)
+
+
+def add_store_args(dir_help: str | None = None,
+                   url_help: str | None = None) -> argparse.ArgumentParser:
+    """Parent parser for the ``--store-dir`` / ``--store-url`` group."""
+    parent = _parent()
+    group = parent.add_mutually_exclusive_group()
+    group.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help=dir_help or "store artifacts under this directory")
+    group.add_argument(
+        "--store-url", default=None, metavar="URL",
+        help=url_help or "store artifacts at this locator: file://DIR, "
+                         "memory:// or http://HOST:PORT/ (an object store)")
+    return parent
+
+
+def add_auth_args() -> argparse.ArgumentParser:
+    """Parent parser for the ``--auth-key-file`` / ``--insecure`` group."""
+    parent = _parent()
+    parent.add_argument(
+        "--auth-key-file", default=None, metavar="FILE",
+        help="file holding the fleet's shared secret; enables HMAC "
+             "authentication on every wire surface this process speaks")
+    parent.add_argument(
+        "--insecure", action="store_true",
+        help="explicitly allow serving a non-loopback bind address "
+             "without authentication (trusted networks only)")
+    return parent
+
+
+def add_logging_parent() -> argparse.ArgumentParser:
+    """Parent parser for the shared ``--log-format`` / ``--log-level`` group."""
+    parent = _parent()
+    add_logging_args(parent)
+    return parent
+
+
+def add_bind_args(default_port: int,
+                  default_bind: str = "127.0.0.1") -> argparse.ArgumentParser:
+    """Parent parser for an HTTP server's ``--bind`` / ``--port`` pair."""
+    parent = _parent()
+    parent.add_argument(
+        "--bind", default=default_bind, metavar="HOST",
+        help=f"listen address (default {default_bind}; a non-loopback "
+             "bind requires --auth-key-file or --insecure)")
+    parent.add_argument(
+        "--port", type=int, default=default_port, metavar="PORT",
+        help=f"listen port (default {default_port}; 0 = ephemeral)")
+    return parent
+
+
+def load_auth_key(path: str | None, *,
+                  parser: argparse.ArgumentParser | None = None) -> bytes | None:
+    """The shared-secret key bytes from ``--auth-key-file`` (``None`` = no auth).
+
+    The file's contents are stripped of surrounding whitespace (so a
+    trailing newline from ``echo`` or an editor does not silently
+    change the key) and must be non-empty.  With *parser* given,
+    problems surface as ``parser.error`` (exit 2) instead of a
+    traceback.
+    """
+    if path is None:
+        return None
+
+    def fail(message: str):
+        if parser is not None:
+            parser.error(message)
+        raise ValueError(message)
+
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        return fail(f"cannot read --auth-key-file {path!r}: {exc}")
+    key = raw.strip()
+    if not key:
+        return fail(f"--auth-key-file {path!r} is empty")
+    return key
+
+
+def is_loopback(host: str) -> bool:
+    """Whether *host* names only the local machine's loopback interface."""
+    if host in ("localhost", ""):
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        # A hostname (or a wildcard spelled oddly): not provably loopback.
+        return False
+
+
+def check_bind_safety(parser: argparse.ArgumentParser, host: str, *,
+                      auth: bytes | None, insecure: bool) -> None:
+    """Refuse to serve a reachable interface without authentication.
+
+    Loopback binds may stay keyless (the historical default); anything
+    else without a key is a startup error unless ``--insecure`` spells
+    out the operator's intent.
+    """
+    if auth is not None or insecure or is_loopback(host):
+        return
+    parser.error(
+        f"refusing to bind non-loopback address {host!r} without "
+        f"authentication: pass --auth-key-file FILE (recommended) or "
+        f"--insecure to serve an open endpoint on a trusted network")

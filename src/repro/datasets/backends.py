@@ -55,6 +55,7 @@ import urllib.parse
 import urllib.request
 from pathlib import Path, PurePosixPath
 
+from repro.obs.http import sign_request
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.utils.retry import RetryPolicy
 
@@ -374,7 +375,13 @@ _RETRYABLE = (OSError, http.client.HTTPException)
 
 
 def _giveup(exc: BaseException) -> bool:
-    """Client errors (4xx) are permanent; only 5xx HTTP errors retry."""
+    """Client errors (4xx) are permanent; only 5xx HTTP errors retry.
+
+    In particular 401/403 — a missing, wrong or rejected credential —
+    must never retry: re-sending the same signature cannot succeed, and
+    hammering an auth-rejecting server only floods its
+    ``repro_auth_failures_total`` counter.
+    """
     return isinstance(exc, urllib.error.HTTPError) and exc.code < 500
 
 
@@ -394,9 +401,13 @@ class ObjectStoreBackend(StoreBackend):
     Every request runs under *retry* (default
     :data:`OBJECT_STORE_RETRY`): HTTP 5xx, connection refused/reset,
     mid-body truncation and per-attempt timeouts back off and retry,
-    other 4xx fail immediately.  PUT requests carry an
-    ``X-Repro-SHA256`` header so the server can reject a body corrupted
-    in flight before storing it.
+    other 4xx fail immediately — 401/403 auth rejections are permanent
+    by construction.  PUT requests carry an ``X-Repro-SHA256`` header
+    so the server can reject a body corrupted in flight before storing
+    it.  With *auth* key bytes, every request is signed with an
+    ``Authorization: Repro-HMAC`` header covering the method, the
+    request target and the body digest (see
+    :func:`repro.obs.http.sign_request`).
 
     ``reads``/``writes`` count successful blob transfers (the
     hit-counter instrumentation the fleet tests use to prove workers
@@ -407,10 +418,12 @@ class ObjectStoreBackend(StoreBackend):
     scheme = "http"
 
     def __init__(self, base_url: str, *, timeout: float | None = None,
-                 retry: RetryPolicy | None = None) -> None:
+                 retry: RetryPolicy | None = None,
+                 auth: bytes | None = None) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ValueError(f"object store URL must be http(s), got {base_url!r}")
         self.base_url = base_url.rstrip("/")
+        self.auth = auth
         self.retry = retry or OBJECT_STORE_RETRY
         self.timeout = timeout if timeout is not None else (
             self.retry.attempt_timeout or 30.0)
@@ -453,6 +466,15 @@ class ObjectStoreBackend(StoreBackend):
             if data is not None:
                 request.add_header("Content-Type", "application/octet-stream")
                 request.add_header("X-Repro-SHA256", sha256_hex(data))
+            if self.auth is not None:
+                # Sign the exact request target (percent-encoded path +
+                # query) the request line will carry, so the server's
+                # verification canonicalizes to the same bytes.
+                parsed = urllib.parse.urlsplit(url)
+                target = (parsed.path or "/") + \
+                    (f"?{parsed.query}" if parsed.query else "")
+                request.add_header("Authorization", sign_request(
+                    self.auth, method, target, data or b""))
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return response.read()
 
@@ -506,7 +528,8 @@ class ObjectStoreBackend(StoreBackend):
             raise
 
 
-def _file_backend(url: str, retry: RetryPolicy | None = None) -> LocalBackend:
+def _file_backend(url: str, retry: RetryPolicy | None = None,
+                  auth: bytes | None = None) -> LocalBackend:
     parsed = urllib.parse.urlsplit(url)
     if parsed.netloc not in ("", "localhost"):
         raise ValueError(
@@ -517,13 +540,15 @@ def _file_backend(url: str, retry: RetryPolicy | None = None) -> LocalBackend:
     return LocalBackend(path)
 
 
-def _memory_backend(url: str, retry: RetryPolicy | None = None) -> MemoryBackend:
+def _memory_backend(url: str, retry: RetryPolicy | None = None,
+                    auth: bytes | None = None) -> MemoryBackend:
     name = url[len("memory://"):].strip("/")
     return MemoryBackend.named(name) if name else MemoryBackend()
 
 
-def _object_backend(url: str, retry: RetryPolicy | None = None) -> ObjectStoreBackend:
-    return ObjectStoreBackend(url, retry=retry)
+def _object_backend(url: str, retry: RetryPolicy | None = None,
+                    auth: bytes | None = None) -> ObjectStoreBackend:
+    return ObjectStoreBackend(url, retry=retry, auth=auth)
 
 
 _SCHEMES = {
@@ -539,14 +564,17 @@ def backend_schemes() -> tuple[str, ...]:
     return tuple(sorted(_SCHEMES))
 
 
-def resolve_backend(url: str, *, retry: RetryPolicy | None = None) -> StoreBackend:
+def resolve_backend(url: str, *, retry: RetryPolicy | None = None,
+                    auth: bytes | None = None) -> StoreBackend:
     """Instantiate the backend a ``--store-url`` locator names.
 
     ``file:///dir`` opens a :class:`LocalBackend`, ``memory://`` (or
     ``memory://name`` for a process-shared instance) a
     :class:`MemoryBackend`, ``http(s)://host:port/`` an
     :class:`ObjectStoreBackend`.  *retry* overrides the transport retry
-    policy on backends that have one (the object store client).
+    policy and *auth* supplies the request-signing key, on backends
+    that have one (the object store client; local/memory stores need
+    neither).
     """
     scheme, sep, _ = url.partition("://")
     if not sep:
@@ -559,4 +587,4 @@ def resolve_backend(url: str, *, retry: RetryPolicy | None = None) -> StoreBacke
         raise ValueError(
             f"unknown store URL scheme {scheme!r} in {url!r}; known schemes: "
             f"{', '.join(backend_schemes())}") from None
-    return factory(url, retry)
+    return factory(url, retry, auth)

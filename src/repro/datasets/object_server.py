@@ -1,9 +1,9 @@
 """Bundled S3-style HTTP object store for :class:`DatasetStore` artifacts.
 
-A deliberately minimal object server built on the stdlib
-:mod:`http.server`, so the ``http://`` store backend — and the fleet's
-bootstrap-from-object-store path — is testable end to end without any
-external service.  It serves the four-verb API
+A deliberately minimal object server built on the shared
+:class:`~repro.obs.http.ReproHTTPServer` base, so the ``http://`` store
+backend — and the fleet's bootstrap-from-object-store path — is testable
+end to end without any external service.  It serves the four-verb API
 :class:`~repro.datasets.backends.ObjectStoreBackend` speaks:
 
 * ``GET /<key>`` — blob bytes (404 when absent);
@@ -11,9 +11,9 @@ external service.  It serves the four-verb API
 * ``PUT /<key>`` — store the request body under the key (201);
 * ``DELETE /<key>`` — remove the key (204, 404 when absent);
 * ``GET /?prefix=<p>`` — JSON array of keys under the prefix;
-* ``GET /metrics`` — Prometheus text exposition of the server's request
-  counters (a reserved key: real blob keys are always prefixed
-  ``datasets/``/``caches/``/``models/``, so no artifact can shadow it).
+* ``GET /metrics`` / ``GET /healthz`` — the shared telemetry endpoints
+  (reserved paths: real blob keys are always prefixed
+  ``datasets/``/``caches/``/``models/``, so no artifact can shadow them).
 
 Storage is delegated to any :class:`~repro.datasets.backends.StoreBackend`
 (a :class:`LocalBackend` directory for persistence, a
@@ -35,158 +35,41 @@ Run it standalone::
     python -m repro.datasets.object_server --port 8123 --memory   # non-persistent
 
 and point coordinators/workers at it with ``--store-url
-http://127.0.0.1:8123/``.  Like the fleet protocol it authenticates
-nothing: trusted networks only (the default bind is loopback).
+http://127.0.0.1:8123/``.  On a non-loopback ``--bind`` a shared key is
+mandatory (``--auth-key-file``, or ``--insecure`` to opt out): every
+request except ``GET /healthz`` must then carry a valid
+``Authorization: Repro-HMAC`` header, and rejected requests increment
+``repro_auth_failures_total{server="object-store"}``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import socket
 import sys
-import threading
 import urllib.parse
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.cli import (
+    add_auth_args,
+    add_bind_args,
+    add_logging_parent,
+    check_bind_safety,
+    load_auth_key,
+)
 from repro.datasets.backends import (
     LocalBackend,
     MemoryBackend,
     StoreBackend,
     sha256_hex,
 )
-from repro.obs.http import CONTENT_TYPE as _METRICS_CONTENT_TYPE
-from repro.obs.http import metrics_body
-from repro.obs.logging import add_logging_args, configure_logging
-from repro.obs.metrics import REGISTRY, MetricsRegistry
-from repro.obs.tracing import TRACER
+from repro.obs.http import ReproHTTPServer, RequestError
+from repro.obs.logging import configure_logging
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ObjectStoreServer", "main"]
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """One request: translate an HTTP verb into a backend call."""
-
-    protocol_version = "HTTP/1.1"
-    server_version = "ReproObjectStore/1.0"
-
-    # The ThreadingHTTPServer instance carries the backend + stats.
-    server: ObjectStoreServer
-
-    def log_message(self, fmt, *args):
-        if self.server.verbose:
-            sys.stderr.write("object-server: " + fmt % args + "\n")
-
-    def _send(self, status: int, body: bytes = b"",
-              content_type: str = "application/octet-stream") -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        if body:
-            self.wfile.write(body)
-
-    def _key(self) -> tuple[str, dict]:
-        parsed = urllib.parse.urlsplit(self.path)
-        key = urllib.parse.unquote(parsed.path).lstrip("/")
-        query = urllib.parse.parse_qs(parsed.query)
-        return key, query
-
-    def do_GET(self) -> None:  # (BaseHTTPRequestHandler naming)
-        key, query = self._key()
-        try:
-            with TRACER.span("request", attrs={"method": "GET", "key": key}):
-                if not key:
-                    prefix = query.get("prefix", [""])[0]
-                    body = json.dumps(self.server.backend.list(prefix)).encode()
-                    self.server.count("lists")
-                    self._send(200, body, content_type="application/json")
-                    return
-                if key == "metrics":
-                    # Reserved telemetry endpoint (store keys are always
-                    # prefixed — datasets/, caches/, models/ — so no blob
-                    # can shadow it): the process-wide Prometheus view.
-                    self._send(200, metrics_body(),
-                               content_type=_METRICS_CONTENT_TYPE)
-                    return
-                data = self.server.backend.read(key)
-        except KeyError:
-            self._send(404, b"no such key")
-        except ValueError as exc:
-            self._send(400, str(exc).encode())
-        except Exception as exc:  # noqa: BLE001 - 500 is retryable, a dead socket is not
-            self._server_error("GET", key, exc)
-        else:
-            self.server.count("gets")
-            self._send(200, data)
-
-    def do_HEAD(self) -> None:
-        key, _ = self._key()
-        try:
-            exists = bool(key) and self.server.backend.exists(key)
-        except ValueError:
-            status = 400
-        except Exception:  # noqa: BLE001
-            status = 500
-            self.server.count("errors")
-        else:
-            status = 200 if exists else 404
-        if status == 200:
-            self.server.count("heads")
-        self.send_response(status)
-        self.send_header("Content-Length", "0")
-        self.end_headers()
-
-    def do_PUT(self) -> None:
-        key, _ = self._key()
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        with TRACER.span("request",
-                         attrs={"method": "PUT", "key": key, "bytes": length}):
-            self._put(key, length)
-
-    def _put(self, key: str, length: int) -> None:
-        data = self.rfile.read(length)
-        expected = self.headers.get("X-Repro-SHA256")
-        if expected is not None and sha256_hex(data) != expected.strip().lower():
-            # The body was corrupted (or truncated) in flight: refuse to
-            # store it so garbage never lands under a valid key.  422 is
-            # a client-class status — the client's retry resends the
-            # request from its intact in-memory bytes.
-            self.server.count("rejected_puts")
-            self._send(422, b"body does not match X-Repro-SHA256 digest")
-            return
-        try:
-            self.server.backend.write(key, data)
-        except ValueError as exc:
-            self._send(400, str(exc).encode())
-        except Exception as exc:  # noqa: BLE001
-            self._server_error("PUT", key, exc)
-        else:
-            self.server.count("puts")
-            self._send(201, b"stored")
-
-    def do_DELETE(self) -> None:
-        key, _ = self._key()
-        try:
-            self.server.backend.delete(key)
-        except KeyError:
-            self._send(404, b"no such key")
-        except ValueError as exc:
-            self._send(400, str(exc).encode())
-        except Exception as exc:  # noqa: BLE001
-            self._server_error("DELETE", key, exc)
-        else:
-            self.server.count("deletes")
-            self._send(204)
-
-    def _server_error(self, verb: str, key: str, exc: Exception) -> None:
-        """Unexpected backend failure: answer 500 (clients retry 5xx)."""
-        self.server.count("errors")
-        self.log_message("%s /%s failed: %s", verb, key, exc)
-        self._send(500, f"{type(exc).__name__}: {exc}".encode())
-
-
-class ObjectStoreServer(ThreadingHTTPServer):
+class ObjectStoreServer(ReproHTTPServer):
     """Threaded HTTP object store over a :class:`StoreBackend`.
 
     ``stats`` counts served operations (``gets``/``puts``/``lists``/
@@ -199,10 +82,12 @@ class ObjectStoreServer(ThreadingHTTPServer):
             store = DatasetStore(server.url)
     """
 
-    daemon_threads = True
+    name = "object-store"
 
     def __init__(self, backend: StoreBackend,
                  address: tuple[str, int] = ("127.0.0.1", 0), *,
+                 auth: bytes | None = None,
+                 registry: MetricsRegistry | None = None,
                  verbose: bool = False) -> None:
         self.backend = backend
         # Clients own the integrity layer end to end: they verify blobs
@@ -212,10 +97,8 @@ class ObjectStoreServer(ThreadingHTTPServer):
         # with a post-transport one and mask in-flight corruption.
         self.backend.verify_reads = False
         self.backend.record_checksums = False
-        self.verbose = verbose
-        # Registry-backed operation counters; ``stats`` stays available
-        # as the property view below.
-        self.metrics = MetricsRegistry(attach_to=REGISTRY)
+        super().__init__(address, auth=auth, registry=registry,
+                         verbose=verbose)
         self._counters = {
             op: self.metrics.counter(f"repro_object_store_{op}_total", help)
             for op, help in (
@@ -228,8 +111,6 @@ class ObjectStoreServer(ThreadingHTTPServer):
                 ("errors", "Requests answered with a 5xx status"),
             )
         }
-        self._thread: threading.Thread | None = None
-        super().__init__(address, _Handler)
 
     @property
     def stats(self) -> dict[str, int]:
@@ -240,50 +121,67 @@ class ObjectStoreServer(ThreadingHTTPServer):
     def count(self, op: str) -> None:
         self._counters[op].inc()
 
-    @property
-    def url(self) -> str:
-        """Base URL clients pass as ``--store-url``.
+    def count_error(self, status: int) -> None:
+        if status >= 500:
+            self.count("errors")
 
-        A wildcard bind address is not a destination: substitute this
-        machine's hostname so the advertised locator routes from other
-        hosts.
-        """
-        host, port = self.server_address[:2]
-        if host in ("0.0.0.0", "::"):
-            host = socket.gethostname()
-        return f"http://{host}:{port}/"
+    # ------------------------------------------------------------------ #
+    # Request routing (the base owns auth, /metrics, /healthz, spans)
+    # ------------------------------------------------------------------ #
+    def handle(self, request, method: str, path: str, query: dict,
+               body: bytes) -> None:
+        key = urllib.parse.unquote(path).lstrip("/")
+        try:
+            if method in ("GET", "HEAD") and not key:
+                prefix = query.get("prefix", [""])[0]
+                listing = json.dumps(self.backend.list(prefix)).encode()
+                self.count("lists")
+                request.send_body(200, listing, content_type="application/json")
+            elif method == "GET":
+                data = self.backend.read(key)
+                self.count("gets")
+                request.send_body(200, data)
+            elif method == "HEAD":
+                if not self.backend.exists(key):
+                    raise KeyError(key)
+                self.count("heads")
+                request.send_body(200)
+            elif method == "PUT":
+                self._put(request, key, body)
+            elif method == "DELETE":
+                self.backend.delete(key)
+                self.count("deletes")
+                request.send_body(204)
+            else:
+                raise RequestError(405, f"unsupported method {method}")
+        except KeyError:
+            # The 404 probe is routine (exists() before a write) — it is
+            # neither an error counter nor a served operation.
+            raise RequestError(404, "no such key") from None
+        except ValueError as exc:
+            raise RequestError(400, str(exc)) from None
 
-    def start(self) -> ObjectStoreServer:
-        """Serve requests on a daemon thread (the in-process test mode)."""
-        self._thread = threading.Thread(
-            target=self.serve_forever, name="object-store", daemon=True)
-        self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        self.shutdown()
-        self.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-
-    def __enter__(self) -> ObjectStoreServer:
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
+    def _put(self, request, key: str, data: bytes) -> None:
+        expected = request.headers.get("X-Repro-SHA256")
+        if expected is not None and sha256_hex(data) != expected.strip().lower():
+            # The body was corrupted (or truncated) in flight: refuse to
+            # store it so garbage never lands under a valid key.  422 is
+            # a client-class status — the client's retry resends the
+            # request from its intact in-memory bytes.
+            self.count("rejected_puts")
+            raise RequestError(422, "body does not match X-Repro-SHA256 digest")
+        self.backend.write(key, data)
+        self.count("puts")
+        request.send_body(201, b"stored", content_type="text/plain")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.datasets.object_server",
         description="Minimal S3-style object store for DatasetStore artifacts",
+        parents=[add_bind_args(default_port=8123), add_auth_args(),
+                 add_logging_parent()],
     )
-    parser.add_argument("--bind", default="127.0.0.1", metavar="HOST",
-                        help="listen address (default loopback; the server is "
-                             "unauthenticated — trusted networks only)")
-    parser.add_argument("--port", type=int, default=8123, metavar="PORT",
-                        help="listen port (default 8123; 0 = ephemeral)")
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--root", default=None, metavar="DIR",
                        help="persist blobs under this directory")
@@ -291,19 +189,22 @@ def main(argv: list[str] | None = None) -> int:
                        help="keep blobs in memory only (CI smoke stores)")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
-    add_logging_args(parser)
     args = parser.parse_args(argv)
     configure_logging(fmt=args.log_format, level=args.log_level)
+    auth = load_auth_key(args.auth_key_file, parser=parser)
+    check_bind_safety(parser, args.bind, auth=auth, insecure=args.insecure)
 
     backend: StoreBackend
     if args.root is not None:
         backend = LocalBackend(args.root)
     else:
         backend = MemoryBackend()
-    server = ObjectStoreServer(backend, (args.bind, args.port), verbose=args.verbose)
+    server = ObjectStoreServer(backend, (args.bind, args.port), auth=auth,
+                               verbose=args.verbose)
     kind = f"directory {args.root}" if args.root is not None else "memory"
+    mode = "authenticated" if auth is not None else "unauthenticated"
     print(f"object store serving {kind} at {server.url} "
-          f"(--store-url {server.url})", flush=True)
+          f"({mode}; --store-url {server.url})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

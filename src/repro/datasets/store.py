@@ -160,6 +160,10 @@ class DatasetStore:
         Where the store lives: a directory path (the historical local
         layout), a ``file://`` / ``memory://`` / ``http(s)://`` store
         URL, or an explicit :class:`StoreBackend` instance.
+    auth:
+        Shared-secret key bytes for backends that sign their requests
+        (an ``http(s)://`` object store); ignored for local/memory
+        roots and explicit backend instances.
 
     Attributes
     ----------
@@ -170,11 +174,12 @@ class DatasetStore:
         missed a persisted cache.
     """
 
-    def __init__(self, root: str | Path | StoreBackend) -> None:
+    def __init__(self, root: str | Path | StoreBackend, *,
+                 auth: bytes | None = None) -> None:
         if isinstance(root, StoreBackend):
             self.backend = root
         elif isinstance(root, str) and "://" in root:
-            self.backend = resolve_backend(root)
+            self.backend = resolve_backend(root, auth=auth)
         else:
             self.backend = LocalBackend(root)
         # Hit/miss/integrity counters live on the shared telemetry plane

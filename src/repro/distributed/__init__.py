@@ -5,9 +5,10 @@ one machine; this package serializes the same pure, picklable
 :class:`~repro.core.evaluation.EvalCell` protocol over TCP to a fleet of
 workers on any number of hosts:
 
-* :mod:`repro.distributed.protocol` — the versioned, length-prefixed
-  pickle wire protocol (HELLO handshake, plan manifests, cell batches,
-  results, heartbeats, store-bootstrap blobs);
+* :mod:`repro.distributed.protocol` — the versioned, length-prefixed,
+  schema'd wire protocol (HELLO handshake with optional keyed
+  challenge–response, HMAC-signed frames, plan manifests, cell batches,
+  results, heartbeats, store-bootstrap blobs — no pickle anywhere);
 * :mod:`repro.distributed.coordinator` — the :class:`Coordinator` that
   expands a plan into cells, leases them to workers with bounded-retry
   requeue on worker death, serves dataset/cache blobs to cold stores and

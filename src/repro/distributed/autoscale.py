@@ -72,15 +72,18 @@ class LocalAutoscaler:
         Seconds between scaling decisions.
     idle_ticks:
         Consecutive under-target observations before retiring anyone.
-    store_dir / store_url / cell_delay:
-        Forwarded to :meth:`Coordinator.spawn_local_workers`.
+    store_dir / store_url / cell_delay / auth_key_file:
+        Forwarded to :meth:`Coordinator.spawn_local_workers` —
+        *auth_key_file* is how elastically-spawned workers inherit a
+        keyed fleet's shared secret.
     """
 
     def __init__(self, coordinator: Coordinator, *, min_workers: int = 0,
                  max_workers: int = 4, cells_per_worker: int = 4,
                  interval: float = 0.5, idle_ticks: int = 4,
                  store_dir=None, store_url=None,
-                 cell_delay: float | None = None) -> None:
+                 cell_delay: float | None = None,
+                 auth_key_file=None) -> None:
         # Validate the bounds eagerly (desired_workers re-checks per call).
         desired_workers({"outstanding": 0}, min_workers=min_workers,
                         max_workers=max_workers,
@@ -96,6 +99,7 @@ class LocalAutoscaler:
         self.store_dir = store_dir
         self.store_url = store_url
         self.cell_delay = cell_delay
+        self.auth_key_file = auth_key_file
         # Registry-backed counters: the ticker thread increments while
         # any other thread reads .stats, so the updates must be atomic
         # (they mutate under the registry lock — the unlocked dict this
@@ -165,7 +169,7 @@ class LocalAutoscaler:
             n = want - effective
             self.coordinator.spawn_local_workers(
                 n, store_dir=self.store_dir, store_url=self.store_url,
-                cell_delay=self.cell_delay)
+                cell_delay=self.cell_delay, auth_key_file=self.auth_key_file)
             self._counters["spawned"].inc(n)
             logger.info("autoscaler: spawned %d worker(s) -> %d "
                         "(outstanding=%d)", n, want, load["outstanding"])

@@ -53,6 +53,7 @@ that have no advertised store or cannot reach it.
 from __future__ import annotations
 
 import hashlib
+import hmac
 import io
 import os
 import socket
@@ -171,8 +172,10 @@ class Coordinator:
     bind:
         ``(host, port)`` listen address; the default binds an ephemeral
         loopback port (see :attr:`address`).  Bind a routable interface to
-        accept workers from other hosts — the protocol is pickle-based and
-        unauthenticated, so only on a trusted network.
+        accept workers from other hosts — pass *auth_key* too, so the
+        fleet is HMAC-authenticated instead of open to anyone who can
+        reach the port (the ``--bind`` CLI refuses a non-loopback bind
+        without ``--auth-key-file`` unless ``--insecure``).
     heartbeat_timeout:
         Seconds of silence after which a worker is presumed dead and its
         leased cells are requeued.  Workers heartbeat every
@@ -197,6 +200,14 @@ class Coordinator:
         durations)`` is duplicated to the queue (once per lease) so a
         healthy worker races the straggler; dedupe-by-key keeps the
         duplicate harmless and the cell's retry budget is not charged.
+    auth_key:
+        The fleet's shared secret (bytes) or ``None`` for an open fleet.
+        With a key, a HELLO must carry a valid challenge proof (wrong or
+        missing keys are :class:`~repro.distributed.protocol.Reject`\\ ed
+        and counted in ``repro_auth_failures_total``), the WELCOME
+        proves the coordinator's key back to the worker, and every
+        post-handshake frame is HMAC-signed with a per-connection
+        session key and sequence number (tamper + replay protection).
     """
 
     def __init__(self, bind: tuple[str, int] = ("127.0.0.1", 0), *,
@@ -204,7 +215,8 @@ class Coordinator:
                  max_retries: int = 3, speculation: bool = True,
                  speculation_factor: float = 3.0,
                  speculation_percentile: float = 0.75,
-                 speculation_min_delay: float = 2.0) -> None:
+                 speculation_min_delay: float = 2.0,
+                 auth_key: bytes | None = None) -> None:
         if heartbeat_timeout <= 0:
             raise ValueError(
                 f"heartbeat_timeout must be > 0, got {heartbeat_timeout}")
@@ -228,6 +240,10 @@ class Coordinator:
         self.speculation_factor = speculation_factor
         self.speculation_percentile = speculation_percentile
         self.speculation_min_delay = speculation_min_delay
+        #: The fleet's shared secret: with a key, HELLO handshakes must
+        #: carry a valid challenge proof and every post-handshake frame
+        #: is HMAC-signed under a per-connection session key.
+        self.auth_key = auth_key
         #: An autoscaler may still spawn workers: suppress the
         #: all-local-workers-exited fail-fast while True.
         self.elastic = False
@@ -252,7 +268,7 @@ class Coordinator:
                 "Workers presumed dead (connection loss or silent heartbeat)"),
             "rejected_handshakes": (
                 "repro_fleet_rejected_handshakes_total",
-                "HELLO handshakes refused for a version mismatch"),
+                "HELLO handshakes refused for a version or auth mismatch"),
             "datasets_served": (
                 "repro_fleet_datasets_served_total",
                 "Dataset blobs relayed over the coordinator socket"),
@@ -268,6 +284,12 @@ class Coordinator:
         }
         self._counters = {key: self.metrics.counter(name, help)
                           for key, (name, help) in _counter_specs.items()}
+        # The cross-server auth-failure convention: one labeled counter
+        # name everywhere, so one alert rule covers the whole stack.
+        self._auth_failures = self.metrics.counter(
+            "repro_auth_failures_total",
+            "Requests rejected for a missing or invalid credential",
+            labelnames=("server",)).labels(server="coordinator")
         self._workers_gauge = self.metrics.gauge(
             "repro_fleet_workers", "Live worker connections")
         #: Latest per-worker counter snapshot, from Heartbeat/Results
@@ -305,6 +327,11 @@ class Coordinator:
         return {key: int(counter.value)
                 for key, counter in self._counters.items()}
 
+    @property
+    def auth_failures(self) -> int:
+        """Frames/handshakes rejected for a missing or invalid credential."""
+        return int(self._auth_failures.value)
+
     def fleet_snapshot(self) -> MetricsSnapshot:
         """The fleet-wide metrics view the status port's ``/metrics`` serves.
 
@@ -337,17 +364,19 @@ class Coordinator:
                 "protocol_version": PROTOCOL_VERSION,
                 **self.load()}
 
-    def serve_status(self, address: tuple[str, int] = ("127.0.0.1", 0)):
+    def serve_status(self, address: tuple[str, int] = ("127.0.0.1", 0), *,
+                     auth: bytes | None = None):
         """Start the read-only ``/metrics`` + ``/healthz`` status sidecar.
 
         Returns the started :class:`~repro.obs.http.StatusServer` (the
         caller owns its lifetime); the CLI mounts it via
-        ``--status-port``.
+        ``--status-port``.  With *auth* key bytes, scrapes must sign
+        requests (``/healthz`` stays open).
         """
         from repro.obs.http import StatusServer
 
         return StatusServer(metrics=self.fleet_snapshot, health=self.health,
-                            address=address).start()
+                            address=address, auth=auth).start()
 
     def __enter__(self) -> Coordinator:
         return self
@@ -356,7 +385,8 @@ class Coordinator:
         self.close()
 
     def spawn_local_workers(self, n: int, *, store_dir=None, store_url=None,
-                            cell_delay: float | None = None) -> list[subprocess.Popen]:
+                            cell_delay: float | None = None,
+                            auth_key_file=None) -> list[subprocess.Popen]:
         """Spawn *n* localhost worker processes connected to this coordinator.
 
         The single-command convenience mode: ``--executor remote --jobs N``
@@ -364,7 +394,10 @@ class Coordinator:
         plus a ``PYTHONPATH`` entry for this package, so they import the
         same code whether it is installed or run from a source tree.
         *store_dir* (a directory) or *store_url* (a ``file://`` /
-        ``http://`` store locator) configures their persistent store.
+        ``http://`` store locator) configures their persistent store;
+        *auth_key_file* hands them the fleet's shared secret (required
+        to handshake with a keyed coordinator — the key itself never
+        appears on a command line, only its path).
         """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
@@ -383,6 +416,8 @@ class Coordinator:
             cmd += ["--store-url", str(store_url)]
         if cell_delay is not None:
             cmd += ["--cell-delay", str(cell_delay)]
+        if auth_key_file is not None:
+            cmd += ["--auth-key-file", str(auth_key_file)]
         procs = [subprocess.Popen(cmd, env=env) for _ in range(n)]
         with self._lock:
             self._procs.extend(procs)
@@ -663,12 +698,14 @@ class Coordinator:
 
     def _serve_connection(self, conn, addr) -> None:
         info: _WorkerInfo | None = None
+        auth = (protocol.FrameAuth(self.auth_key, role="coordinator")
+                if self.auth_key is not None else None)
         try:
             while True:
-                message = protocol.recv_message(conn)
+                message = protocol.recv_message(conn, auth)
                 now = time.monotonic()
                 if isinstance(message, Hello):
-                    info = self._handshake(conn, addr, message, now)
+                    info = self._handshake(conn, addr, message, now, auth)
                     if info is None:
                         return
                     continue
@@ -683,7 +720,14 @@ class Coordinator:
                         with self._lock:
                             self._worker_metrics[info.worker_id] = message.metrics
                     continue
-                protocol.send_message(conn, self._reply(info, message))
+                protocol.send_message(conn, self._reply(info, message),
+                                      None, auth)
+        except protocol.AuthError:
+            # A frame that failed tag verification: tampered, replayed,
+            # or signed under a different key.  Count it — silent auth
+            # rejections cost operators hours — and sever; nothing after
+            # an unauthentic frame can be trusted.
+            self._auth_failures.inc()
         except (ConnectionClosed, ConnectionError, OSError, protocol.ProtocolError):
             # A corrupted frame (CRC mismatch) severs the connection; the
             # worker's reconnect loop re-handshakes on a clean stream.
@@ -705,8 +749,10 @@ class Coordinator:
                 self._threads = [t for t in self._threads
                                  if t is not threading.current_thread()]
 
-    def _handshake(self, conn, addr, hello: Hello, now: float) -> _WorkerInfo | None:
+    def _handshake(self, conn, addr, hello: Hello, now: float,
+                   auth=None) -> _WorkerInfo | None:
         reason = None
+        auth_failed = False
         if hello.protocol_version != PROTOCOL_VERSION:
             reason = (f"protocol version mismatch: worker speaks "
                       f"{hello.protocol_version}, coordinator {PROTOCOL_VERSION}")
@@ -721,8 +767,30 @@ class Coordinator:
             reason = (f"simulator version mismatch: worker has "
                       f"{hello.simulator_versions!r}, coordinator "
                       f"{_simulator_versions()!r} — fingerprints would not agree")
+        elif self.auth_key is not None:
+            # Keyed coordinator: the HELLO must prove knowledge of the
+            # shared key over the worker's own challenge nonce.  The
+            # Reject travels unsigned (no session exists yet), which is
+            # safe: it grants nothing, and the worker needs the reason.
+            if not hello.auth_proof:
+                auth_failed = True
+                reason = ("authentication required: this coordinator is "
+                          "keyed; start the worker with the same "
+                          "--auth-key-file")
+            elif not hmac.compare_digest(hello.auth_proof, protocol.hello_proof(
+                    self.auth_key, hello.auth_nonce, hello.worker_id)):
+                auth_failed = True
+                reason = ("authentication failed: worker credential does "
+                          "not match this coordinator's key")
+        elif hello.auth_proof:
+            # The worker expects an authenticated fleet; handing it an
+            # unauthenticated session would silently downgrade it.
+            reason = ("worker presented credentials but this coordinator "
+                      "is unauthenticated; start it with --auth-key-file")
         if reason is not None:
             self._counters["rejected_handshakes"].inc()
+            if auth_failed:
+                self._auth_failures.inc()
             protocol.send_message(conn, Reject(reason))
             return None
         info = _WorkerInfo(conn, addr, hello.worker_id, hello.pid, now)
@@ -736,7 +804,18 @@ class Coordinator:
                 self._sever(old)
             self._workers[hello.worker_id] = info
             self._cond.notify_all()
-        protocol.send_message(conn, Welcome(self.coordinator_id))
+        if self.auth_key is not None:
+            # Answer the worker's challenge and issue our own; both
+            # nonces then derive the per-connection session key.  The
+            # Welcome itself is the last unsigned frame either side sends.
+            coordinator_nonce = protocol.auth_nonce()
+            protocol.send_message(conn, Welcome(
+                self.coordinator_id, auth_nonce=coordinator_nonce,
+                auth_proof=protocol.welcome_proof(
+                    self.auth_key, hello.auth_nonce, coordinator_nonce)))
+            auth.activate_session(hello.auth_nonce, coordinator_nonce)
+        else:
+            protocol.send_message(conn, Welcome(self.coordinator_id))
         return info
 
     def _reply(self, info: _WorkerInfo, message):

@@ -1,17 +1,39 @@
 """Versioned wire protocol of the distributed worker fleet.
 
-Framing
--------
-Every message is one *frame*: a 12-byte big-endian header — payload
-length plus the CRC32 of the payload — followed by that many bytes of
-pickle payload.  The receiver recomputes the CRC before unpickling, so a
-frame corrupted on the wire raises :class:`ProtocolError` instead of
-feeding garbage to :mod:`pickle` (the CRC is an integrity check against
-accidental corruption, not an authentication mechanism — see the trust
-model below).  Frames are written atomically under a caller-supplied lock
-(the worker's heartbeat thread shares its socket with the request loop),
-and :func:`recv_message` reads exactly one frame, so the stream never
-needs resynchronization.
+Framing (v5)
+------------
+Every message is one *frame*: a 13-byte big-endian header — payload
+length, the CRC32 of the payload, and a flags byte — followed by that
+many bytes of **schema-encoded** payload
+(:mod:`repro.distributed.codec`: a closed value model plus a whitelist
+of plain-data dataclasses; pickle never touches the wire), and, on
+authenticated connections, a 32-byte HMAC-SHA256 tag.  The receiver
+verifies the tag first (it covers a per-direction monotonic sequence
+number, the header and the payload — a tampered or replayed frame fails
+here), then the CRC (accidental corruption on unauthenticated
+connections), then decodes; any violation raises
+:class:`ProtocolError` and severs the connection.  Frames are written
+atomically under a caller-supplied lock (the worker's heartbeat thread
+shares its socket with the request loop), and :func:`recv_message`
+reads exactly one frame, so the stream never needs resynchronization.
+
+Authentication
+--------------
+With a shared key (``--auth-key-file``) the HELLO handshake runs a
+mutual challenge–response: :class:`Hello` carries a fresh worker nonce
+plus ``HMAC(key, nonce + worker_id)``, and :class:`Welcome` answers
+with a fresh coordinator nonce plus ``HMAC(key, both nonces)`` — each
+side proves key knowledge against a nonce the *other* side just chose,
+so neither proof can be replayed.  Both sides then derive a
+per-connection session key from the nonce pair
+(:meth:`FrameAuth.activate_session`) and every subsequent frame carries
+an HMAC-SHA256 tag over ``direction || sequence-number || header ||
+payload`` under that session key: tampering trips the tag before the
+CRC, replaying a captured frame fails on the sequence number, and
+replaying a whole captured session fails on the fresh nonces.  A frame
+that should be signed but is not (or vice versa) is refused
+(:class:`AuthError`).  Without a key the frames are unsigned and the
+codec still guarantees no crafted frame can execute code.
 
 Message flow
 ------------
@@ -24,8 +46,8 @@ direction and get no reply).
    version, worker identity) answered by :class:`Welcome` or, on any
    version mismatch, :class:`Reject` followed by a close;
 2. plan manifest — :class:`GetPlan` answered by :class:`PlanAssignment`
-   (the full :class:`~repro.experiments.plan.ExperimentPlan`, which is a
-   frozen dataclass of primitives and pickles unchanged), :class:`NoPlan`
+   (the full :class:`~repro.experiments.plan.ExperimentPlan`, a frozen
+   dataclass of primitives with an explicit codec schema), :class:`NoPlan`
    (poll again later) or :class:`Goodbye` (fleet shutting down);
 3. store bootstrap — the :class:`PlanAssignment` manifest advertises the
    coordinator store's *locator* URL (``store_url``) when the store is
@@ -45,26 +67,34 @@ direction and get no reply).
 
 Trust model
 -----------
-Payloads are **pickle**: the protocol authenticates nothing and must only
-run on trusted networks (the coordinator binds loopback by default).
-This mirrors the trust model of ``multiprocessing``'s own socket
-transport that the single-host ``process`` executor already relies on.
+Unknown or malformed frames fail closed: the codec only instantiates
+whitelisted plain-data dataclasses, so a malicious peer cannot execute
+code, and with a shared key it cannot speak at all.  Keyless operation
+remains appropriate for loopback and trusted single-host runs (the
+coordinator binds loopback by default); the CLIs refuse a non-loopback
+bind without a key unless ``--insecure`` is passed.
 """
 
 from __future__ import annotations
 
-import pickle
+import hmac
+import os
 import socket
 import struct
 import threading
 import zlib
 from dataclasses import dataclass, field
+from hashlib import sha256
+
+from repro.distributed.codec import CodecError, decode_value, encode_value
 
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "ConnectionClosed",
     "ProtocolError",
+    "AuthError",
+    "FrameAuth",
     "send_message",
     "recv_message",
     "parse_address",
@@ -97,14 +127,23 @@ __all__ = [
 #: (worker-side counter snapshots the coordinator merges into its
 #: fleet-wide view), ``Batch.trace`` (the parent span context) and
 #: ``Results.spans`` (the worker's finished batch/cell spans).
-PROTOCOL_VERSION = 4
+#: Version 5 replaced pickle payloads with the schema'd codec
+#: (:mod:`repro.distributed.codec`), added the flags byte to the frame
+#: header, and layered the shared-key HMAC handshake + per-frame tags
+#: (``Hello.auth_nonce``/``auth_proof``, ``Welcome`` likewise).
+PROTOCOL_VERSION = 5
 
 #: Upper bound on a single frame (a defensive cap, far above any real
 #: dataset blob; a corrupt or foreign length prefix fails fast instead of
 #: attempting a multi-gigabyte read).
 MAX_FRAME_BYTES = 1 << 31
 
-_HEADER = struct.Struct(">QI")  # payload length, CRC32 of payload
+_HEADER = struct.Struct(">QIB")  # payload length, CRC32 of payload, flags
+
+#: Flags-byte bit: a 32-byte HMAC-SHA256 tag follows the payload.
+FLAG_SIGNED = 0x01
+#: Size of the per-frame HMAC-SHA256 tag.
+TAG_BYTES = 32
 
 
 class ConnectionClosed(ConnectionError):
@@ -113,6 +152,107 @@ class ConnectionClosed(ConnectionError):
 
 class ProtocolError(RuntimeError):
     """The peer violated the framing or message protocol."""
+
+
+class AuthError(ProtocolError):
+    """A frame failed authentication: bad tag, replay, or missing tag."""
+
+
+def _hmac_hex(key: bytes, *parts: bytes) -> str:
+    return hmac.new(key, b"|".join(parts), sha256).hexdigest()
+
+
+def hello_proof(key: bytes, nonce: str, worker_id: str) -> str:
+    """The worker's HELLO challenge proof: key knowledge bound to its nonce."""
+    return _hmac_hex(key, b"repro-hello", nonce.encode(), worker_id.encode())
+
+
+def welcome_proof(key: bytes, worker_nonce: str, coordinator_nonce: str) -> str:
+    """The coordinator's WELCOME proof: key knowledge bound to *both* nonces.
+
+    The worker nonce is fresh per connection, so a recorded WELCOME
+    cannot be replayed to a new worker — mutual authentication, not just
+    client authentication.
+    """
+    return _hmac_hex(key, b"repro-welcome", worker_nonce.encode(),
+                     coordinator_nonce.encode())
+
+
+def auth_nonce() -> str:
+    """A fresh random handshake nonce (hex)."""
+    return os.urandom(16).hex()
+
+
+class FrameAuth:
+    """Per-connection HMAC state: session key and per-direction sequence numbers.
+
+    Created once per connection with the shared key and this side's
+    *role* (``"worker"`` or ``"coordinator"`` — the role picks the
+    direction labels folded into every tag, so a frame reflected back to
+    its sender never verifies).  Handshake frames (HELLO/WELCOME/REJECT)
+    travel unsigned — their authenticity comes from the challenge
+    proofs *inside* them; once both nonces are known,
+    :meth:`activate_session` derives the per-connection session key and
+    every later frame is signed with it.
+
+    Sequence numbers are monotonic per direction, start at zero on
+    session activation and are folded into each tag: the receiver
+    computes the tag with the sequence number it *expects*, so a
+    replayed (or dropped-then-reordered) frame fails verification —
+    there is no window in which an old frame is acceptable.
+
+    Thread safety: :meth:`sign` must be called under the same lock that
+    serializes ``sendall`` on the socket (wire order must match
+    sequence order); :meth:`verify` assumes a single reader per socket.
+    """
+
+    def __init__(self, key: bytes, role: str) -> None:
+        if role not in ("worker", "coordinator"):
+            raise ValueError(f"role must be worker|coordinator, got {role!r}")
+        if not key:
+            raise ValueError("auth key must be non-empty")
+        self.key = bytes(key)
+        self.role = role
+        self._send_label = b"w>c" if role == "worker" else b"c>w"
+        self._recv_label = b"c>w" if role == "worker" else b"w>c"
+        self._session_key: bytes | None = None
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    @property
+    def session_active(self) -> bool:
+        """Whether the handshake completed and frames must be signed."""
+        return self._session_key is not None
+
+    def activate_session(self, worker_nonce: str, coordinator_nonce: str) -> None:
+        """Derive the per-connection session key; resets both sequences."""
+        self._session_key = hmac.new(
+            self.key, b"|".join((b"repro-session", worker_nonce.encode(),
+                                 coordinator_nonce.encode())),
+            sha256).digest()
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    def _tag(self, label: bytes, seq: int, header: bytes, payload: bytes) -> bytes:
+        return hmac.new(
+            self._session_key,
+            label + seq.to_bytes(8, "big") + header + payload,
+            sha256).digest()
+
+    def sign(self, header: bytes, payload: bytes) -> bytes:
+        """The tag for the next outbound frame (consumes a sequence number)."""
+        tag = self._tag(self._send_label, self._send_seq, header, payload)
+        self._send_seq += 1
+        return tag
+
+    def verify(self, header: bytes, payload: bytes, tag: bytes) -> None:
+        """Check an inbound frame's tag; :class:`AuthError` on any mismatch."""
+        expected = self._tag(self._recv_label, self._recv_seq, header, payload)
+        if not hmac.compare_digest(expected, tag):
+            raise AuthError(
+                f"frame authentication failed (sequence {self._recv_seq}): "
+                "tampered, replayed, or signed with a different key")
+        self._recv_seq += 1
 
 
 def _recv_exactly(sock: socket.socket, n: int) -> bytes:
@@ -127,39 +267,72 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_message(sock: socket.socket, message, lock: threading.Lock | None = None) -> None:
-    """Pickle *message* and write it as one length-prefixed frame.
+def send_message(sock: socket.socket, message,
+                 lock: threading.Lock | None = None,
+                 auth: FrameAuth | None = None) -> None:
+    """Schema-encode *message* and write it as one length-prefixed frame.
 
-    With *lock* the header+payload write is atomic with respect to other
-    senders on the same socket (the worker's heartbeat thread).
+    With *lock* the write — and the signing sequence number, when *auth*
+    has an active session — is atomic with respect to other senders on
+    the same socket (the worker's heartbeat thread).  Handshake frames
+    (before :meth:`FrameAuth.activate_session`) travel unsigned.
     """
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+    try:
+        payload = encode_value(message)
+    except CodecError as exc:
+        raise ProtocolError(f"message is outside the wire schema: {exc}") from exc
+    signed = auth is not None and auth.session_active
+    flags = FLAG_SIGNED if signed else 0
+    header = _HEADER.pack(len(payload), zlib.crc32(payload), flags)
     if lock is not None:
         with lock:
+            frame = (header + payload + auth.sign(header, payload)
+                     if signed else header + payload)
             sock.sendall(frame)
     else:
+        frame = (header + payload + auth.sign(header, payload)
+                 if signed else header + payload)
         sock.sendall(frame)
 
 
-def recv_message(sock: socket.socket):
-    """Read exactly one frame and unpickle it.
+def recv_message(sock: socket.socket, auth: FrameAuth | None = None):
+    """Read exactly one frame, authenticate it, and decode it.
 
-    Raises :class:`ConnectionClosed` on EOF and :class:`ProtocolError` on
-    an implausible length prefix, a CRC mismatch, or an unpicklable
-    payload — i.e. any frame that was corrupted in flight.
+    Checks run strictest-first: the HMAC tag (when the connection is
+    authenticated), then the CRC, then the codec.  Raises
+    :class:`ConnectionClosed` on EOF, :class:`AuthError` on a missing or
+    failed tag, and :class:`ProtocolError` on an implausible length
+    prefix, an unknown flag, a CRC mismatch, or an undecodable payload —
+    i.e. any frame that was corrupted or forged in flight.
     """
-    length, crc = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    header = _recv_exactly(sock, _HEADER.size)
+    length, crc, flags = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    if flags & ~FLAG_SIGNED:
+        raise ProtocolError(f"unknown frame flags {flags:#04x}")
     payload = _recv_exactly(sock, length)
+    session = auth is not None and auth.session_active
+    if flags & FLAG_SIGNED:
+        tag = _recv_exactly(sock, TAG_BYTES)
+        if not session:
+            raise AuthError(
+                "peer sent a signed frame on an unauthenticated connection")
+        # The tag covers the sequence number, header and payload, so it
+        # is checked before the CRC: on an authenticated connection a
+        # corrupted frame must be reported as an authentication failure,
+        # never rationalized as accidental line noise.
+        auth.verify(header, payload, tag)
+    elif session:
+        raise AuthError(
+            "peer sent an unsigned frame on an authenticated connection")
     actual = zlib.crc32(payload)
     if actual != crc:
         raise ProtocolError(
             f"frame CRC mismatch: header says {crc:#010x}, payload is {actual:#010x}")
     try:
-        return pickle.loads(payload)
-    except Exception as exc:
+        return decode_value(payload)
+    except CodecError as exc:
         raise ProtocolError(f"undecodable frame payload: {exc}") from exc
 
 
@@ -186,6 +359,10 @@ class Hello:
     would let bootstrap blobs land under keys the other side never looks
     up — or worse, let one side's store serve the other side's stale
     simulator output.
+
+    ``auth_nonce``/``auth_proof`` (v5) carry the worker's half of the
+    keyed challenge–response: a fresh random nonce and
+    :func:`hello_proof` over it.  Both empty on unauthenticated fleets.
     """
 
     protocol_version: int
@@ -193,18 +370,29 @@ class Hello:
     worker_id: str
     pid: int
     simulator_versions: str = ""
+    auth_nonce: str = ""
+    auth_proof: str = ""
 
 
 @dataclass(frozen=True)
 class Welcome:
-    """Coordinator → worker: handshake accepted."""
+    """Coordinator → worker: handshake accepted.
+
+    ``auth_nonce``/``auth_proof`` (v5) are the coordinator's half of the
+    challenge–response: its own fresh nonce and :func:`welcome_proof`
+    over both nonces — the worker verifies it before trusting the
+    coordinator, then both sides derive the session key from the nonce
+    pair and start signing frames.
+    """
 
     coordinator_id: str
+    auth_nonce: str = ""
+    auth_proof: str = ""
 
 
 @dataclass(frozen=True)
 class Reject:
-    """Coordinator → worker: handshake refused (version mismatch); closes."""
+    """Coordinator → worker: handshake refused (version/auth mismatch); closes."""
 
     reason: str
 

@@ -36,6 +36,7 @@ exits cleanly.
 from __future__ import annotations
 
 import argparse
+import hmac
 import io
 import logging
 import os
@@ -71,7 +72,8 @@ from repro.distributed.protocol import (
     Results,
     parse_address,
 )
-from repro.obs.logging import add_logging_args, configure_logging
+from repro.cli import add_auth_args, add_logging_parent, add_store_args, load_auth_key
+from repro.obs.logging import configure_logging
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.tracing import span_into
 from repro.utils.retry import RetryPolicy
@@ -86,7 +88,7 @@ WORKER_RETRY = RetryPolicy(max_attempts=3, base_delay=0.1, max_delay=1.0)
 
 
 class HandshakeRejected(RuntimeError):
-    """The coordinator refused the HELLO handshake (version mismatch)."""
+    """The coordinator refused the HELLO handshake (version/auth mismatch)."""
 
 
 class _StalePlan(Exception):
@@ -125,6 +127,13 @@ class FleetWorker:
         drops mid-service (each within ``reconnect_timeout`` seconds)
         before the worker exits cleanly.  The per-plan memo survives a
         reconnect, so no artifact is re-fetched.
+    auth_key:
+        The fleet's shared secret.  With a key the HELLO handshake
+        carries a challenge proof, the coordinator's WELCOME is
+        verified, and every subsequent frame in both directions is
+        HMAC-signed under a per-connection session key; the same key
+        signs requests to ``http(s)://`` stores (the worker's own and
+        the coordinator-advertised one).
     """
 
     def __init__(self, address: tuple[str, int], *, store=None,
@@ -133,11 +142,15 @@ class FleetWorker:
                  cell_delay: float | None = None,
                  retry: RetryPolicy | None = None,
                  reconnect_attempts: int = 3,
-                 reconnect_timeout: float = 2.0) -> None:
+                 reconnect_timeout: float = 2.0,
+                 auth_key: bytes | None = None) -> None:
         self.address = address
+        self.auth_key = auth_key
         if store is None or isinstance(store, DatasetStore):
             self.store = store
-        else:  # a directory path, store URL or StoreBackend
+        elif isinstance(store, str) and store.startswith(("http://", "https://")):
+            self.store = DatasetStore(store, auth=auth_key)
+        else:  # a directory path, file://memory:// URL or StoreBackend
             self.store = DatasetStore(store)
         self.worker_id = worker_id or (
             f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}")
@@ -186,6 +199,9 @@ class FleetWorker:
                 "Successful reconnect+handshake cycles"),
         }
         self._send_lock = threading.Lock()
+        #: Per-connection frame authenticator (rebuilt on every fresh
+        #: connect so reconnects negotiate a new session key).
+        self._auth: protocol.FrameAuth | None = None
         self._memo: dict[str, tuple] = {}
         self._advertised: dict[str, DatasetStore | None] = {}
 
@@ -258,6 +274,8 @@ class FleetWorker:
                       file=sys.stderr)
                 return 1
             stop_heartbeat = threading.Event()
+            self._auth = (protocol.FrameAuth(self.auth_key, role="worker")
+                          if self.auth_key is not None else None)
             try:
                 self._handshake(sock)
                 if connected_before:
@@ -309,13 +327,33 @@ class FleetWorker:
             lambda: socket.create_connection(self.address, timeout=None))
 
     def _handshake(self, sock: socket.socket) -> None:
+        nonce = proof = ""
+        if self.auth_key is not None:
+            nonce = protocol.auth_nonce()
+            proof = protocol.hello_proof(self.auth_key, nonce, self.worker_id)
         reply = self._request(sock, Hello(
             protocol_version=PROTOCOL_VERSION,
             store_format_version=_FORMAT_VERSION,
             worker_id=self.worker_id, pid=os.getpid(),
-            simulator_versions=_simulator_versions()))
+            simulator_versions=_simulator_versions(),
+            auth_nonce=nonce, auth_proof=proof))
         if isinstance(reply, Reject):
             raise HandshakeRejected(reply.reason)
+        if not isinstance(reply, protocol.Welcome):
+            raise protocol.ProtocolError(
+                f"expected Welcome or Reject, got {type(reply).__name__}")
+        if self.auth_key is not None:
+            # Verify the coordinator's proof over our challenge before
+            # trusting anything it says: a keyless (or wrong-keyed)
+            # coordinator cannot compute it.
+            expected = protocol.welcome_proof(
+                self.auth_key, nonce, reply.auth_nonce)
+            if not reply.auth_proof or not hmac.compare_digest(
+                    reply.auth_proof, expected):
+                raise HandshakeRejected(
+                    "coordinator did not prove knowledge of the shared "
+                    "key (is it running with the same --auth-key-file?)")
+            self._auth.activate_session(nonce, reply.auth_nonce)
 
     def _heartbeat_loop(self, sock: socket.socket, stop: threading.Event) -> None:
         while not stop.wait(self.heartbeat_interval):
@@ -324,7 +362,7 @@ class FleetWorker:
                 # coordinator's fleet view stays live even while a long
                 # batch computes.
                 beat = Heartbeat(self.worker_id, metrics=self.metrics.snapshot())
-                protocol.send_message(sock, beat, self._send_lock)
+                protocol.send_message(sock, beat, self._send_lock, self._auth)
             except OSError:
                 return
 
@@ -334,8 +372,8 @@ class FleetWorker:
         The coordinator only ever writes replies (heartbeats go the other
         way and are reply-less), so request/reply pairing is positional.
         """
-        protocol.send_message(sock, message, self._send_lock)
-        return protocol.recv_message(sock)
+        protocol.send_message(sock, message, self._send_lock, self._auth)
+        return protocol.recv_message(sock, self._auth)
 
     # ------------------------------------------------------------------ #
     # Plan serving
@@ -449,7 +487,8 @@ class FleetWorker:
         if url not in self._advertised:
             try:
                 self._advertised[url] = DatasetStore(
-                    resolve_backend(url, retry=self.retry))
+                    resolve_backend(url, retry=self.retry,
+                                    auth=self.auth_key))
             except ValueError:
                 # Unknown scheme / malformed locator (e.g. a newer
                 # coordinator): the relay path still works.
@@ -521,18 +560,19 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.distributed.worker",
         description="Fleet worker: evaluate experiment cells for a coordinator",
+        parents=[
+            add_store_args(
+                dir_help="persistent dataset/cache store directory; missing "
+                         "artifacts are bootstrapped from the advertised "
+                         "shared store or the coordinator, never re-simulated",
+                url_help="store locator instead of a directory: file://DIR, "
+                         "memory:// or http://HOST:PORT/ (an S3-style object "
+                         "store, e.g. python -m repro.datasets.object_server)"),
+            add_auth_args(), add_logging_parent(),
+        ],
     )
     parser.add_argument("--connect", required=True, metavar="HOST:PORT",
                         help="coordinator address")
-    store_group = parser.add_mutually_exclusive_group()
-    store_group.add_argument("--store-dir", default=None, metavar="DIR",
-                             help="persistent dataset/cache store directory; missing "
-                                  "artifacts are bootstrapped from the advertised "
-                                  "shared store or the coordinator, never re-simulated")
-    store_group.add_argument("--store-url", default=None, metavar="URL",
-                             help="store locator instead of a directory: file://DIR, "
-                                  "memory:// or http://HOST:PORT/ (an S3-style object "
-                                  "store, e.g. python -m repro.datasets.object_server)")
     parser.add_argument("--worker-id", default=None,
                         help="stable identity (default: host-pid-random)")
     parser.add_argument("--connect-timeout", type=float, default=20.0, metavar="S",
@@ -550,9 +590,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="fresh connect+handshake attempts after the "
                              "coordinator connection drops (default 3; 0 = exit "
                              "on first drop)")
-    add_logging_args(parser)
     args = parser.parse_args(argv)
     configure_logging(fmt=args.log_format, level=args.log_level)
+    auth_key = load_auth_key(args.auth_key_file, parser=parser)
     if args.max_retries is not None and args.max_retries < 1:
         parser.error(f"--max-retries must be >= 1, got {args.max_retries}")
     if args.reconnect_attempts < 0:
@@ -568,14 +608,15 @@ def main(argv: list[str] | None = None) -> int:
         # Resolved through the scheme registry so a malformed URL is a
         # usage error, not a silently-created local directory.
         try:
-            store = resolve_backend(args.store_url, retry=retry)
+            store = resolve_backend(args.store_url, retry=retry, auth=auth_key)
         except ValueError as exc:
             parser.error(str(exc))
     worker = FleetWorker(
         parse_address(args.connect), store=store,
         worker_id=args.worker_id, connect_timeout=args.connect_timeout,
         heartbeat_interval=args.heartbeat_interval, cell_delay=args.cell_delay,
-        retry=retry, reconnect_attempts=args.reconnect_attempts)
+        retry=retry, reconnect_attempts=args.reconnect_attempts,
+        auth_key=auth_key)
     return worker.run()
 
 

@@ -51,6 +51,13 @@ Options
 ``--status-port`` remote executor: serve the coordinator's read-only
                   ``/metrics`` (fleet-wide Prometheus text) and ``/healthz``
                   (JSON liveness + load) on this port (0 = ephemeral)
+``--auth-key-file`` shared-secret key file: fleet handshakes and frames are
+                  HMAC-authenticated, spawned workers inherit the key, the
+                  status sidecar and any ``http://`` store requests are
+                  signed (see the README's "Securing a fleet" section and
+                  ``docs/protocol.md``)
+``--insecure``    allow a non-loopback ``--bind`` without ``--auth-key-file``
+                  (without it, that combination is a startup error)
 ``--log-format`` / ``--log-level``
                   structured logging: ``json`` emits one JSON object per
                   line (machine-ingestable), ``text`` the classic format
@@ -72,10 +79,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cli import (add_auth_args, add_logging_parent, add_store_args,
+                       check_bind_safety, load_auth_key)
 from repro.experiments.reporting import format_result
 from repro.experiments.runner import EXPERIMENTS, ExperimentSettings, run_experiment
 from repro.experiments.scheduler import EXECUTORS
-from repro.obs.logging import add_logging_args, configure_logging
+from repro.obs.logging import configure_logging
 from repro.obs.tracing import TRACER, write_trace
 
 
@@ -89,6 +98,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the figures of 'Learning with Analytical Models'",
+        parents=[
+            add_store_args(
+                dir_help="persistent dataset/analytical-cache store directory",
+                url_help="store locator instead of a directory: file://DIR, "
+                         "memory:// or http://HOST:PORT/ (an S3-style object "
+                         "store, e.g. python -m repro.datasets.object_server)"),
+            add_auth_args(),
+            add_logging_parent(),
+        ],
     )
     parser.add_argument("names", nargs="*", default=list(EXPERIMENTS),
                         help=f"experiments to run (default: all). Available: {', '.join(EXPERIMENTS)}")
@@ -128,13 +146,6 @@ def main(argv: list[str] | None = None) -> int:
                              "or adaptive leases (remote) from the cost "
                              "model, an integer forces ~N cells per batch; "
                              "results are bit-identical for any value")
-    store_group = parser.add_mutually_exclusive_group()
-    store_group.add_argument("--store-dir", default=None, metavar="DIR",
-                             help="persistent dataset/analytical-cache store directory")
-    store_group.add_argument("--store-url", default=None, metavar="URL",
-                             help="store locator instead of a directory: file://DIR, "
-                                  "memory:// or http://HOST:PORT/ (an S3-style object "
-                                  "store, e.g. python -m repro.datasets.object_server)")
     parser.add_argument("--store-prune", action="store_true",
                         help="after the run, delete store entries not used by "
                              "the executed experiments (requires --store-dir "
@@ -155,9 +166,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="remote executor: serve the coordinator's "
                              "read-only /metrics (fleet-wide Prometheus text) "
                              "and /healthz (JSON) on this port (0 = ephemeral)")
-    add_logging_args(parser)
     args = parser.parse_args(argv)
     configure_logging(fmt=args.log_format, level=args.log_level)
+    auth_key = load_auth_key(args.auth_key_file, parser=parser)
 
     if args.quick:
         settings = ExperimentSettings.quick()
@@ -221,7 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.datasets.store import DatasetStore
 
         try:
-            store = DatasetStore(resolve_backend(args.store_url))
+            store = DatasetStore(resolve_backend(args.store_url, auth=auth_key))
         except ValueError as exc:
             parser.error(str(exc))
     elif args.store_dir is not None:
@@ -237,7 +248,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.scheduler import _resolve_jobs
 
         bind = ("127.0.0.1", 0) if args.bind is None else parse_address(args.bind)
-        fleet = Coordinator(bind=bind, **fleet_knobs)
+        check_bind_safety(parser, bind[0], auth=auth_key, insecure=args.insecure)
+        fleet = Coordinator(bind=bind, auth_key=auth_key, **fleet_knobs)
         if args.bind is not None:
             host, port = fleet.address
             # A wildcard bind address is not connectable from other hosts;
@@ -251,7 +263,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"(connect workers with: python -m repro.experiments "
                   f"fleet-worker --connect {connect_host}:{port})")
         if args.status_port is not None:
-            status_server = fleet.serve_status(("127.0.0.1", args.status_port))
+            status_server = fleet.serve_status(("127.0.0.1", args.status_port),
+                                               auth=auth_key)
             print(f"fleet status at {status_server.url} "
                   f"(/metrics and /healthz, read-only)")
         n_local = args.workers
@@ -263,7 +276,8 @@ def main(argv: list[str] | None = None) -> int:
             # store (memory://) leaves them store-less — they bootstrap
             # from the coordinator's blobs instead.
             fleet.spawn_local_workers(
-                n_local, store_url=None if store is None else store.locator)
+                n_local, store_url=None if store is None else store.locator,
+                auth_key_file=args.auth_key_file)
 
     pool = None
     if executor == "process":

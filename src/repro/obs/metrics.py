@@ -101,6 +101,11 @@ class Counter(_Instrument):
     kind = "counter"
 
     def _child(self, key: tuple) -> _CounterChild:
+        # Materialize the sample at zero so a created-but-never-fired
+        # counter is scrapeable: "0 auth failures" must be a visible
+        # fact on /metrics, not indistinguishable from "no counter".
+        with self._lock:
+            self._samples.setdefault(key, 0.0)
         return _CounterChild(self, key)
 
     def inc(self, amount: float = 1.0) -> None:

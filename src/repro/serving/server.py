@@ -38,40 +38,43 @@ Run it standalone::
     repro-serve --store-url http://127.0.0.1:8123/
     python -m repro.serving.server --store-url file:///srv/repro-store --port 8200
 
-Like the object server it authenticates nothing: trusted networks only
-(the default bind is loopback).
+Like the object server it is built on the shared
+:class:`~repro.obs.http.ReproHTTPServer` base: pass ``--auth-key-file``
+(or construct with ``auth=<key bytes>``) and every request except
+``GET /healthz`` must carry a valid ``Authorization: Repro-HMAC``
+header; a non-loopback ``--bind`` without a key is a startup error
+unless ``--insecure``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import socket
 import sys
 import threading
-import urllib.parse
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.cli import (
+    add_auth_args,
+    add_bind_args,
+    add_logging_parent,
+    add_store_args,
+    check_bind_safety,
+    load_auth_key,
+)
 from repro.datasets.backends import IntegrityError, StoreBackend
 from repro.datasets.store import DatasetStore
-from repro.obs.http import CONTENT_TYPE as _METRICS_CONTENT_TYPE
-from repro.obs.http import metrics_body
-from repro.obs.logging import add_logging_args, configure_logging
+from repro.obs.http import ReproHTTPServer, RequestError
+from repro.obs.logging import configure_logging
 from repro.obs.metrics import REGISTRY, MetricsRegistry
-from repro.obs.tracing import TRACER
 from repro.serving.model_io import ServedModel, decode_model
 
 __all__ = ["ModelServer", "MicroBatcher", "main"]
 
-
-class _RequestError(Exception):
-    """A request that maps to a specific HTTP status (raised by handlers)."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
+#: Backward-compatible alias: the status-carrying error moved to the
+#: shared HTTP base in :mod:`repro.obs.http`.
+_RequestError = RequestError
 
 
 class _Pending:
@@ -186,88 +189,7 @@ class MicroBatcher:
             entry.event.set()
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """One request: route an endpoint to the server's model machinery."""
-
-    protocol_version = "HTTP/1.1"
-    server_version = "ReproModelServer/1.0"
-
-    # The ThreadingHTTPServer instance carries models + stats.
-    server: ModelServer
-
-    def log_message(self, fmt, *args):
-        """Per-request stderr logging, only under ``--verbose``."""
-        if self.server.verbose:
-            sys.stderr.write("model-server: " + fmt % args + "\n")
-
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _error(self, status: int, message: str) -> None:
-        self.server.count("errors" if status >= 500 else "client_errors")
-        self._send_json(status, {"error": message})
-
-    def do_GET(self) -> None:  # (BaseHTTPRequestHandler naming)
-        """Route ``/healthz``, ``/stats``, ``/models`` and ``/metrics``."""
-        path = urllib.parse.urlsplit(self.path).path.rstrip("/")
-        try:
-            with TRACER.span("request", attrs={"method": "GET", "path": path}):
-                if path == "/healthz":
-                    self._send_json(200, self.server.health())
-                elif path == "/stats":
-                    self._send_json(200, self.server.snapshot_stats())
-                elif path == "/models":
-                    self._send_json(200, self.server.describe_models())
-                elif path == "/metrics":
-                    # The process-wide view: this server, its batcher, the
-                    # store backend — everything attached to the registry.
-                    body = metrics_body()
-                    self.send_response(200)
-                    self.send_header("Content-Type", _METRICS_CONTENT_TYPE)
-                    self.send_header("Content-Length", str(len(body)))
-                    self.end_headers()
-                    self.wfile.write(body)
-                else:
-                    self._error(404, f"no such endpoint {path or '/'}")
-        except _RequestError as exc:
-            self._error(exc.status, str(exc))
-        except Exception as exc:  # noqa: BLE001 - 500 is retryable, a dead socket is not
-            self._error(500, f"{type(exc).__name__}: {exc}")
-
-    def do_POST(self) -> None:
-        """Route ``/predict`` and ``/recommend``."""
-        path = urllib.parse.urlsplit(self.path).path.rstrip("/")
-        try:
-            with TRACER.span("request", attrs={"method": "POST", "path": path}):
-                if path == "/predict":
-                    self._send_json(200, self.server.predict(self._body()))
-                elif path == "/recommend":
-                    self._send_json(200, self.server.recommend(self._body()))
-                else:
-                    self._error(404, f"no such endpoint {path or '/'}")
-        except _RequestError as exc:
-            self._error(exc.status, str(exc))
-        except Exception as exc:  # noqa: BLE001
-            self._error(500, f"{type(exc).__name__}: {exc}")
-
-    def _body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        raw = self.rfile.read(length)
-        try:
-            body = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _RequestError(400, f"request body is not valid JSON: {exc}") from None
-        if not isinstance(body, dict):
-            raise _RequestError(400, "request body must be a JSON object")
-        return body
-
-
-class ModelServer(ThreadingHTTPServer):
+class ModelServer(ReproHTTPServer):
     """Threaded HTTP prediction service over published store models.
 
     Parameters
@@ -279,6 +201,9 @@ class ModelServer(ThreadingHTTPServer):
         (``file://``, ``memory://``, ``http(s)://``).
     address:
         ``(host, port)`` bind address (default: loopback, ephemeral port).
+    auth:
+        Shared-secret key bytes; clients must then sign every request
+        except ``GET /healthz`` (see :func:`repro.obs.http.sign_request`).
 
     Models are fetched and decoded on first use and cached read-only for
     the life of the process (``stats["model_loads"]`` counts decodes);
@@ -292,17 +217,19 @@ class ModelServer(ThreadingHTTPServer):
             urllib.request.urlopen(server.url + "healthz")
     """
 
-    daemon_threads = True
+    name = "model-server"
 
     def __init__(self, store: DatasetStore | StoreBackend | str,
                  address: tuple[str, int] = ("127.0.0.1", 0), *,
+                 auth: bytes | None = None,
+                 registry: MetricsRegistry | None = None,
                  verbose: bool = False) -> None:
         self.store = store if isinstance(store, DatasetStore) else DatasetStore(store)
-        self.verbose = verbose
         self.batcher = MicroBatcher()
+        super().__init__(address, auth=auth, registry=registry,
+                         verbose=verbose)
         # Registry-backed request counters; the old ``stats`` dict is the
         # property view below, so ``/stats`` semantics are unchanged.
-        self.metrics = MetricsRegistry(attach_to=REGISTRY)
         self._counters = {
             key: self.metrics.counter(f"repro_serving_{key}_total", help)
             for key, help in (
@@ -317,8 +244,43 @@ class ModelServer(ThreadingHTTPServer):
         }
         self._models: dict[tuple[str, str], ServedModel] = {}
         self._models_lock = threading.Lock()
-        self._thread: threading.Thread | None = None
-        super().__init__(address, _Handler)
+
+    # ------------------------------------------------------------------ #
+    # Request routing (the base owns auth, /metrics, /healthz, spans)
+    # ------------------------------------------------------------------ #
+    def handle(self, request, method: str, path: str, query: dict,
+               body: bytes) -> None:
+        """Serve the prediction API: GET stats/models, POST predict/recommend."""
+        if method == "GET":
+            if path == "/stats":
+                request.send_json(200, self.snapshot_stats())
+            elif path == "/models":
+                request.send_json(200, self.describe_models())
+            else:
+                raise RequestError(404, f"no such endpoint {path}")
+        elif method == "POST":
+            if path == "/predict":
+                request.send_json(200, self.predict(self._json_body(body)))
+            elif path == "/recommend":
+                request.send_json(200, self.recommend(self._json_body(body)))
+            else:
+                raise RequestError(404, f"no such endpoint {path}")
+        else:
+            raise RequestError(405, f"unsupported method {method}")
+
+    @staticmethod
+    def _json_body(raw: bytes) -> dict:
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise RequestError(400, "request body must be a JSON object")
+        return body
+
+    def count_error(self, status: int) -> None:
+        """Bucket a failed request as a server error or a client error."""
+        self.count("errors" if status >= 500 else "client_errors")
 
     @property
     def stats(self) -> dict[str, int]:
@@ -329,14 +291,6 @@ class ModelServer(ThreadingHTTPServer):
     def count(self, op: str, n: int = 1) -> None:
         """Bump the *op* stats counter (thread-safe)."""
         self._counters[op].inc(n)
-
-    @property
-    def url(self) -> str:
-        """Base URL clients POST to (wildcard binds advertise the hostname)."""
-        host, port = self.server_address[:2]
-        if host in ("0.0.0.0", "::"):
-            host = socket.gethostname()
-        return f"http://{host}:{port}/"
 
     # ------------------------------------------------------------------ #
     # Model loading
@@ -453,60 +407,44 @@ class ModelServer(ThreadingHTTPServer):
                      for series, fingerprint in self.store.list_models()]
         return {"loaded": loaded, "available": available}
 
-    # ------------------------------------------------------------------ #
-    # Lifecycle
-    # ------------------------------------------------------------------ #
-    def start(self) -> ModelServer:
-        """Serve requests on a daemon thread (the in-process test mode)."""
-        self._thread = threading.Thread(
-            target=self.serve_forever, name="model-server", daemon=True)
-        self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        """Shut the listener down and join the serving thread."""
-        self.shutdown()
-        self.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-
-    def __enter__(self) -> ModelServer:
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
-
 
 def main(argv: list[str] | None = None) -> int:
     """Console entry point (``repro-serve``)."""
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Serve published hybrid/ML performance models over HTTP",
+        parents=[
+            add_store_args(
+                dir_help="store directory holding models/ artifacts",
+                url_help="store locator holding models/ artifacts: "
+                         "file://DIR, memory:// or http://HOST:PORT/ (an "
+                         "object store, e.g. repro.datasets.object_server)"),
+            add_bind_args(default_port=8200), add_auth_args(),
+            add_logging_parent(),
+        ],
     )
-    parser.add_argument("--store-url", required=True, metavar="URL",
-                        help="store holding models/ artifacts: file://DIR, "
-                             "memory:// or http://HOST:PORT/ (an object store, "
-                             "e.g. repro-object-server)")
-    parser.add_argument("--bind", default="127.0.0.1", metavar="HOST",
-                        help="listen address (default loopback; the server is "
-                             "unauthenticated — trusted networks only)")
-    parser.add_argument("--port", type=int, default=8200, metavar="PORT",
-                        help="listen port (default 8200; 0 = ephemeral)")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
-    add_logging_args(parser)
     args = parser.parse_args(argv)
     configure_logging(fmt=args.log_format, level=args.log_level)
+    locator = args.store_url or args.store_dir
+    if locator is None:
+        parser.error("a model store is required: pass --store-url or --store-dir")
+    auth = load_auth_key(args.auth_key_file, parser=parser)
+    check_bind_safety(parser, args.bind, auth=auth, insecure=args.insecure)
 
     try:
-        server = ModelServer(args.store_url, (args.bind, args.port),
+        # One fleet-wide shared secret: the same key authenticates this
+        # server's clients and signs its own requests to an http(s) store.
+        store = DatasetStore(locator, auth=auth)
+        server = ModelServer(store, (args.bind, args.port), auth=auth,
                              verbose=args.verbose)
     except ValueError as exc:
         parser.error(str(exc))
     models = server.store.list_models()
-    print(f"model server at {server.url} over store {args.store_url} "
-          f"({len(models)} published model(s))", flush=True)
+    mode = "authenticated" if auth is not None else "unauthenticated"
+    print(f"model server at {server.url} over store {locator} "
+          f"({mode}; {len(models)} published model(s))", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -16,9 +16,10 @@ demand.  This module provides the two injection points:
 
 * :class:`FaultySocket` wraps a connected socket and corrupts, delays,
   or drops whole protocol *frames* — it parses the frame header so
-  injected corruption hits payload bytes only, never the length prefix
-  (a corrupted length would desynchronize the stream instead of
-  exercising the CRC check).
+  injected corruption hits payload bytes (``corrupt_frames``) or the
+  trailing HMAC tag of a signed frame (``corrupt_tags``) only, never
+  the length prefix (a corrupted length would desynchronize the stream
+  instead of exercising the CRC or tag check).
 
 Every injected fault is appended to a ``log`` (and formatted by
 ``log_text()``), which the CI chaos job uploads as an artifact: a green
@@ -199,9 +200,19 @@ class FaultySocket:
     each frame with a single ``sendall``, so the proxy counts frames on
     the send side and — when a frame index is armed via
     ``corrupt_frames`` — flips the first *payload* byte while leaving
-    the 12-byte header intact.  The length still describes the stream
-    (no desynchronization, no hang); the CRC no longer matches, which is
-    precisely the condition :func:`recv_message` must detect.
+    the 13-byte header (and, on a signed frame, the trailing HMAC tag)
+    intact.  The length still describes the stream (no
+    desynchronization, no hang); the CRC — and on an authenticated
+    connection the tag, which covers the payload and is checked *first*
+    — no longer matches, which is precisely the condition
+    :func:`recv_message` must detect.
+
+    ``corrupt_tags`` instead flips a bit in the trailing
+    :data:`~repro.distributed.protocol.TAG_BYTES` of a signed frame,
+    leaving the payload (and therefore its CRC) intact: a receiver that
+    rejects such a frame provably did so on the tag check, not the CRC.
+    Arming a tag corruption for an unsigned frame is a no-op (logged as
+    ``tag-skip``) — there is no tag to corrupt.
 
     ``drop_after`` closes the underlying socket after that many frames
     have been sent, modelling a connection cut mid-conversation.
@@ -209,6 +220,7 @@ class FaultySocket:
 
     sock: object
     corrupt_frames: set[int] = field(default_factory=set)  # 1-based indices
+    corrupt_tags: set[int] = field(default_factory=set)    # 1-based indices
     drop_after: int | None = None
     send_delay: float = 0.0
     frames_sent: int = 0
@@ -224,9 +236,19 @@ class FaultySocket:
         if self.send_delay:
             time.sleep(self.send_delay)
         header = protocol._HEADER.size
-        if self.frames_sent in self.corrupt_frames and len(frame) > header:
+        signed = (len(frame) >= header
+                  and frame[header - 1] & protocol.FLAG_SIGNED)
+        body_end = len(frame) - protocol.TAG_BYTES if signed else len(frame)
+        if self.frames_sent in self.corrupt_frames and body_end > header:
             self.log.append({"frame": self.frames_sent, "kind": "corrupt"})
-            frame = frame[:header] + flip_bit(frame[header:])
+            frame = (frame[:header] + flip_bit(frame[header:body_end])
+                     + frame[body_end:])
+        if self.frames_sent in self.corrupt_tags:
+            if signed:
+                self.log.append({"frame": self.frames_sent, "kind": "tag"})
+                frame = frame[:body_end] + flip_bit(frame[body_end:])
+            else:
+                self.log.append({"frame": self.frames_sent, "kind": "tag-skip"})
         self.sock.sendall(frame)
 
     def recv(self, n: int) -> bytes:

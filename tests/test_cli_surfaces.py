@@ -1,0 +1,101 @@
+"""The four CLI entry points share one flag surface (`repro.cli`).
+
+Every operator-facing flag group — store locators, auth, logging — is
+defined once as an argparse parent and inherited by all four entry
+points, so `--auth-key-file` means the same thing whether it is handed
+to the experiment runner, a fleet worker, the object server or the
+model server.  The table below is the contract; the test walks each
+``--help`` text so a surface that drops or forks a flag fails here,
+not in an operator's shell.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+
+import pytest
+
+from repro import cli
+
+#: entry point -> flags its surface must expose.  Store flags are
+#: universal (every surface reads or serves a store); auth and logging
+#: flags are universal by design — that is the point of this PR.
+_SHARED_FLAGS = ("--auth-key-file", "--insecure",
+                 "--log-format", "--log-level")
+SURFACES = {
+    "repro.experiments.__main__": _SHARED_FLAGS + ("--store-dir", "--store-url"),
+    "repro.distributed.worker": _SHARED_FLAGS + ("--store-dir", "--store-url"),
+    "repro.datasets.object_server": _SHARED_FLAGS + ("--bind", "--port"),
+    "repro.serving.server": _SHARED_FLAGS + ("--store-dir", "--store-url",
+                                             "--bind", "--port"),
+}
+
+
+def _help_text(module_name: str) -> str:
+    import importlib
+
+    module = importlib.import_module(module_name)
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        with pytest.raises(SystemExit) as excinfo:
+            module.main(["--help"])
+    assert excinfo.value.code in (0, None)
+    return buffer.getvalue()
+
+
+class TestSharedSurface:
+    @pytest.mark.parametrize("module_name,flags", sorted(SURFACES.items()),
+                             ids=sorted(SURFACES))
+    def test_surface_exposes_the_shared_flags(self, module_name, flags):
+        text = _help_text(module_name)
+        missing = [flag for flag in flags if flag not in text]
+        assert not missing, (f"{module_name} --help is missing {missing}; "
+                             "shared flags live in repro.cli parents")
+
+    def test_store_flags_are_mutually_exclusive(self):
+        parser = __import__("argparse").ArgumentParser(
+            parents=[cli.add_store_args()])
+        with pytest.raises(SystemExit):
+            with contextlib.redirect_stderr(io.StringIO()):
+                parser.parse_args(["--store-dir", "d", "--store-url", "u"])
+
+
+class TestAuthHelpers:
+    def test_load_auth_key_reads_and_strips(self, tmp_path):
+        path = tmp_path / "fleet.key"
+        path.write_bytes(b"  s3cret\n")
+        assert cli.load_auth_key(str(path)) == b"s3cret"
+        assert cli.load_auth_key(None) is None
+
+    def test_load_auth_key_rejects_empty_and_missing(self, tmp_path):
+        empty = tmp_path / "empty.key"
+        empty.write_bytes(b"\n")
+        with pytest.raises(ValueError, match="empty"):
+            cli.load_auth_key(str(empty))
+        with pytest.raises(ValueError):
+            cli.load_auth_key(str(tmp_path / "nope.key"))
+
+    def test_is_loopback(self):
+        assert cli.is_loopback("127.0.0.1")
+        assert cli.is_loopback("::1")
+        assert cli.is_loopback("localhost")
+        assert cli.is_loopback("")
+        assert not cli.is_loopback("0.0.0.0")
+        assert not cli.is_loopback("192.168.1.5")
+        assert not cli.is_loopback("example.com")
+
+    def test_non_loopback_bind_requires_key_or_insecure(self):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        # Loopback: always fine.
+        cli.check_bind_safety(parser, "127.0.0.1", auth=None, insecure=False)
+        # Non-loopback with a key or with --insecure: fine.
+        cli.check_bind_safety(parser, "0.0.0.0", auth=b"k", insecure=False)
+        cli.check_bind_safety(parser, "0.0.0.0", auth=None, insecure=True)
+        # Non-loopback, keyless, not --insecure: hard startup error.
+        with pytest.raises(SystemExit):
+            with contextlib.redirect_stderr(io.StringIO()):
+                cli.check_bind_safety(parser, "0.0.0.0", auth=None,
+                                      insecure=False)
